@@ -1,0 +1,222 @@
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out:
+//   1. The marking optimization on/off (BTC, CTC).
+//   2. Page replacement policies (BTC, CTC on G6).
+//   3. List replacement policies (BTC, CTC on G6).
+//   4. The classic baselines (Seminaive; Warshall / Warren / Blocked
+//      Warren) vs the graph-based algorithms, reproducing the related-work
+//      ordering the paper relied on when choosing its candidate set
+//      (Section 8).
+//   5. Repeated queries with a cold vs warm buffer pool (TcSession).
+//   6. Plain closure vs generalized closure (path aggregates run without
+//      the marking optimization).
+
+#include <iostream>
+
+#include "bench_support/catalog.h"
+#include "core/generalized.h"
+#include "core/session.h"
+#include "bench_support/driver.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+namespace {
+
+int MarkingAblation() {
+  std::cout << "--- Ablation 1: marking optimization (BTC, CTC, M = 20) ---\n";
+  TablePrinter table({"graph", "marking ON (I/O)", "marking OFF (I/O)",
+                      "OFF unions", "ON unions"});
+  for (const char* name : {"G1", "G5", "G9", "G11"}) {
+    const GraphFamily& family = FamilyByName(name);
+    ExecOptions on;
+    on.buffer_pages = 20;
+    ExecOptions off = on;
+    off.use_marking = false;
+    auto with = RunExperiment(family, Algorithm::kBtc, -1, on);
+    auto without = RunExperiment(family, Algorithm::kBtc, -1, off);
+    if (!with.ok() || !without.ok()) return 1;
+    table.NewRow()
+        .AddCell(name)
+        .AddCell(WithThousands(static_cast<int64_t>(with.value().metrics.TotalIo())))
+        .AddCell(WithThousands(
+            static_cast<int64_t>(without.value().metrics.TotalIo())))
+        .AddCell(WithThousands(without.value().metrics.list_unions))
+        .AddCell(WithThousands(with.value().metrics.list_unions));
+  }
+  table.Print(std::cout);
+  std::cout << "Marking avoids exactly the redundant (transitive-reduction) "
+               "arcs, and the avoided unions are the expensive low-locality "
+               "ones (Section 5.3).\n\n";
+  return 0;
+}
+
+int PagePolicyAblation() {
+  std::cout << "--- Ablation 2: page replacement policy (BTC, G6, CTC) ---\n";
+  TablePrinter table({"M", "lru", "mru", "fifo", "clock", "random"});
+  const GraphFamily& family = FamilyByName("G6");
+  for (const size_t buffer_pages : {10u, 50u}) {
+    table.NewRow().AddCell(static_cast<int64_t>(buffer_pages));
+    for (const PagePolicy policy :
+         {PagePolicy::kLru, PagePolicy::kMru, PagePolicy::kFifo,
+          PagePolicy::kClock, PagePolicy::kRandom}) {
+      ExecOptions options;
+      options.buffer_pages = buffer_pages;
+      options.page_policy = policy;
+      auto point = RunExperiment(family, Algorithm::kBtc, -1, options);
+      if (!point.ok()) return 1;
+      table.AddCell(
+          WithThousands(static_cast<int64_t>(point.value().metrics.TotalIo())));
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "The paper found the replacement policies a secondary "
+               "effect; the spread across policies should be modest.\n\n";
+  return 0;
+}
+
+int ListPolicyAblation() {
+  std::cout << "--- Ablation 3: list replacement policy (BTC, G6, CTC, "
+               "M = 20) ---\n";
+  TablePrinter table(
+      {"policy", "total I/O", "list moves", "list pages"});
+  const GraphFamily& family = FamilyByName("G6");
+  for (const ListPolicy policy :
+       {ListPolicy::kMoveSelf, ListPolicy::kMoveLargest,
+        ListPolicy::kMoveNewest}) {
+    ExecOptions options;
+    options.buffer_pages = 20;
+    options.list_policy = policy;
+    auto point = RunExperiment(family, Algorithm::kBtc, -1, options);
+    if (!point.ok()) return 1;
+    table.NewRow()
+        .AddCell(ListPolicyName(policy))
+        .AddCell(
+            WithThousands(static_cast<int64_t>(point.value().metrics.TotalIo())))
+        .AddCell(WithThousands(point.value().metrics.list_moves))
+        .AddCell(WithThousands(point.value().metrics.entries_written /
+                               kEntriesPerListPage));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  return 0;
+}
+
+int BaselineComparison() {
+  std::cout << "--- Ablation 4: classic baselines vs graph-based "
+               "algorithms ---\n";
+  TablePrinter table({"graph", "query", "BTC", "SEMINAIVE", "WARSHALL",
+                      "WARREN", "WARREN-BLOCKED"});
+  for (const char* name : {"G1", "G2", "G5"}) {
+    const GraphFamily& family = FamilyByName(name);
+    for (const int32_t sources : {-1, 20}) {
+      table.NewRow()
+          .AddCell(name)
+          .AddCell(sources < 0 ? std::string("CTC")
+                               : "PTC s=" + std::to_string(sources));
+      for (const Algorithm algorithm :
+           {Algorithm::kBtc, Algorithm::kSeminaive, Algorithm::kWarshall,
+            Algorithm::kWarren, Algorithm::kWarrenBlocked}) {
+        ExecOptions options;
+        options.buffer_pages = 20;
+        auto point = RunExperiment(family, algorithm, sources, options);
+        if (!point.ok()) return 1;
+        table.AddCell(WithThousands(
+            static_cast<int64_t>(point.value().metrics.TotalIo())));
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "Expected shape ([1,3,19] via paper Section 8): the graph-based "
+         "BTC beats the iterative Seminaive for CTC; within the matrix "
+         "family Warren crushes Warshall and blocking improves Warren "
+         "further; no matrix method can exploit selection, so they lose "
+         "badly on high-selectivity PTC.\n";
+  return 0;
+}
+
+int WarmSessionAblation() {
+  std::cout << "--- Ablation 5: repeated queries, cold vs warm pool "
+               "(G5, SRCH, 10 sources) ---\n";
+  // The paper measures every run cold; a prepared session that keeps the
+  // pool warm shows how much of SRCH's cost is re-reading the relation.
+  const GraphFamily& family = FamilyByName("G5");
+  TablePrinter table({"M", "cold q1", "cold q2", "warm q1", "warm q2"});
+  for (const size_t buffer_pages : {20u, 50u}) {
+    table.NewRow().AddCell(static_cast<int64_t>(buffer_pages));
+    for (const bool warm : {false, true}) {
+      const GeneratorParams params = CatalogParams(family, 0);
+      TcSession::SessionOptions options;
+      options.exec.buffer_pages = buffer_pages;
+      options.keep_cache_warm = warm;
+      auto session =
+          TcSession::Open(GenerateDag(params), params.num_nodes, options);
+      if (!session.ok()) return 1;
+      const QuerySpec query =
+          QuerySpec::Partial(CatalogSources(family, 0, 0, 10));
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        auto run = session.value()->Query(Algorithm::kSrch, query);
+        if (!run.ok()) return 1;
+        table.AddCell(WithThousands(
+            static_cast<int64_t>(run.value().metrics.TotalIo())));
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "A warm pool collapses the repeat-query cost once the "
+               "relation fits; cold queries repeat the full cost, matching "
+               "the study's per-run discipline.\n";
+  return 0;
+}
+
+int GeneralizedClosureAblation() {
+  std::cout << "--- Ablation 6: plain closure vs generalized closure "
+               "(path aggregates, CTC, M = 20) ---\n";
+  // Path aggregates cannot use the marking optimization (a redundant arc
+  // still carries a path), so their cost over plain BTC is another view of
+  // what marking buys.
+  TablePrinter table({"graph", "BTC (plain)", "min-length", "path-count",
+                      "plain unions", "aggregate unions"});
+  for (const char* name : {"G1", "G5", "G9"}) {
+    const GraphFamily& family = FamilyByName(name);
+    ExecOptions options;
+    options.buffer_pages = 20;
+    auto db = MakeCatalogDatabase(family, 0);
+    if (!db.ok()) return 1;
+    auto plain = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(),
+                                     options);
+    auto shortest = db.value()->ExecuteAggregate(PathAggregate::kMinLength,
+                                                 QuerySpec::Full(), options);
+    auto counts = db.value()->ExecuteAggregate(PathAggregate::kPathCount,
+                                               QuerySpec::Full(), options);
+    if (!plain.ok() || !shortest.ok() || !counts.ok()) return 1;
+    table.NewRow()
+        .AddCell(name)
+        .AddCell(WithThousands(
+            static_cast<int64_t>(plain.value().metrics.TotalIo())))
+        .AddCell(WithThousands(
+            static_cast<int64_t>(shortest.value().metrics.TotalIo())))
+        .AddCell(WithThousands(
+            static_cast<int64_t>(counts.value().metrics.TotalIo())))
+        .AddCell(WithThousands(plain.value().metrics.list_unions))
+        .AddCell(WithThousands(shortest.value().metrics.list_unions));
+  }
+  table.Print(std::cout);
+  std::cout << "The aggregate runs pay for every redundant arc (plus the "
+               "2x entry width of (node, value) pairs).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() {
+  tcdb::PrintBanner("Ablation studies", "");
+  if (tcdb::MarkingAblation()) return 1;
+  if (tcdb::PagePolicyAblation()) return 1;
+  if (tcdb::ListPolicyAblation()) return 1;
+  if (tcdb::BaselineComparison()) return 1;
+  if (tcdb::WarmSessionAblation()) return 1;
+  if (tcdb::GeneralizedClosureAblation()) return 1;
+  return 0;
+}

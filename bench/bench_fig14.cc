@@ -1,0 +1,98 @@
+// Figure 14 — Low-selectivity PTC trends on G9 with M = 20 and
+// s in {200, 500, 1000, 2000}: total page I/O (a), tuples generated (b),
+// marking percentage (c), and successor-list unions (d), for BTC, BJ and
+// JKB2. A SRCH reference point at s = 200 backs the paper's remark that
+// SRCH is 1-2 orders of magnitude worse in this range.
+
+#include <iostream>
+
+#include "bench_support/catalog.h"
+#include "bench_support/driver.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+namespace {
+
+int Run() {
+  PrintBanner("Figure 14: Low Selectivity Trends (G9, M = 20)",
+              "s = 2000 is the full closure: the curves converge there.");
+  const GraphFamily& family = FamilyByName("G9");
+  const std::vector<Algorithm> algorithms = {Algorithm::kBtc, Algorithm::kBj,
+                                             Algorithm::kJkb2};
+  TablePrinter io_table({"s", "BTC", "BJ", "JKB2"});
+  TablePrinter tuples_table({"s", "BTC", "BJ", "JKB2"});
+  TablePrinter marking_table({"s", "BTC", "BJ", "JKB2"});
+  TablePrinter unions_table({"s", "BTC", "BJ", "JKB2"});
+  for (const int32_t sources : {200, 500, 1000, 2000}) {
+    io_table.NewRow().AddCell(static_cast<int64_t>(sources));
+    tuples_table.NewRow().AddCell(static_cast<int64_t>(sources));
+    marking_table.NewRow().AddCell(static_cast<int64_t>(sources));
+    unions_table.NewRow().AddCell(static_cast<int64_t>(sources));
+    for (const Algorithm algorithm : algorithms) {
+      ExecOptions options;
+      options.buffer_pages = 20;
+      // s == 2000 over 2000 nodes is the full closure.
+      const int32_t effective = sources == 2000 ? -1 : sources;
+      auto point = RunExperiment(family, algorithm, effective, options);
+      if (!point.ok()) {
+        std::cerr << point.status().ToString() << "\n";
+        return 1;
+      }
+      const RunMetrics& m = point.value().metrics;
+      io_table.AddCell(WithThousands(static_cast<int64_t>(m.TotalIo())));
+      tuples_table.AddCell(WithThousands(m.tuples_generated));
+      marking_table.AddCell(m.MarkingPercentage(), 1);
+      unions_table.AddCell(WithThousands(m.list_unions));
+    }
+  }
+  std::cout << "(a) Total page I/O:\n";
+  io_table.Print(std::cout);
+  io_table.WriteCsv("fig14a_io");
+  std::cout << "\n(b) Tuples generated:\n";
+  tuples_table.Print(std::cout);
+  tuples_table.WriteCsv("fig14b_tuples");
+  std::cout << "\n(c) Marking percentage:\n";
+  marking_table.Print(std::cout);
+  marking_table.WriteCsv("fig14c_marking");
+  std::cout << "\n(d) Successor list unions:\n";
+  unions_table.Print(std::cout);
+  unions_table.WriteCsv("fig14d_unions");
+
+  // SRCH reference points (the paper drops SRCH from this figure and
+  // reports it as 1-2 orders of magnitude worse in this range).
+  std::cout << "\nSRCH reference (independent searches, cost grows "
+               "linearly in s):\n";
+  for (const int32_t sources : {200, 1000, 2000}) {
+    ExecOptions options;
+    options.buffer_pages = 20;
+    auto search = RunExperiment(family, Algorithm::kSrch, sources, options);
+    auto btc = RunExperiment(family, Algorithm::kBtc,
+                             sources == 2000 ? -1 : sources, options);
+    if (!search.ok() || !btc.ok()) return 1;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  s = %4d: SRCH %s vs BTC %s (%.1fx)\n", sources,
+                  WithThousands(static_cast<int64_t>(
+                                    search.value().metrics.TotalIo()))
+                      .c_str(),
+                  WithThousands(
+                      static_cast<int64_t>(btc.value().metrics.TotalIo()))
+                      .c_str(),
+                  static_cast<double>(search.value().metrics.TotalIo()) /
+                      static_cast<double>(btc.value().metrics.TotalIo()));
+    std::cout << line;
+  }
+  std::cout
+      << "\nExpected shape (paper): BJ tracks BTC closely (few single-parent "
+         "reductions remain); JKB2's advantages (fewer tuples) and "
+         "disadvantages (low marking, more unions) both shrink as s grows; "
+         "at s = 2000 the curves converge with JKB2's total I/O a little "
+         "higher due to the parent information in its trees; SRCH is 1-2 "
+         "orders of magnitude worse throughout this range.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() { return tcdb::Run(); }

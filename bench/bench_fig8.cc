@@ -1,0 +1,20 @@
+// Figure 8 — High-selectivity PTC: total page I/O vs. number of source
+// nodes on G4 (a) and G11 (b), M = 10, for BTC, BJ, JKB2 and SRCH.
+
+#include "high_selectivity.h"
+
+int main() {
+  tcdb::PrintBanner(
+      "Figure 8: High Selectivity PTC, Total I/O (G4 and G11, M = 10)", "");
+  auto metric = [](const tcdb::RunMetrics& m) {
+    return tcdb::WithThousands(static_cast<int64_t>(m.TotalIo()));
+  };
+  if (tcdb::PrintHighSelectivityTable("G4", "total page I/O", metric)) return 1;
+  if (tcdb::PrintHighSelectivityTable("G11", "total page I/O", metric)) return 1;
+  std::cout
+      << "Expected shape (paper): on the narrow G4, JKB2 does a fraction of "
+         "the I/O of BTC/BJ; on the wide G11 it does substantially more "
+         "relative I/O. SRCH is cheapest at tiny s and grows quickly "
+         "with s.\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Microbenchmarks of the substrates (google-benchmark): buffer pool,
+// B+-tree, successor-list store, bit sets, tree codec, graph toolkit.
+// These quantify the constants behind the simulator's CPU cost (the
+// paper's Table 3 shows CPU is dominated by successor-list operations).
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "graph/algorithms.h"
+#include "graph/analyzer.h"
+#include "graph/generator.h"
+#include "index/bplus_tree.h"
+#include "succ/successor_list_store.h"
+#include "succ/tree_codec.h"
+#include "util/bit_vector.h"
+
+namespace tcdb {
+namespace {
+
+void BM_BufferFetchHit(benchmark::State& state) {
+  Pager pager;
+  const FileId file = pager.CreateFile("f");
+  pager.AllocatePage(file);
+  BufferManager buffers(&pager, 8, PagePolicy::kLru);
+  for (auto _ : state) {
+    Page* page = buffers.FetchPage({file, 0}).value();
+    benchmark::DoNotOptimize(page);
+    buffers.Unpin({file, 0}, false);
+  }
+}
+BENCHMARK(BM_BufferFetchHit);
+
+void BM_BufferFetchMissEvict(benchmark::State& state) {
+  Pager pager;
+  const FileId file = pager.CreateFile("f");
+  for (int i = 0; i < 64; ++i) pager.AllocatePage(file);
+  BufferManager buffers(&pager, 8, PagePolicy::kLru);
+  PageNumber next = 0;
+  for (auto _ : state) {
+    Page* page = buffers.FetchPage({file, next}).value();
+    benchmark::DoNotOptimize(page);
+    buffers.Unpin({file, next}, false);
+    next = (next + 9) % 64;  // never hits with 8 frames
+  }
+}
+BENCHMARK(BM_BufferFetchMissEvict);
+
+void BM_BitVectorUnion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  BitVector a(n), b(n);
+  for (size_t i = 0; i < n; i += 3) b.Set(i);
+  for (auto _ : state) {
+    a.UnionWith(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitVectorUnion)->Arg(2000)->Arg(20000);
+
+void BM_EpochSetInsertClear(benchmark::State& state) {
+  EpochSet set(2000);
+  for (auto _ : state) {
+    for (size_t i = 0; i < 2000; i += 7) set.Insert(i);
+    set.ClearAll();
+  }
+}
+BENCHMARK(BM_EpochSetInsertClear);
+
+void BM_ListAppend(benchmark::State& state) {
+  Pager pager;
+  BufferManager buffers(&pager, 64, PagePolicy::kLru);
+  SuccessorListStore store(&buffers, pager.CreateFile("s"));
+  store.Reset(1);
+  std::vector<int32_t> batch(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    store.Truncate(0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.AppendMany(0, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ListAppend)->Arg(15)->Arg(450)->Arg(4500);
+
+void BM_ListRead(benchmark::State& state) {
+  Pager pager;
+  BufferManager buffers(&pager, 64, PagePolicy::kLru);
+  SuccessorListStore store(&buffers, pager.CreateFile("s"));
+  store.Reset(1);
+  std::vector<int32_t> batch(static_cast<size_t>(state.range(0)), 7);
+  TCDB_CHECK(store.AppendMany(0, batch).ok());
+  std::vector<int32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(store.Read(0, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ListRead)->Arg(450)->Arg(4500);
+
+void BM_BTreeSearch(benchmark::State& state) {
+  Pager pager;
+  BufferManager buffers(&pager, 64, PagePolicy::kLru);
+  BPlusTree tree(&buffers, pager.CreateFile("i"));
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (uint32_t k = 0; k < 100000; ++k) entries.emplace_back(k, k);
+  TCDB_CHECK(tree.BulkLoad(entries).ok());
+  uint32_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Search(key));
+    key = (key + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_BTreeSearch);
+
+void BM_GenerateDag(benchmark::State& state) {
+  GeneratorParams params{2000, static_cast<int32_t>(state.range(0)), 200, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateDag(params));
+    ++params.seed;
+  }
+}
+BENCHMARK(BM_GenerateDag)->Arg(5)->Arg(50);
+
+void BM_TopologicalSort(benchmark::State& state) {
+  const Digraph graph(2000, GenerateDag({2000, 20, 200, 3}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopologicalSort(graph));
+  }
+}
+BENCHMARK(BM_TopologicalSort);
+
+void BM_AnalyzeDag(benchmark::State& state) {
+  const Digraph graph(2000, GenerateDag({2000, 20, 200, 3}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeDag(graph));
+  }
+}
+BENCHMARK(BM_AnalyzeDag);
+
+void BM_TreeCodecRoundTrip(benchmark::State& state) {
+  Rng rng(9);
+  FlatTree tree(0);
+  for (NodeId node = 1; node < 500; ++node) {
+    tree.AddChild(static_cast<int32_t>(rng.Uniform(0, tree.size() - 1)),
+                  node);
+  }
+  for (auto _ : state) {
+    const std::vector<int32_t> encoded = EncodeTree(tree);
+    benchmark::DoNotOptimize(DecodeTree(encoded));
+  }
+}
+BENCHMARK(BM_TreeCodecRoundTrip);
+
+void BM_FlatTreeBuildAndEncode(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    FlatTree tree(0);
+    for (NodeId node = 1; node < 300; ++node) {
+      tree.AddChild(static_cast<int32_t>(rng.Uniform(0, tree.size() - 1)),
+                    node);
+    }
+    benchmark::DoNotOptimize(EncodeTree(tree));
+  }
+}
+BENCHMARK(BM_FlatTreeBuildAndEncode);
+
+// End-to-end system benchmarks: one full query through the simulated disk,
+// including setup. These are the constants behind the study's wall-clock
+// column (Table 3).
+void BM_ExecuteFullClosure(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  auto db = TcDatabase::Create(GenerateDag({n, 5, n / 10, 2}), n).value();
+  ExecOptions options;
+  options.buffer_pages = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Execute(Algorithm::kBtc, QuerySpec::Full(), options));
+  }
+}
+BENCHMARK(BM_ExecuteFullClosure)->Arg(200)->Arg(1000);
+
+void BM_ExecutePartialJkb2(benchmark::State& state) {
+  const NodeId n = 1000;
+  auto db = TcDatabase::Create(GenerateDag({n, 5, 50, 3}), n).value();
+  const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(n, 5, 1));
+  ExecOptions options;
+  options.buffer_pages = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Execute(Algorithm::kJkb2, query, options));
+  }
+}
+BENCHMARK(BM_ExecutePartialJkb2);
+
+void BM_ExecuteAggregateMinLength(benchmark::State& state) {
+  const NodeId n = 500;
+  auto db = TcDatabase::Create(GenerateDag({n, 5, 50, 4}), n).value();
+  ExecOptions options;
+  options.buffer_pages = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->ExecuteAggregate(
+        PathAggregate::kMinLength, QuerySpec::Full(), options));
+  }
+}
+BENCHMARK(BM_ExecuteAggregateMinLength);
+
+}  // namespace
+}  // namespace tcdb
+
+BENCHMARK_MAIN();

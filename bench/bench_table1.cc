@@ -1,0 +1,47 @@
+// Table 1 — Query parameters: the experiment parameter space of the study,
+// verified against the library's catalog and samplers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/catalog.h"
+#include "bench_support/driver.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+namespace {
+
+void Run() {
+  PrintBanner("Table 1: Query Parameters",
+              "Parameter space of the study (paper Section 5.2)");
+  TablePrinter table({"Parameter", "Symbol", "Values"});
+  table.NewRow().AddCell("Number of nodes").AddCell("n").AddCell(
+      std::to_string(kCatalogNumNodes));
+  table.NewRow().AddCell("Average out degree").AddCell("F").AddCell(
+      "2, 5, 20, 50");
+  table.NewRow().AddCell("Generation locality").AddCell("l").AddCell(
+      "20, 200, 2000");
+  table.NewRow().AddCell("Selectivity").AddCell("s").AddCell(
+      "2, 5, 20, 200, 500, 1000, 2000");
+  table.Print(std::cout);
+
+  std::printf("\nGraph families (5 instances each):\n");
+  TablePrinter catalog({"family", "F", "l", "arcs (seed 0)"});
+  for (const GraphFamily& family : GraphCatalog()) {
+    const ArcList arcs = GenerateDag(CatalogParams(family, 0));
+    catalog.NewRow()
+        .AddCell(family.name)
+        .AddCell(int64_t{family.avg_out_degree})
+        .AddCell(int64_t{family.locality})
+        .AddCell(WithThousands(static_cast<int64_t>(arcs.size())));
+  }
+  catalog.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() {
+  tcdb::Run();
+  return 0;
+}

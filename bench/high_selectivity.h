@@ -1,0 +1,73 @@
+#ifndef TCDB_BENCH_HIGH_SELECTIVITY_H_
+#define TCDB_BENCH_HIGH_SELECTIVITY_H_
+
+// Shared driver for the paper's high-selectivity PTC experiment grid
+// (Figures 8-12): graphs G4 and G11, buffer pool M = 10, source counts
+// s in {2, 5, 10, 20}, algorithms BTC, BJ, JKB2, SRCH. Each figure binary
+// prints a different metric of the same runs.
+
+#include <cctype>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/catalog.h"
+#include "bench_support/driver.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+
+inline const std::vector<int32_t>& HighSelectivitySourceCounts() {
+  static const std::vector<int32_t>& counts =
+      *new std::vector<int32_t>{2, 5, 10, 20};
+  return counts;
+}
+
+inline const std::vector<Algorithm>& HighSelectivityAlgorithms() {
+  static const std::vector<Algorithm>& algorithms =
+      *new std::vector<Algorithm>{Algorithm::kBtc, Algorithm::kBj,
+                                  Algorithm::kJkb2, Algorithm::kSrch};
+  return algorithms;
+}
+
+// Runs the grid on `family_name` and prints one row per source count with
+// `metric` extracted per algorithm. Returns 0 on success.
+inline int PrintHighSelectivityTable(
+    const std::string& family_name, const std::string& metric_name,
+    const std::function<std::string(const RunMetrics&)>& metric) {
+  const GraphFamily& family = FamilyByName(family_name);
+  std::cout << family_name << " (" << metric_name << "):\n";
+  std::vector<std::string> headers = {"s"};
+  for (const Algorithm algorithm : HighSelectivityAlgorithms()) {
+    headers.push_back(AlgorithmName(algorithm));
+  }
+  TablePrinter table(headers);
+  for (const int32_t sources : HighSelectivitySourceCounts()) {
+    table.NewRow().AddCell(static_cast<int64_t>(sources));
+    for (const Algorithm algorithm : HighSelectivityAlgorithms()) {
+      ExecOptions options;
+      options.buffer_pages = 10;
+      auto point = RunExperiment(family, algorithm, sources, options);
+      if (!point.ok()) {
+        std::cerr << point.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddCell(metric(point.value().metrics));
+    }
+  }
+  table.Print(std::cout);
+  {
+    std::string csv_name = family_name + "_" + metric_name;
+    for (char& c : csv_name) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    table.WriteCsv(csv_name);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace tcdb
+
+#endif  // TCDB_BENCH_HIGH_SELECTIVITY_H_

@@ -1,0 +1,76 @@
+// Scenario: explaining *why* a reachability fact holds. A build system
+// wants not only "target A transitively depends on B" but a concrete
+// dependency chain to show the user. SPN's successor spanning trees carry
+// exactly that structure (the paper notes the extra path information "may
+// justify the higher I/O cost" of the tree algorithms) — this example
+// computes the closure with SPN, captures the trees, and prints witness
+// paths.
+//
+//   ./examples/dependency_paths [targets] [avg_deps] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+#include "core/paths.h"
+#include "graph/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace tcdb;
+
+  GeneratorParams params;
+  params.num_nodes = argc > 1 ? std::atoi(argv[1]) : 500;
+  params.avg_out_degree = argc > 2 ? std::atoi(argv[2]) : 3;
+  params.locality = std::max(10, params.num_nodes / 5);
+  params.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  auto db = TcDatabase::Create(GenerateDag(params), params.num_nodes);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("Dependency graph: %d targets, %lld direct dependencies.\n\n",
+              params.num_nodes,
+              static_cast<long long>(db.value()->arcs().size()));
+
+  // Ask for the closure of a few top-level targets, with spanning trees.
+  const std::vector<NodeId> targets =
+      SampleSourceNodes(params.num_nodes, 3, 17);
+  ExecOptions options;
+  options.buffer_pages = 20;
+  options.capture_answer = true;
+  options.capture_trees = true;
+  auto run = db.value()->Execute(Algorithm::kSpn, QuerySpec::Partial(targets),
+                                 options);
+  if (!run.ok()) {
+    std::cerr << run.status().ToString() << "\n";
+    return 1;
+  }
+  const PathIndex paths(run.value());
+
+  for (const auto& [target, dependencies] : run.value().answer) {
+    std::printf("target %d has %zu transitive dependencies\n", target,
+                dependencies.size());
+    if (dependencies.empty()) continue;
+    // Explain the most remote dependency with a concrete chain.
+    const NodeId remote = dependencies.back();
+    auto chain = paths.FindPath(target, remote);
+    if (!chain.ok()) {
+      std::cerr << chain.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("  why does %d depend on %d?  ", target, remote);
+    for (size_t i = 0; i < chain.value().size(); ++i) {
+      std::printf("%s%d", i == 0 ? "" : " -> ", chain.value()[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nThe chains come straight from SPN's on-disk successor trees; the "
+      "flat-list algorithms answer the same queries with less I/O but "
+      "cannot produce them (run metrics: %s).\n",
+      run.value().metrics.ToString().c_str());
+  return 0;
+}

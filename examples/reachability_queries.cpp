@@ -1,0 +1,83 @@
+// Scenario: reachability queries over a bill-of-materials style hierarchy
+// (a part "contains" subparts) — one of the classic workloads motivating
+// database transitive closure. The example compares the study's candidate
+// algorithms on the same queries and shows when each wins.
+//
+//   ./examples/reachability_queries [num_parts] [avg_subparts]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+#include "graph/generator.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace tcdb;
+
+  const NodeId num_parts = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const int32_t avg_subparts = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  // Assemblies reference parts with "nearby" ids (components designed
+  // together) — generation locality models exactly that.
+  GeneratorParams params;
+  params.num_nodes = num_parts;
+  params.avg_out_degree = avg_subparts;
+  params.locality = std::max<int32_t>(20, num_parts / 10);
+  params.seed = 2026;
+  auto db = TcDatabase::Create(GenerateDag(params), num_parts);
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf(
+      "Bill of materials: %d parts, %lld containment arcs.\n\n",
+      num_parts, static_cast<long long>(db.value()->arcs().size()));
+
+  // Query: the full sub-assembly sets of a handful of top-level products.
+  const std::vector<NodeId> products =
+      SampleSourceNodes(num_parts, 5, /*seed=*/7);
+  const QuerySpec query = QuerySpec::Partial(products);
+
+  ExecOptions options;
+  options.buffer_pages = 20;
+  options.capture_answer = true;
+
+  TablePrinter table({"algorithm", "page I/O", "unions", "tuples generated",
+                      "marking %", "hit ratio"});
+  for (const Algorithm algorithm :
+       {Algorithm::kBtc, Algorithm::kBj, Algorithm::kSrch, Algorithm::kSpn,
+        Algorithm::kJkb2}) {
+    auto run = db.value()->Execute(algorithm, query, options);
+    if (!run.ok()) {
+      std::cerr << AlgorithmName(algorithm) << ": "
+                << run.status().ToString() << "\n";
+      return 1;
+    }
+    const RunMetrics& m = run.value().metrics;
+    table.NewRow()
+        .AddCell(AlgorithmName(algorithm))
+        .AddCell(static_cast<int64_t>(m.TotalIo()))
+        .AddCell(m.list_unions)
+        .AddCell(m.tuples_generated)
+        .AddCell(m.MarkingPercentage(), 1)
+        .AddCell(m.ComputeHitRatio(), 2);
+
+    // All algorithms agree on the answer, of course.
+    if (algorithm == Algorithm::kBtc) {
+      std::printf("Transitive part counts (via BTC):\n");
+      for (const auto& [product, subparts] : run.value().answer) {
+        std::printf("  product %4d contains %zu parts\n", product,
+                    subparts.size());
+      }
+      std::printf("\n");
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading the table: SRCH shines for this handful of sources; JKB2's "
+      "cost depends on the hierarchy's width; BTC/BJ expand the whole "
+      "reachable subgraph regardless of how few sources you asked for.\n");
+  return 0;
+}

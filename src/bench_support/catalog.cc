@@ -1,0 +1,60 @@
+#include "bench_support/catalog.h"
+
+#include "util/env.h"
+
+namespace tcdb {
+
+const std::vector<GraphFamily>& GraphCatalog() {
+  static const std::vector<GraphFamily>& families =
+      *new std::vector<GraphFamily>{
+          {"G1", 2, 20},    {"G2", 2, 200},    {"G3", 2, 2000},
+          {"G4", 5, 20},    {"G5", 5, 200},    {"G6", 5, 2000},
+          {"G7", 20, 20},   {"G8", 20, 200},   {"G9", 20, 2000},
+          {"G10", 50, 20},  {"G11", 50, 200},  {"G12", 50, 2000},
+      };
+  return families;
+}
+
+const GraphFamily& FamilyByName(const std::string& name) {
+  for (const GraphFamily& family : GraphCatalog()) {
+    if (family.name == name) return family;
+  }
+  TCDB_CHECK(false) << "unknown graph family " << name;
+  return GraphCatalog()[0];
+}
+
+GeneratorParams CatalogParams(const GraphFamily& family, int32_t seed_index) {
+  GeneratorParams params;
+  params.num_nodes = kCatalogNumNodes;
+  params.avg_out_degree = family.avg_out_degree;
+  params.locality = family.locality;
+  // Distinct, reproducible seeds per (family, instance).
+  params.seed = 0x1000003 * static_cast<uint64_t>(family.avg_out_degree) +
+                0x10001 * static_cast<uint64_t>(family.locality) +
+                static_cast<uint64_t>(seed_index) + 1;
+  return params;
+}
+
+Result<std::unique_ptr<TcDatabase>> MakeCatalogDatabase(
+    const GraphFamily& family, int32_t seed_index) {
+  const GeneratorParams params = CatalogParams(family, seed_index);
+  return TcDatabase::Create(GenerateDag(params), params.num_nodes);
+}
+
+int32_t NumSeeds() {
+  return GetEnvBool("QUICK") ? 2 : 5;
+}
+
+int32_t NumSourceSets() {
+  return GetEnvBool("QUICK") ? 2 : 5;
+}
+
+std::vector<NodeId> CatalogSources(const GraphFamily& family,
+                                   int32_t seed_index, int32_t set_index,
+                                   int32_t count) {
+  const uint64_t seed = CatalogParams(family, seed_index).seed * 7919 +
+                        static_cast<uint64_t>(set_index) * 104729 + 13;
+  return SampleSourceNodes(kCatalogNumNodes, count, seed);
+}
+
+}  // namespace tcdb

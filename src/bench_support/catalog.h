@@ -1,0 +1,50 @@
+#ifndef TCDB_BENCH_SUPPORT_CATALOG_H_
+#define TCDB_BENCH_SUPPORT_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+
+// The 12 graph families of the study (paper Table 2): n = 2000,
+// F in {2, 5, 20, 50}, l in {20, 200, 2000}. Five instances (seeds) per
+// family are generated and averaged, as in the paper.
+struct GraphFamily {
+  std::string name;        // "G1" .. "G12"
+  int32_t avg_out_degree;  // F
+  int32_t locality;        // l
+};
+
+// Returns the G1..G12 table.
+const std::vector<GraphFamily>& GraphCatalog();
+
+// Looks a family up by name ("G4"); aborts on unknown names.
+const GraphFamily& FamilyByName(const std::string& name);
+
+inline constexpr NodeId kCatalogNumNodes = 2000;
+
+// Generator parameters for instance `seed_index` (0-based) of a family.
+GeneratorParams CatalogParams(const GraphFamily& family, int32_t seed_index);
+
+// Builds the database for one instance of a family.
+Result<std::unique_ptr<TcDatabase>> MakeCatalogDatabase(
+    const GraphFamily& family, int32_t seed_index);
+
+// Number of instances per family / source sets per query size: 5 in the
+// paper; reduced when QUICK=1 is set in the environment.
+int32_t NumSeeds();
+int32_t NumSourceSets();
+
+// Source set `set_index` of size `count` for the given family instance
+// (deterministic; distinct sets for distinct indices).
+std::vector<NodeId> CatalogSources(const GraphFamily& family,
+                                   int32_t seed_index, int32_t set_index,
+                                   int32_t count);
+
+}  // namespace tcdb
+
+#endif  // TCDB_BENCH_SUPPORT_CATALOG_H_

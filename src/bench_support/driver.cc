@@ -1,0 +1,59 @@
+#include "bench_support/driver.h"
+
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace tcdb {
+
+Result<ExperimentPoint> RunExperiment(const GraphFamily& family,
+                                      Algorithm algorithm,
+                                      int32_t num_sources,
+                                      const ExecOptions& options) {
+  ExperimentPoint point;
+  for (int32_t seed = 0; seed < NumSeeds(); ++seed) {
+    TCDB_ASSIGN_OR_RETURN(auto db, MakeCatalogDatabase(family, seed));
+    if (num_sources < 0) {
+      TCDB_ASSIGN_OR_RETURN(
+          RunResult run, db->Execute(algorithm, QuerySpec::Full(), options));
+      point.metrics.Accumulate(run.metrics);
+      ++point.runs;
+      continue;
+    }
+    for (int32_t set = 0; set < NumSourceSets(); ++set) {
+      const QuerySpec query = QuerySpec::Partial(
+          CatalogSources(family, seed, set, num_sources));
+      TCDB_ASSIGN_OR_RETURN(RunResult run,
+                            db->Execute(algorithm, query, options));
+      point.metrics.Accumulate(run.metrics);
+      ++point.runs;
+    }
+  }
+  point.metrics.ScaleDown(point.runs);
+  return point;
+}
+
+std::string WithThousands(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+void PrintBanner(const std::string& title, const std::string& detail) {
+  std::printf("=== %s ===\n", title.c_str());
+  if (!detail.empty()) std::printf("%s\n", detail.c_str());
+  if (GetEnvBool("QUICK")) {
+    std::printf("(QUICK mode: %d seeds x %d source sets)\n", NumSeeds(),
+                NumSourceSets());
+  }
+  std::printf("\n");
+}
+
+}  // namespace tcdb

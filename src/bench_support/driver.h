@@ -1,0 +1,37 @@
+#ifndef TCDB_BENCH_SUPPORT_DRIVER_H_
+#define TCDB_BENCH_SUPPORT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_support/catalog.h"
+#include "core/database.h"
+
+namespace tcdb {
+
+// One measured data point: metrics averaged over graph instances (seeds)
+// and, for PTC, over source sets — 5 x 5 in the paper, reduced under
+// QUICK=1.
+struct ExperimentPoint {
+  RunMetrics metrics;  // averaged
+  int32_t runs = 0;
+};
+
+// Runs `algorithm` on every instance of `family` (and every source set of
+// size `num_sources` when the query is partial) and averages the metrics.
+// `num_sources` < 0 means a full-closure (CTC) query.
+Result<ExperimentPoint> RunExperiment(const GraphFamily& family,
+                                      Algorithm algorithm,
+                                      int32_t num_sources,
+                                      const ExecOptions& options);
+
+// Formats an integer with thousands separators (readability of large I/O
+// counts in the printed tables).
+std::string WithThousands(int64_t value);
+
+// Prints the standard bench banner (experiment id + configuration).
+void PrintBanner(const std::string& title, const std::string& detail);
+
+}  // namespace tcdb
+
+#endif  // TCDB_BENCH_SUPPORT_DRIVER_H_

@@ -1,0 +1,51 @@
+#ifndef TCDB_CORE_ADVISOR_H_
+#define TCDB_CORE_ADVISOR_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "graph/analyzer.h"
+
+namespace tcdb {
+
+// Thresholds of the rule-based advisor. Defaults follow the paper's
+// findings; they are exposed so the ablation bench (and users with
+// different substrates) can calibrate them.
+struct AdvisorConfig {
+  // An independent search per source wins while the source set is small:
+  // at or below max(search_source_limit, search_fraction * n) sources
+  // (paper conclusion 4 / Figure 8, where SRCH stays cheapest through
+  // s = 20 on n = 2000).
+  int32_t search_source_limit = 3;
+  double search_fraction = 0.01;
+  // Rectangle-model width below which Jakobsson's algorithm is expected to
+  // beat BTC for selective queries (paper Section 6.3.4 / Table 4).
+  double narrow_width_limit = 100.0;
+  // PTC stays "selective" while s is at most this fraction of n; beyond
+  // it the algorithms converge and BTC/BJ are the safe choice (Figure 14).
+  double selective_fraction = 0.25;
+  // Out-degree (|G| / n) below which the single-parent optimization has
+  // enough reducible nodes to give BJ its edge (paper conclusion 2).
+  double sparse_avg_degree = 4.0;
+};
+
+struct Advice {
+  Algorithm algorithm = Algorithm::kBtc;
+  std::string rationale;
+};
+
+// Recommends an algorithm for running `query` on a graph with the given
+// one-pass rectangle-model statistics (computable during restructuring —
+// paper Theorem 2 — or via TcDatabase::Analyze()).
+//
+// This encodes the paper's qualitative guidance; the study itself stops
+// short of a full optimizer cost model ("while our model is not
+// sophisticated enough to allow a query optimizer to choose..."), so treat
+// the output as the paper's heuristics, not an oracle.
+Advice RecommendAlgorithm(const RectangleModel& model, NodeId num_nodes,
+                          const QuerySpec& query,
+                          const AdvisorConfig& config = {});
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_ADVISOR_H_

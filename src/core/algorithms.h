@@ -1,0 +1,65 @@
+#ifndef TCDB_CORE_ALGORITHMS_H_
+#define TCDB_CORE_ALGORITHMS_H_
+
+#include "core/run_context.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Per-algorithm entry points. Each runs both phases (setting the pager
+// phase and the per-phase CPU timers itself), maintains the logical
+// counters in ctx->metrics, and performs the final write-out. Callers
+// normally go through TcDatabase::Execute, which prepares the RunContext
+// (files, relation, buffer pool) and collects the I/O statistics afterward.
+
+// BTC: the basic graph algorithm (reverse-topological expansion of flat
+// successor lists with the immediate-successor and marking optimizations).
+Status RunBtc(RunContext* ctx, const QuerySpec& query, RunResult* result);
+
+// BJ: BTC plus Jiang's single-parent reduction of the magic graph.
+Status RunBj(RunContext* ctx, const QuerySpec& query, RunResult* result);
+
+// HYB: BTC plus blocking — a diagonal block of lists (ILIMIT fraction of
+// the pool) is pinned and expanded together so each off-diagonal list read
+// serves several unions. ILIMIT <= 0 degenerates to BTC.
+Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result);
+
+// SRCH: one independent search per source node over the base relation; no
+// restructuring conversion and no immediate-successor optimization.
+Status RunSearch(RunContext* ctx, const QuerySpec& query, RunResult* result);
+
+// SPN: successor spanning trees instead of flat lists; subtree skipping
+// during unions reduces entries fetched and duplicates generated.
+Status RunSpn(RunContext* ctx, const QuerySpec& query, RunResult* result);
+
+// JKB / JKB2: Jakobsson's Compute_Tree over special-node predecessor trees.
+// `dual` selects the dual representation (inverse relation clustered on the
+// destination attribute) used by JKB2.
+Status RunJkb(RunContext* ctx, const QuerySpec& query, bool dual,
+              RunResult* result);
+
+// Baselines (paper Section 8 / related work), used by the ablation benches.
+Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
+                    RunResult* result);
+
+// The matrix-based family over a paged bit matrix: plain Warshall (k-outer
+// triple loop), Warren's two-pass row sweep, and Warren with a pinned row
+// block (Blocked Warren / Blocked Row).
+enum class MatrixVariant { kWarshall, kWarren, kWarrenBlocked };
+Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
+                        MatrixVariant variant, RunResult* result);
+
+// Dispatches to the Run* function for `algorithm` (shared by
+// TcDatabase::Execute and TcSession::Query).
+Status DispatchAlgorithm(RunContext* ctx, Algorithm algorithm,
+                         const QuerySpec& query, RunResult* result);
+
+// Folds the pager/buffer/store statistics accumulated in `ctx` into
+// ctx->metrics and copies them into `result`. Call once, after the
+// algorithm finishes.
+void CollectRunStatistics(RunContext* ctx, RunResult* result);
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_ALGORITHMS_H_

@@ -1,0 +1,368 @@
+#include <algorithm>
+
+#include "core/algorithms.h"
+#include "util/bit_vector.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+// Paged n x n bit matrix used by the Warren baseline. Rows are packed
+// consecutively: row_bytes = ceil(n/8), rows_per_page = kPageSize/row_bytes.
+class PagedBitMatrix {
+ public:
+  PagedBitMatrix(BufferManager* buffers, FileId file, NodeId n)
+      : buffers_(buffers), file_(file), n_(n) {
+    row_bytes_ = (static_cast<size_t>(n) + 7) / 8;
+    rows_per_page_ = std::max<size_t>(1, kPageSize / row_bytes_);
+    num_pages_ = (static_cast<size_t>(n) + rows_per_page_ - 1) /
+                 rows_per_page_;
+    for (size_t p = 0; p < num_pages_; ++p) {
+      buffers_->pager()->AllocatePage(file_);
+    }
+  }
+
+  PageNumber PageOf(NodeId row) const {
+    return static_cast<PageNumber>(static_cast<size_t>(row) /
+                                   rows_per_page_);
+  }
+
+  // Loads row `row` into `out` (page access through the buffer pool).
+  Status ReadRow(NodeId row, std::vector<uint8_t>* out) {
+    TCDB_ASSIGN_OR_RETURN(Page* page,
+                          buffers_->FetchPage({file_, PageOf(row)}));
+    const uint8_t* base =
+        page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
+    out->assign(base, base + row_bytes_);
+    buffers_->Unpin({file_, PageOf(row)}, /*dirty=*/false);
+    return Status::Ok();
+  }
+
+  Status WriteRow(NodeId row, const std::vector<uint8_t>& bits) {
+    TCDB_ASSIGN_OR_RETURN(Page* page,
+                          buffers_->FetchPage({file_, PageOf(row)}));
+    uint8_t* base =
+        page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
+    std::copy(bits.begin(), bits.end(), base);
+    buffers_->Unpin({file_, PageOf(row)}, /*dirty=*/true);
+    return Status::Ok();
+  }
+
+  // OR row `src` into the in-memory row `acc`.
+  Status OrRowInto(NodeId src, std::vector<uint8_t>* acc) {
+    TCDB_ASSIGN_OR_RETURN(Page* page,
+                          buffers_->FetchPage({file_, PageOf(src)}));
+    const uint8_t* base =
+        page->data + (static_cast<size_t>(src) % rows_per_page_) * row_bytes_;
+    for (size_t i = 0; i < row_bytes_; ++i) (*acc)[i] |= base[i];
+    buffers_->Unpin({file_, PageOf(src)}, /*dirty=*/false);
+    return Status::Ok();
+  }
+
+  // Pins the pages holding rows [lo, hi); returns the pinned page list so
+  // the caller can release them. Fails with kResourceExhausted when they
+  // do not fit.
+  Result<std::vector<PageNumber>> PinRows(NodeId lo, NodeId hi) {
+    std::vector<PageNumber> pinned;
+    PageNumber last = kInvalidPageNumber;
+    for (NodeId row = lo; row < hi; ++row) {
+      const PageNumber page = PageOf(row);
+      if (page == last) continue;
+      Result<Page*> fetched = buffers_->FetchPage({file_, page});
+      if (!fetched.ok()) {
+        for (const PageNumber p : pinned) {
+          buffers_->Unpin({file_, p}, /*dirty=*/false);
+        }
+        return fetched.status();
+      }
+      pinned.push_back(page);
+      last = page;
+    }
+    return pinned;
+  }
+
+  void UnpinPages(const std::vector<PageNumber>& pages) {
+    for (const PageNumber p : pages) {
+      buffers_->Unpin({file_, p}, /*dirty=*/false);
+    }
+  }
+
+  size_t row_bytes() const { return row_bytes_; }
+  size_t rows_per_page() const { return rows_per_page_; }
+  NodeId n() const { return n_; }
+
+ private:
+  BufferManager* buffers_;
+  FileId file_;
+  NodeId n_;
+  size_t row_bytes_ = 0;
+  size_t rows_per_page_ = 0;
+  size_t num_pages_ = 0;
+};
+
+bool TestBit(const std::vector<uint8_t>& row, NodeId j) {
+  return (row[static_cast<size_t>(j) >> 3] >> (j & 7)) & 1;
+}
+
+void SetBit(std::vector<uint8_t>* row, NodeId j) {
+  (*row)[static_cast<size_t>(j) >> 3] |= static_cast<uint8_t>(1u << (j & 7));
+}
+
+}  // namespace
+
+// Seminaive iterative evaluation (the classic relational baseline the
+// graph-based algorithms were shown to beat; paper Section 8). Delta
+// relations live on disk as packed tuple files; duplicate elimination uses
+// an in-memory bit matrix, consistent with the study's convention of
+// in-memory duplicate elimination.
+Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
+                    RunResult* result) {
+  ctx->pager.SetPhase(Phase::kComputation);
+  CpuTimer cpu;
+  RunMetrics& m = ctx->metrics;
+  const NodeId n = ctx->num_nodes;
+
+  std::vector<NodeId> sources = query.sources;
+  if (query.full_closure) {
+    sources.resize(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  }
+  std::vector<int32_t> source_index(static_cast<size_t>(n), -1);
+  for (size_t i = 0; i < sources.size(); ++i) source_index[sources[i]] = i;
+
+  // known[i] = bitset of successors discovered for source i (in-memory
+  // duplicate elimination).
+  std::vector<BitVector> known(sources.size());
+  for (auto& bits : known) bits.Resize(static_cast<size_t>(n));
+
+  // Delta files alternate between two scratch tuple files.
+  const FileId delta_files[2] = {ctx->tree_file, ctx->pred_file};
+  std::vector<Arc> delta;  // in-memory image of the current delta
+
+  // Delta_0 = the source tuples' immediate successors, read via the index.
+  {
+    std::vector<NodeId> imm;
+    TupleWriter writer(ctx->buffers.get(), delta_files[0]);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      imm.clear();
+      TCDB_RETURN_IF_ERROR(ctx->relation->LookupSrc(sources[i], &imm));
+      for (const NodeId w : imm) {
+        ++m.tuples_generated;
+        if (known[i].TestAndSet(w)) {
+          ++m.tuples_inserted;
+          TCDB_RETURN_IF_ERROR(writer.Append(Arc{sources[i], w}));
+          delta.push_back(Arc{sources[i], w});
+        }
+      }
+    }
+  }
+
+  TupleWriter output(ctx->buffers.get(), ctx->out_file);
+  for (const Arc& arc : delta) TCDB_RETURN_IF_ERROR(output.Append(arc));
+
+  int parity = 0;
+  std::vector<NodeId> imm;
+  while (!delta.empty()) {
+    // Delta' = pi(Delta join E) - TC, via index nested-loop join: scan the
+    // delta file and probe the relation's clustered index.
+    parity ^= 1;
+    ctx->buffers->DiscardFile(delta_files[parity]);
+    ctx->pager.TruncateFile(delta_files[parity]);
+    TupleWriter writer(ctx->buffers.get(), delta_files[parity]);
+    std::vector<Arc> next_delta;
+    // Re-read the previous delta from disk (sequential scan).
+    {
+      const FileId file = delta_files[parity ^ 1];
+      const PageNumber pages = ctx->pager.FileSize(file);
+      int64_t remaining = static_cast<int64_t>(delta.size());
+      for (PageNumber p = 0; p < pages && remaining > 0; ++p) {
+        TCDB_ASSIGN_OR_RETURN(Page* page, ctx->buffers->FetchPage({file, p}));
+        const Arc* tuples = page->As<Arc>(0);
+        const int64_t count =
+            std::min<int64_t>(remaining, static_cast<int64_t>(kTuplesPerPage));
+        for (int64_t t = 0; t < count; ++t) {
+          const Arc arc = tuples[t];
+          ++m.list_unions;  // One join probe per delta tuple.
+          imm.clear();
+          TCDB_RETURN_IF_ERROR(ctx->relation->LookupSrc(arc.dst, &imm));
+          const int32_t si = source_index[arc.src];
+          for (const NodeId w : imm) {
+            ++m.tuples_generated;
+            if (known[si].TestAndSet(w)) {
+              ++m.tuples_inserted;
+              next_delta.push_back(Arc{arc.src, w});
+            }
+          }
+        }
+        remaining -= count;
+        ctx->buffers->Unpin({file, p}, /*dirty=*/false);
+      }
+    }
+    for (const Arc& arc : next_delta) {
+      TCDB_RETURN_IF_ERROR(writer.Append(arc));
+      TCDB_RETURN_IF_ERROR(output.Append(arc));
+    }
+    delta = std::move(next_delta);
+  }
+
+  for (size_t i = 0; i < sources.size(); ++i) {
+    m.selected_tuples += static_cast<int64_t>(known[i].Count());
+  }
+  m.distinct_tuples = m.selected_tuples;
+  ctx->buffers->FlushFile(ctx->out_file);
+
+  if (ctx->options.capture_answer) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      std::vector<NodeId> successors;
+      for (NodeId v = 0; v < n; ++v) {
+        if (known[i].Test(v)) successors.push_back(v);
+      }
+      result->answer.emplace_back(sources[i], std::move(successors));
+    }
+    std::sort(result->answer.begin(), result->answer.end());
+  }
+  ctx->metrics.compute_cpu_s = cpu.ElapsedSeconds();
+  return Status::Ok();
+}
+
+// The matrix-based family over a paged bit matrix (related work,
+// paper Section 8):
+//   - kWarshall: the classic k-outer triple loop (for k: for i: if M[i,k]
+//     then row_i |= row_k) — n sweeps over the matrix, the method the
+//     Warren/blocked line of work improved on;
+//   - kWarren: Warren's 1975 two-pass row sweep (pass 1 ORs rows j < i,
+//     pass 2 rows j > i) — one and a half sweeps in practice;
+//   - kWarrenBlocked: Warren's sweep with the current block of rows pinned
+//     in the pool ("Blocked Row"/"Blocked Warren" of the Direct-algorithm
+//     papers), which keeps intra-block row unions memory-resident. The
+//     union order is identical to kWarren, so the result is too.
+// With a pool much smaller than the matrix all three are heavily
+// I/O-bound, which is why the graph-based algorithms beat them in
+// [Ioannidis et al.] and they serve as ablation baselines here.
+Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
+                        MatrixVariant variant, RunResult* result) {
+  ctx->pager.SetPhase(Phase::kRestructuring);
+  CpuTimer restructure_cpu;
+  RunMetrics& m = ctx->metrics;
+  const NodeId n = ctx->num_nodes;
+  PagedBitMatrix matrix(ctx->buffers.get(), ctx->tree_file, n);
+
+  // Load the adjacency matrix from the relation (sequential scan).
+  {
+    std::vector<std::vector<uint8_t>> rows;  // built page-by-page via scan
+    std::vector<uint8_t> row(matrix.row_bytes(), 0);
+    NodeId current = 0;
+    auto flush_row = [&](NodeId upto) -> Status {
+      while (current <= upto && current < n) {
+        TCDB_RETURN_IF_ERROR(matrix.WriteRow(current, row));
+        std::fill(row.begin(), row.end(), 0);
+        ++current;
+      }
+      return Status::Ok();
+    };
+    Status scan_status = Status::Ok();
+    TCDB_RETURN_IF_ERROR(ctx->relation->Scan([&](const Arc& arc) {
+      if (!scan_status.ok()) return;
+      if (arc.src > current) scan_status = flush_row(arc.src - 1);
+      if (scan_status.ok()) SetBit(&row, arc.dst);
+    }));
+    TCDB_RETURN_IF_ERROR(scan_status);
+    TCDB_RETURN_IF_ERROR(flush_row(n - 1));
+  }
+  m.restructure_cpu_s = restructure_cpu.ElapsedSeconds();
+
+  ctx->pager.SetPhase(Phase::kComputation);
+  CpuTimer cpu;
+  std::vector<uint8_t> row(matrix.row_bytes());
+  if (variant == MatrixVariant::kWarshall) {
+    // for k: for i: if M[i,k]: row_i |= row_k. Row k is loaded once per
+    // outer iteration; every row is re-read (and possibly re-written) per
+    // sweep — n passes over the matrix.
+    std::vector<uint8_t> pivot(matrix.row_bytes());
+    for (NodeId k = 0; k < n; ++k) {
+      TCDB_RETURN_IF_ERROR(matrix.ReadRow(k, &pivot));
+      for (NodeId i = 0; i < n; ++i) {
+        if (i == k) continue;
+        TCDB_RETURN_IF_ERROR(matrix.ReadRow(i, &row));
+        if (!TestBit(row, k)) continue;
+        ++m.list_unions;
+        for (size_t b = 0; b < matrix.row_bytes(); ++b) row[b] |= pivot[b];
+        TCDB_RETURN_IF_ERROR(matrix.WriteRow(i, row));
+        // Keep the pivot current: Warshall allows row k to grow only when
+        // i paths feed back, which cannot happen for a fixed k; pivot is
+        // stable within the outer iteration.
+      }
+    }
+  } else {
+    // Warren's sweep, optionally with the current row block pinned.
+    const size_t block_pages =
+        variant == MatrixVariant::kWarrenBlocked
+            ? std::max<size_t>(1, ctx->options.buffer_pages - 2)
+            : 0;
+    const NodeId block_rows = static_cast<NodeId>(
+        block_pages * matrix.rows_per_page());
+    // Pass 1: j < i; Pass 2: j > i (Warren 1975).
+    for (int pass = 0; pass < 2; ++pass) {
+      NodeId strip_lo = 0;
+      while (strip_lo < n) {
+        const NodeId strip_hi =
+            block_rows == 0 ? n : std::min<NodeId>(strip_lo + block_rows, n);
+        std::vector<PageNumber> pinned;
+        if (block_rows != 0) {
+          Result<std::vector<PageNumber>> pin =
+              matrix.PinRows(strip_lo, strip_hi);
+          if (pin.ok()) {
+            pinned = std::move(pin).value();
+          }
+          // On exhaustion fall back to unpinned processing of this strip.
+        }
+        for (NodeId i = strip_lo; i < strip_hi; ++i) {
+          TCDB_RETURN_IF_ERROR(matrix.ReadRow(i, &row));
+          bool changed = false;
+          const NodeId lo = pass == 0 ? 0 : i + 1;
+          const NodeId hi = pass == 0 ? i : n;
+          for (NodeId j = lo; j < hi; ++j) {
+            if (!TestBit(row, j)) continue;
+            ++m.list_unions;  // One row OR per set bit.
+            TCDB_RETURN_IF_ERROR(matrix.OrRowInto(j, &row));
+            changed = true;
+          }
+          if (changed) TCDB_RETURN_IF_ERROR(matrix.WriteRow(i, row));
+        }
+        matrix.UnpinPages(pinned);
+        strip_lo = strip_hi;
+      }
+    }
+  }
+
+  // Result extraction: count (and optionally capture) the requested rows.
+  std::vector<NodeId> sources = query.sources;
+  if (query.full_closure) {
+    sources.resize(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  }
+  for (const NodeId s : sources) {
+    TCDB_RETURN_IF_ERROR(matrix.ReadRow(s, &row));
+    int64_t count = 0;
+    std::vector<NodeId> successors;
+    for (NodeId j = 0; j < n; ++j) {
+      if (TestBit(row, j)) {
+        ++count;
+        if (ctx->options.capture_answer) successors.push_back(j);
+      }
+    }
+    m.selected_tuples += count;
+    if (ctx->options.capture_answer) {
+      result->answer.emplace_back(s, std::move(successors));
+    }
+  }
+  m.distinct_tuples = m.selected_tuples;
+  if (ctx->options.capture_answer) {
+    std::sort(result->answer.begin(), result->answer.end());
+  }
+  ctx->buffers->FlushFile(ctx->tree_file);
+  m.compute_cpu_s = cpu.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,96 @@
+#include "core/cyclic.h"
+
+#include <algorithm>
+
+namespace tcdb {
+
+CyclicClosure::CyclicClosure(TcDatabase::CondensedInput condensed,
+                             NodeId num_nodes)
+    : condensed_(std::move(condensed)), num_nodes_(num_nodes) {
+  component_members_.resize(
+      static_cast<size_t>(condensed_.database->num_nodes()));
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    component_members_[condensed_.node_map[v]].push_back(v);
+  }
+}
+
+Result<std::unique_ptr<CyclicClosure>> CyclicClosure::Create(
+    const ArcList& arcs, NodeId num_nodes) {
+  TCDB_ASSIGN_OR_RETURN(TcDatabase::CondensedInput condensed,
+                        TcDatabase::CondenseInput(arcs, num_nodes));
+  return std::unique_ptr<CyclicClosure>(
+      new CyclicClosure(std::move(condensed), num_nodes));
+}
+
+Result<RunResult> CyclicClosure::Execute(Algorithm algorithm,
+                                         const QuerySpec& query,
+                                         const ExecOptions& options) const {
+  // Translate the query to component space.
+  QuerySpec component_query = query;
+  if (!query.full_closure) {
+    std::vector<NodeId> component_sources;
+    for (const NodeId s : query.sources) {
+      if (s < 0 || s >= num_nodes_) {
+        return Status::InvalidArgument("query source out of range");
+      }
+      component_sources.push_back(condensed_.node_map[s]);
+    }
+    std::sort(component_sources.begin(), component_sources.end());
+    component_sources.erase(
+        std::unique(component_sources.begin(), component_sources.end()),
+        component_sources.end());
+    component_query = QuerySpec::Partial(std::move(component_sources));
+  }
+  ExecOptions component_options = options;
+  component_options.capture_answer = true;  // needed for expansion
+  TCDB_ASSIGN_OR_RETURN(
+      RunResult component_result,
+      condensed_.database->Execute(algorithm, component_query,
+                                   component_options));
+
+  // Expand to the original node space.
+  RunResult result;
+  result.metrics = component_result.metrics;
+  if (options.capture_answer) {
+    // component -> successors (components), indexed for random access.
+    std::vector<const std::vector<NodeId>*> by_component(
+        static_cast<size_t>(condensed_.database->num_nodes()), nullptr);
+    for (const auto& [component, successors] : component_result.answer) {
+      by_component[component] = &successors;
+    }
+    std::vector<NodeId> sources;
+    if (query.full_closure) {
+      sources.resize(static_cast<size_t>(num_nodes_));
+      for (NodeId v = 0; v < num_nodes_; ++v) sources[v] = v;
+    } else {
+      sources = query.sources;
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+    }
+    for (const NodeId s : sources) {
+      const NodeId component = condensed_.node_map[s];
+      std::vector<NodeId> successors;
+      // Members of the own component reach each other iff the component is
+      // non-trivial (it lies on a cycle), and then s also reaches itself.
+      if (component_members_[component].size() > 1) {
+        for (const NodeId member : component_members_[component]) {
+          successors.push_back(member);
+        }
+      }
+      const std::vector<NodeId>* reached = by_component[component];
+      if (reached != nullptr) {
+        for (const NodeId target : *reached) {
+          for (const NodeId member : component_members_[target]) {
+            successors.push_back(member);
+          }
+        }
+      }
+      std::sort(successors.begin(), successors.end());
+      result.answer.emplace_back(s, std::move(successors));
+    }
+  }
+  return result;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,48 @@
+#ifndef TCDB_CORE_CYCLIC_H_
+#define TCDB_CORE_CYCLIC_H_
+
+#include <memory>
+
+#include "core/database.h"
+
+namespace tcdb {
+
+// End-to-end transitive closure over possibly-cyclic graphs, packaging the
+// standard preprocessing the paper relies on (Section 1): condense the
+// strongly connected components, compute the closure of the acyclic
+// condensation with any of the study's algorithms, and expand the
+// component-level answer back to original nodes.
+//
+// Within a strongly connected component every node reaches every node of
+// the component (including itself); across components, reachability follows
+// the condensation closure.
+class CyclicClosure {
+ public:
+  // `arcs` sorted by (src, dst), duplicate-free; may contain cycles.
+  static Result<std::unique_ptr<CyclicClosure>> Create(const ArcList& arcs,
+                                                       NodeId num_nodes);
+
+  // Successors of each node in `sources` (or of every node, for a full
+  // query), in the ORIGINAL node space. Self-loops appear exactly when the
+  // node lies on a cycle.
+  Result<RunResult> Execute(Algorithm algorithm, const QuerySpec& query,
+                            const ExecOptions& options) const;
+
+  // The underlying acyclic condensation database (for direct metric runs).
+  const TcDatabase& condensation() const { return *condensed_.database; }
+  // Original node -> condensation node.
+  const std::vector<NodeId>& node_map() const { return condensed_.node_map; }
+  NodeId num_nodes() const { return num_nodes_; }
+
+ private:
+  CyclicClosure(TcDatabase::CondensedInput condensed, NodeId num_nodes);
+
+  TcDatabase::CondensedInput condensed_;
+  NodeId num_nodes_;
+  // Members of each condensation component, ascending.
+  std::vector<std::vector<NodeId>> component_members_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_CYCLIC_H_

@@ -1,0 +1,246 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/algorithms.h"
+#include "graph/algorithms.h"
+#include "util/timer.h"
+
+namespace tcdb {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBtc:
+      return "BTC";
+    case Algorithm::kHyb:
+      return "HYB";
+    case Algorithm::kBj:
+      return "BJ";
+    case Algorithm::kSrch:
+      return "SRCH";
+    case Algorithm::kSpn:
+      return "SPN";
+    case Algorithm::kJkb:
+      return "JKB";
+    case Algorithm::kJkb2:
+      return "JKB2";
+    case Algorithm::kSeminaive:
+      return "SEMINAIVE";
+    case Algorithm::kWarshall:
+      return "WARSHALL";
+    case Algorithm::kWarren:
+      return "WARREN";
+    case Algorithm::kWarrenBlocked:
+      return "WARREN-BLOCKED";
+  }
+  return "UNKNOWN";
+}
+
+Result<Algorithm> AlgorithmFromName(const std::string& name) {
+  std::string upper;
+  for (const char c : name) {
+    upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  for (const Algorithm algorithm :
+       {Algorithm::kBtc, Algorithm::kHyb, Algorithm::kBj, Algorithm::kSrch,
+        Algorithm::kSpn, Algorithm::kJkb, Algorithm::kJkb2,
+        Algorithm::kSeminaive, Algorithm::kWarshall, Algorithm::kWarren,
+        Algorithm::kWarrenBlocked}) {
+    if (upper == AlgorithmName(algorithm)) return algorithm;
+  }
+  return Status::NotFound("unknown algorithm '" + name + "'");
+}
+
+Result<std::unique_ptr<TcDatabase>> TcDatabase::Create(ArcList arcs,
+                                                       NodeId num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("num_nodes must be positive");
+  }
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].src < 0 || arcs[i].src >= num_nodes || arcs[i].dst < 0 ||
+        arcs[i].dst >= num_nodes) {
+      return Status::InvalidArgument("arc endpoint out of range");
+    }
+    if (i > 0 && !(arcs[i - 1] < arcs[i])) {
+      return Status::InvalidArgument(
+          "arcs must be sorted by (src, dst) and duplicate-free");
+    }
+  }
+  if (!IsAcyclic(Digraph(num_nodes, arcs))) {
+    return Status::InvalidArgument(
+        "graph is cyclic; condense it first (TcDatabase::CondenseInput)");
+  }
+  return std::unique_ptr<TcDatabase>(
+      new TcDatabase(std::move(arcs), num_nodes));
+}
+
+Result<TcDatabase::CondensedInput> TcDatabase::CondenseInput(
+    const ArcList& arcs, NodeId num_nodes) {
+  Condensation condensation = Condense(Digraph(num_nodes, arcs));
+  CondensedInput out;
+  out.node_map = condensation.node_map;
+  TCDB_ASSIGN_OR_RETURN(
+      out.database,
+      Create(condensation.dag.ToArcs(), condensation.dag.NumNodes()));
+  return out;
+}
+
+Result<RectangleModel> TcDatabase::Analyze() const {
+  return AnalyzeDag(Digraph(num_nodes_, arcs_));
+}
+
+Result<RunResult> TcDatabase::Execute(Algorithm algorithm,
+                                      const QuerySpec& query,
+                                      const ExecOptions& options) const {
+  if (!query.full_closure) {
+    for (const NodeId s : query.sources) {
+      if (s < 0 || s >= num_nodes_) {
+        return Status::InvalidArgument("query source out of range");
+      }
+    }
+  }
+  if (options.buffer_pages < 4) {
+    return Status::InvalidArgument("buffer pool must have at least 4 pages");
+  }
+
+  RunContext ctx;
+  ctx.options = options;
+  ctx.num_nodes = num_nodes_;
+  ctx.rel_data = ctx.pager.CreateFile("relation.dat");
+  ctx.rel_index = ctx.pager.CreateFile("relation.idx");
+  ctx.inv_data = ctx.pager.CreateFile("inverse.dat");
+  ctx.inv_index = ctx.pager.CreateFile("inverse.idx");
+  ctx.succ_file = ctx.pager.CreateFile("succ.dat");
+  ctx.pred_file = ctx.pager.CreateFile("pred.dat");
+  ctx.tree_file = ctx.pager.CreateFile("tree.dat");
+  ctx.out_file = ctx.pager.CreateFile("output.dat");
+  ctx.buffers = std::make_unique<BufferManager>(
+      &ctx.pager, options.buffer_pages, options.page_policy, options.seed);
+
+  // --- Setup: materialize the input relation (and, for JKB2, the dual
+  // representation) on the simulated disk. Not part of the measured query.
+  ctx.pager.SetPhase(Phase::kSetup);
+  TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
+                                           ctx.rel_index, arcs_,
+                                           &ctx.relation));
+  if (algorithm == Algorithm::kJkb2) {
+    TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.inv_data,
+                                             ctx.inv_index,
+                                             ReverseArcs(arcs_),
+                                             &ctx.inverse));
+  }
+  // Cold start: everything on disk, empty pool.
+  ctx.buffers->FlushAll();
+  ctx.buffers->DiscardAll();
+
+  RunResult result;
+  WallTimer wall;
+  TCDB_RETURN_IF_ERROR(DispatchAlgorithm(&ctx, algorithm, query, &result));
+  ctx.metrics.wall_s = wall.ElapsedSeconds();
+  CollectRunStatistics(&ctx, &result);
+  return result;
+}
+
+Result<AggregateResult> TcDatabase::ExecuteAggregate(
+    PathAggregate aggregate, const QuerySpec& query,
+    const ExecOptions& options) const {
+  if (!query.full_closure) {
+    for (const NodeId s : query.sources) {
+      if (s < 0 || s >= num_nodes_) {
+        return Status::InvalidArgument("query source out of range");
+      }
+    }
+  }
+  if (options.buffer_pages < 4) {
+    return Status::InvalidArgument("buffer pool must have at least 4 pages");
+  }
+  RunContext ctx;
+  ctx.options = options;
+  ctx.num_nodes = num_nodes_;
+  ctx.rel_data = ctx.pager.CreateFile("relation.dat");
+  ctx.rel_index = ctx.pager.CreateFile("relation.idx");
+  ctx.inv_data = ctx.pager.CreateFile("inverse.dat");
+  ctx.inv_index = ctx.pager.CreateFile("inverse.idx");
+  ctx.succ_file = ctx.pager.CreateFile("succ.dat");
+  ctx.pred_file = ctx.pager.CreateFile("pred.dat");
+  ctx.tree_file = ctx.pager.CreateFile("tree.dat");
+  ctx.out_file = ctx.pager.CreateFile("output.dat");
+  ctx.buffers = std::make_unique<BufferManager>(
+      &ctx.pager, options.buffer_pages, options.page_policy, options.seed);
+  ctx.pager.SetPhase(Phase::kSetup);
+  TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
+                                           ctx.rel_index, arcs_,
+                                           &ctx.relation));
+  ctx.buffers->FlushAll();
+  ctx.buffers->DiscardAll();
+
+  AggregateResult result;
+  WallTimer wall;
+  TCDB_RETURN_IF_ERROR(RunAggregateClosure(&ctx, query, aggregate, &result));
+  ctx.metrics.wall_s = wall.ElapsedSeconds();
+  RunResult shim;
+  CollectRunStatistics(&ctx, &shim);
+  result.metrics = shim.metrics;
+  return result;
+}
+
+Status DispatchAlgorithm(RunContext* ctx, Algorithm algorithm,
+                         const QuerySpec& query, RunResult* result) {
+  switch (algorithm) {
+    case Algorithm::kBtc:
+      return RunBtc(ctx, query, result);
+    case Algorithm::kHyb:
+      return RunHyb(ctx, query, result);
+    case Algorithm::kBj:
+      return RunBj(ctx, query, result);
+    case Algorithm::kSrch:
+      return RunSearch(ctx, query, result);
+    case Algorithm::kSpn:
+      return RunSpn(ctx, query, result);
+    case Algorithm::kJkb:
+      return RunJkb(ctx, query, /*dual=*/false, result);
+    case Algorithm::kJkb2:
+      return RunJkb(ctx, query, /*dual=*/true, result);
+    case Algorithm::kSeminaive:
+      return RunSeminaive(ctx, query, result);
+    case Algorithm::kWarshall:
+      return RunMatrixClosure(ctx, query, MatrixVariant::kWarshall, result);
+    case Algorithm::kWarren:
+      return RunMatrixClosure(ctx, query, MatrixVariant::kWarren, result);
+    case Algorithm::kWarrenBlocked:
+      return RunMatrixClosure(ctx, query, MatrixVariant::kWarrenBlocked,
+                              result);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+void CollectRunStatistics(RunContext* ctx, RunResult* result) {
+  RunMetrics& m = ctx->metrics;
+  const IoStats& io = ctx->pager.stats();
+  const IoCounters restructure = io.ForPhase(Phase::kRestructuring);
+  const IoCounters compute = io.ForPhase(Phase::kComputation);
+  m.restructure_reads = restructure.reads;
+  m.restructure_writes = restructure.writes;
+  m.compute_reads = compute.reads;
+  m.compute_writes = compute.writes;
+  const AccessStats& access = ctx->buffers->access_stats();
+  for (const FileId file :
+       {ctx->succ_file, ctx->pred_file, ctx->tree_file}) {
+    const AccessStats::HitMiss hm =
+        access.ForFileAndPhase(file, Phase::kComputation);
+    m.compute_list_hits += hm.hits;
+    m.compute_list_misses += hm.misses;
+  }
+  for (const SuccessorListStore* store :
+       {ctx->succ.get(), ctx->pred.get(), ctx->trees.get()}) {
+    if (store == nullptr) continue;
+    m.lists_read += store->lists_read();
+    m.entries_read += store->entries_read();
+    m.entries_written += store->entries_written();
+    m.list_moves += store->list_moves();
+  }
+  result->metrics = m;
+}
+
+}  // namespace tcdb

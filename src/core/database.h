@@ -1,0 +1,78 @@
+#ifndef TCDB_CORE_DATABASE_H_
+#define TCDB_CORE_DATABASE_H_
+
+#include <memory>
+
+#include "core/generalized.h"
+#include "core/run_context.h"
+#include "core/types.h"
+#include "graph/analyzer.h"
+#include "relation/arc.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// The public entry point of the library: holds one graph (the input
+// relation) and executes transitive-closure queries against it with any of
+// the study's algorithms, reporting the full metric bundle per run.
+//
+// Every Execute() builds a fresh simulated-disk environment — relation
+// files, indexes, buffer pool — so runs are independent, start cold, and
+// can be compared directly. The setup I/O is attributed to a separate
+// phase and excluded from the reported metrics, mirroring the paper (the
+// input relation pre-exists on disk there).
+//
+// Example:
+//   TCDB_ASSIGN_OR_RETURN(auto db, TcDatabase::Create(arcs, n));
+//   TCDB_ASSIGN_OR_RETURN(RunResult run,
+//       db->Execute(Algorithm::kBtc, QuerySpec::Partial({5, 17}), {}));
+//   std::cout << run.metrics.TotalIo();
+class TcDatabase {
+ public:
+  // `arcs` must be sorted by (src, dst), duplicate-free, with endpoints in
+  // [0, num_nodes). The graph must be acyclic (the study's scope): cyclic
+  // inputs are rejected — condense them first (see CondenseInput).
+  static Result<std::unique_ptr<TcDatabase>> Create(ArcList arcs,
+                                                    NodeId num_nodes);
+
+  // Convenience for cyclic inputs: condenses the graph (merging strongly
+  // connected components) and returns the acyclic condensation database
+  // plus the node -> component mapping, per the standard preprocessing the
+  // paper cites (Section 1).
+  struct CondensedInput {
+    std::unique_ptr<TcDatabase> database;
+    std::vector<NodeId> node_map;  // original node -> condensation node
+  };
+  static Result<CondensedInput> CondenseInput(const ArcList& arcs,
+                                              NodeId num_nodes);
+
+  // Runs `algorithm` on `query` under `options`.
+  Result<RunResult> Execute(Algorithm algorithm, const QuerySpec& query,
+                            const ExecOptions& options) const;
+
+  // Generalized transitive closure: annotates every (source, successor)
+  // pair with a path aggregate (shortest/longest hop count or path count).
+  // Uses the BTC machinery but, necessarily, without the marking
+  // optimization — see core/generalized.h.
+  Result<AggregateResult> ExecuteAggregate(PathAggregate aggregate,
+                                           const QuerySpec& query,
+                                           const ExecOptions& options) const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  const ArcList& arcs() const { return arcs_; }
+
+  // The paper's per-graph statistics (Table 2): arcs, levels, rectangle
+  // model, localities, closure size.
+  Result<RectangleModel> Analyze() const;
+
+ private:
+  TcDatabase(ArcList arcs, NodeId num_nodes)
+      : arcs_(std::move(arcs)), num_nodes_(num_nodes) {}
+
+  ArcList arcs_;
+  NodeId num_nodes_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_DATABASE_H_

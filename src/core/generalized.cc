@@ -1,0 +1,177 @@
+#include "core/generalized.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/restructure.h"
+#include "util/bit_vector.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+// On-disk entries are (node, value) pairs of int32; path counts saturate
+// at INT32_MAX in storage (and at INT64_MAX during combination).
+constexpr int32_t kValueCap = std::numeric_limits<int32_t>::max();
+
+int64_t Combine(PathAggregate aggregate, int64_t current, int64_t candidate) {
+  switch (aggregate) {
+    case PathAggregate::kMinLength:
+      return std::min(current, candidate);
+    case PathAggregate::kMaxLength:
+      return std::max(current, candidate);
+    case PathAggregate::kPathCount: {
+      int64_t sum = 0;
+      if (__builtin_add_overflow(current, candidate, &sum)) {
+        return std::numeric_limits<int64_t>::max();
+      }
+      return sum;
+    }
+  }
+  return candidate;
+}
+
+// Writes the (node, value) map for list `pos` (truncate + append).
+Status WriteAnnotatedList(RunContext* ctx, int32_t pos,
+                          const std::vector<NodeId>& members,
+                          const std::vector<int64_t>& value) {
+  std::vector<int32_t> flat;
+  flat.reserve(members.size() * 2);
+  for (const NodeId w : members) {
+    flat.push_back(w);
+    flat.push_back(static_cast<int32_t>(
+        std::min<int64_t>(value[w], kValueCap)));
+  }
+  ctx->succ->Truncate(pos);
+  return ctx->succ->AppendMany(pos, flat);
+}
+
+}  // namespace
+
+const char* PathAggregateName(PathAggregate aggregate) {
+  switch (aggregate) {
+    case PathAggregate::kMinLength:
+      return "min-length";
+    case PathAggregate::kMaxLength:
+      return "max-length";
+    case PathAggregate::kPathCount:
+      return "path-count";
+  }
+  return "unknown";
+}
+
+Status RunAggregateClosure(RunContext* ctx, const QuerySpec& query,
+                           PathAggregate aggregate, AggregateResult* result) {
+  RestructureResult rs;
+  {
+    ctx->pager.SetPhase(Phase::kRestructuring);
+    CpuTimer cpu;
+    TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
+    // Initial annotated lists: (child, 1) — one direct arc, length one,
+    // path count one.
+    ctx->succ = std::make_unique<SuccessorListStore>(
+        ctx->buffers.get(), ctx->succ_file, ctx->options.list_policy);
+    ctx->succ->Reset(static_cast<int32_t>(rs.topo_order.size()));
+    std::vector<int32_t> flat;
+    for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+      flat.clear();
+      for (const NodeId c : rs.graph.Successors(rs.topo_order[pos])) {
+        flat.push_back(c);
+        flat.push_back(1);
+      }
+      TCDB_RETURN_IF_ERROR(
+          ctx->succ->AppendMany(static_cast<int32_t>(pos), flat));
+    }
+    ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
+  }
+
+  ctx->pager.SetPhase(Phase::kComputation);
+  CpuTimer cpu;
+  RunMetrics& m = ctx->metrics;
+  const NodeId n = ctx->num_nodes;
+  EpochSet present(static_cast<size_t>(n));
+  std::vector<int64_t> value(static_cast<size_t>(n), 0);
+  std::vector<NodeId> members;
+  std::vector<int32_t> scratch;
+  for (int32_t pos = static_cast<int32_t>(rs.topo_order.size()) - 1; pos >= 0;
+       --pos) {
+    const NodeId x = rs.topo_order[pos];
+    present.ClearAll();
+    members.clear();
+    scratch.clear();
+    TCDB_RETURN_IF_ERROR(ctx->succ->Read(pos, &scratch));
+    std::vector<NodeId> children;
+    for (size_t i = 0; i + 1 < scratch.size(); i += 2) {
+      const NodeId c = scratch[i];
+      children.push_back(c);
+      present.Insert(c);
+      members.push_back(c);
+      value[c] = scratch[i + 1];
+    }
+    std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
+      return rs.topo_pos[a] < rs.topo_pos[b];
+    });
+    for (const NodeId c : children) {
+      // No marking: a redundant arc still carries a path, so every arc is
+      // a union (this is what plain closure's marking optimization saves).
+      ++m.arcs_processed;
+      ++m.list_unions;
+      m.unmarked_locality_sum += rs.levels[x] - rs.levels[c];
+      scratch.clear();
+      TCDB_RETURN_IF_ERROR(ctx->succ->Read(rs.topo_pos[c], &scratch));
+      for (size_t i = 0; i + 1 < scratch.size(); i += 2) {
+        const NodeId w = scratch[i];
+        // Extend the aggregate across the arc (x, c): +1 hop for lengths;
+        // the path count multiplies by the single arc (i.e. passes
+        // through).
+        const int64_t candidate = aggregate == PathAggregate::kPathCount
+                                      ? scratch[i + 1]
+                                      : scratch[i + 1] + 1;
+        ++m.tuples_generated;
+        if (present.InsertIfAbsent(w)) {
+          members.push_back(w);
+          value[w] = candidate;
+          ++m.tuples_inserted;
+        } else {
+          value[w] = Combine(aggregate, value[w], candidate);
+        }
+      }
+    }
+    std::sort(members.begin(), members.end());
+    TCDB_RETURN_IF_ERROR(WriteAnnotatedList(ctx, pos, members, value));
+    m.distinct_tuples += static_cast<int64_t>(members.size());
+    if (rs.is_source[x]) {
+      m.selected_tuples += static_cast<int64_t>(members.size());
+    }
+  }
+
+  // Write-out, as for the plain algorithms.
+  std::vector<bool> keep(static_cast<size_t>(ctx->succ->num_lists()),
+                         query.full_closure);
+  for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+    if (rs.is_source[rs.topo_order[pos]]) keep[pos] = true;
+  }
+  ctx->succ->FinalizeKeepLists(keep);
+
+  if (ctx->options.capture_answer) {
+    ctx->pager.SetPhase(Phase::kSetup);
+    for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+      const NodeId x = rs.topo_order[pos];
+      if (!query.full_closure && !rs.is_source[x]) continue;
+      scratch.clear();
+      TCDB_RETURN_IF_ERROR(
+          ctx->succ->Read(static_cast<int32_t>(pos), &scratch));
+      std::vector<std::pair<NodeId, int64_t>> pairs;
+      for (size_t i = 0; i + 1 < scratch.size(); i += 2) {
+        pairs.emplace_back(scratch[i], scratch[i + 1]);
+      }
+      std::sort(pairs.begin(), pairs.end());
+      result->answer.emplace_back(x, std::move(pairs));
+    }
+    std::sort(result->answer.begin(), result->answer.end());
+  }
+  m.compute_cpu_s = cpu.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,86 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tcdb {
+namespace {
+
+uint64_t DivRoundU(uint64_t value, int64_t n) {
+  return (value + static_cast<uint64_t>(n) / 2) / static_cast<uint64_t>(n);
+}
+
+int64_t DivRoundS(int64_t value, int64_t n) {
+  return static_cast<int64_t>(
+      std::llround(static_cast<double>(value) / static_cast<double>(n)));
+}
+
+}  // namespace
+
+void RunMetrics::Accumulate(const RunMetrics& other) {
+  restructure_reads += other.restructure_reads;
+  restructure_writes += other.restructure_writes;
+  compute_reads += other.compute_reads;
+  compute_writes += other.compute_writes;
+  compute_list_hits += other.compute_list_hits;
+  compute_list_misses += other.compute_list_misses;
+  arcs_processed += other.arcs_processed;
+  arcs_marked += other.arcs_marked;
+  list_unions += other.list_unions;
+  tuples_generated += other.tuples_generated;
+  tuples_inserted += other.tuples_inserted;
+  distinct_tuples += other.distinct_tuples;
+  selected_tuples += other.selected_tuples;
+  unmarked_locality_sum += other.unmarked_locality_sum;
+  lists_read += other.lists_read;
+  entries_read += other.entries_read;
+  entries_written += other.entries_written;
+  list_moves += other.list_moves;
+  magic_nodes += other.magic_nodes;
+  magic_arcs += other.magic_arcs;
+  restructure_cpu_s += other.restructure_cpu_s;
+  compute_cpu_s += other.compute_cpu_s;
+  wall_s += other.wall_s;
+}
+
+void RunMetrics::ScaleDown(int64_t n) {
+  if (n <= 1) return;
+  restructure_reads = DivRoundU(restructure_reads, n);
+  restructure_writes = DivRoundU(restructure_writes, n);
+  compute_reads = DivRoundU(compute_reads, n);
+  compute_writes = DivRoundU(compute_writes, n);
+  compute_list_hits = DivRoundU(compute_list_hits, n);
+  compute_list_misses = DivRoundU(compute_list_misses, n);
+  arcs_processed = DivRoundS(arcs_processed, n);
+  arcs_marked = DivRoundS(arcs_marked, n);
+  list_unions = DivRoundS(list_unions, n);
+  tuples_generated = DivRoundS(tuples_generated, n);
+  tuples_inserted = DivRoundS(tuples_inserted, n);
+  distinct_tuples = DivRoundS(distinct_tuples, n);
+  selected_tuples = DivRoundS(selected_tuples, n);
+  unmarked_locality_sum = DivRoundS(unmarked_locality_sum, n);
+  lists_read = DivRoundS(lists_read, n);
+  entries_read = DivRoundS(entries_read, n);
+  entries_written = DivRoundS(entries_written, n);
+  list_moves = DivRoundS(list_moves, n);
+  magic_nodes = DivRoundS(magic_nodes, n);
+  magic_arcs = DivRoundS(magic_arcs, n);
+  const double dn = static_cast<double>(n);
+  restructure_cpu_s /= dn;
+  compute_cpu_s /= dn;
+  wall_s /= dn;
+}
+
+std::string RunMetrics::ToString() const {
+  std::ostringstream oss;
+  oss << "total_io=" << TotalIo() << " (restructure r=" << restructure_reads
+      << " w=" << restructure_writes << ", compute r=" << compute_reads
+      << " w=" << compute_writes << ")"
+      << " unions=" << list_unions << " tuples=" << tuples_generated
+      << " distinct=" << distinct_tuples << " selected=" << selected_tuples
+      << " marked=" << arcs_marked << "/" << arcs_processed
+      << " hit_ratio=" << ComputeHitRatio();
+  return oss.str();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,104 @@
+#ifndef TCDB_CORE_METRICS_H_
+#define TCDB_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcdb {
+
+// Every cost metric the study records for a single run (paper Sections 5-7).
+// Page I/O is the primary metric; the others exist precisely so the study
+// can show they do *not* predict page I/O.
+struct RunMetrics {
+  // --- Page I/O (device reads/writes through the simulated disk) ---
+  uint64_t restructure_reads = 0;
+  uint64_t restructure_writes = 0;
+  uint64_t compute_reads = 0;
+  uint64_t compute_writes = 0;
+
+  uint64_t RestructureIo() const { return restructure_reads + restructure_writes; }
+  uint64_t ComputeIo() const { return compute_reads + compute_writes; }
+  uint64_t TotalIo() const { return RestructureIo() + ComputeIo(); }
+
+  // --- Buffer pool (successor-list file requests in the computation
+  // phase, as in the paper's Figure 13 hit ratios) ---
+  uint64_t compute_list_hits = 0;
+  uint64_t compute_list_misses = 0;
+  double ComputeHitRatio() const {
+    const uint64_t requests = compute_list_hits + compute_list_misses;
+    return requests == 0 ? 0.0
+                         : static_cast<double>(compute_list_hits) /
+                               static_cast<double>(requests);
+  }
+
+  // --- Logical work ---
+  // Arcs of the (magic) graph considered during expansion.
+  int64_t arcs_processed = 0;
+  // Arcs skipped by the marking optimization.
+  int64_t arcs_marked = 0;
+  // Successor-list (or tree) unions actually performed.
+  int64_t list_unions = 0;
+  // tc: tuples generated, duplicates included ("number of deductions").
+  int64_t tuples_generated = 0;
+  // Tuples that were new when generated (inserted into a list/tree).
+  int64_t tuples_inserted = 0;
+  // Distinct result tuples materialized in the expanded lists/trees.
+  int64_t distinct_tuples = 0;
+  // stc: distinct tuples belonging to the expanded lists of the query's
+  // source nodes (== distinct_tuples for CTC).
+  int64_t selected_tuples = 0;
+  int64_t duplicates() const { return tuples_generated - tuples_inserted; }
+
+  double MarkingPercentage() const {
+    return arcs_processed == 0 ? 0.0
+                               : 100.0 * static_cast<double>(arcs_marked) /
+                                     static_cast<double>(arcs_processed);
+  }
+  // Selection efficiency = stc / tc (paper Section 6.3.2).
+  double SelectionEfficiency() const {
+    return tuples_generated == 0
+               ? 0.0
+               : static_cast<double>(selected_tuples) /
+                     static_cast<double>(tuples_generated);
+  }
+
+  // --- Arc locality of unmarked arcs (paper Figure 12) ---
+  int64_t unmarked_locality_sum = 0;
+  double AvgUnmarkedLocality() const {
+    const int64_t unmarked = arcs_processed - arcs_marked;
+    return unmarked == 0 ? 0.0
+                         : static_cast<double>(unmarked_locality_sum) /
+                               static_cast<double>(unmarked);
+  }
+
+  // --- Entry-level I/O ("tuple I/O" / "successor list I/O" of earlier
+  // studies, paper Section 7) ---
+  int64_t lists_read = 0;
+  int64_t entries_read = 0;
+  int64_t entries_written = 0;
+  int64_t list_moves = 0;
+
+  // --- Workload shape (magic graph for PTC, whole graph for CTC) ---
+  int64_t magic_nodes = 0;
+  int64_t magic_arcs = 0;
+
+  // --- Time ---
+  double restructure_cpu_s = 0.0;
+  double compute_cpu_s = 0.0;
+  double wall_s = 0.0;
+  double EstimatedIoSeconds(double io_latency_s) const {
+    return static_cast<double>(TotalIo()) * io_latency_s;
+  }
+
+  // Accumulates (sums counters; used before averaging repeated runs).
+  void Accumulate(const RunMetrics& other);
+  // Divides every counter by `n` (after accumulating n runs). Counters are
+  // rounded to the nearest integer.
+  void ScaleDown(int64_t n);
+
+  std::string ToString() const;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_METRICS_H_

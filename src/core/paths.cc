@@ -1,0 +1,37 @@
+#include "core/paths.h"
+
+#include <algorithm>
+
+namespace tcdb {
+
+Result<std::vector<NodeId>> PathFromSpanningTree(const FlatTree& tree,
+                                                 NodeId target) {
+  const int32_t index = tree.IndexOf(target);
+  if (index <= 0) {
+    // Absent, or the root itself (a node is not its own successor on a
+    // DAG).
+    return Status::NotFound("target is not a successor of the tree root");
+  }
+  std::vector<NodeId> path;
+  for (int32_t at = index; at != -1; at = tree.ParentOf(at)) {
+    path.push_back(tree.NodeAt(at));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+PathIndex::PathIndex(const RunResult& result) {
+  for (const auto& [node, tree] : result.spanning_trees) {
+    trees_.emplace(node, tree);
+  }
+}
+
+Result<std::vector<NodeId>> PathIndex::FindPath(NodeId from, NodeId to) const {
+  auto it = trees_.find(from);
+  if (it == trees_.end()) {
+    return Status::NotFound("no spanning tree captured for this node");
+  }
+  return PathFromSpanningTree(it->second, to);
+}
+
+}  // namespace tcdb

@@ -1,0 +1,216 @@
+#include "core/restructure.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/analyzer.h"
+#include "succ/tree_codec.h"
+
+namespace tcdb {
+namespace {
+
+// Jiang's single-parent optimization (paper Section 3.3): a non-source node
+// with a single parent need not be expanded; its children are adopted by
+// the parent and it becomes a sink. Applied in topological order so that
+// reductions cascade in one pass. Operates on the in-memory adjacency
+// (the magic graph is memory-resident during restructuring).
+void SingleParentReduction(const std::vector<NodeId>& topo_order,
+                           const std::vector<bool>& is_source,
+                           std::vector<std::vector<NodeId>>* adj) {
+  const size_t n = adj->size();
+  std::vector<std::vector<NodeId>> parents(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (NodeId c : (*adj)[v]) {
+      parents[c].push_back(static_cast<NodeId>(v));
+    }
+  }
+  for (NodeId v : topo_order) {
+    if (is_source[v] || parents[v].size() != 1) continue;
+    const NodeId parent = parents[v][0];
+    std::vector<NodeId>& own = (*adj)[v];
+    std::vector<NodeId>& adopted = (*adj)[parent];
+    for (NodeId c : own) {
+      // Replace v by the adopting parent in c's parent set.
+      std::vector<NodeId>& c_parents = parents[c];
+      c_parents.erase(std::find(c_parents.begin(), c_parents.end(), v));
+      const bool already_child =
+          std::find(adopted.begin(), adopted.end(), c) != adopted.end();
+      if (already_child) continue;
+      adopted.push_back(c);
+      c_parents.push_back(parent);
+    }
+    own.clear();  // v is now a sink (the arc parent -> v remains).
+  }
+}
+
+ArcList AdjacencyToArcs(const std::vector<std::vector<NodeId>>& adj) {
+  ArcList arcs;
+  for (size_t v = 0; v < adj.size(); ++v) {
+    for (NodeId w : adj[v]) {
+      arcs.push_back(Arc{static_cast<NodeId>(v), w});
+    }
+  }
+  return arcs;
+}
+
+}  // namespace
+
+Status DiscoverAndSort(RunContext* ctx, const QuerySpec& query,
+                       bool single_parent_reduction, RestructureResult* out) {
+  const NodeId n = ctx->num_nodes;
+  std::vector<std::vector<NodeId>> adj(static_cast<size_t>(n));
+  out->in_magic.assign(static_cast<size_t>(n), false);
+  out->is_source.assign(static_cast<size_t>(n), false);
+
+  if (query.full_closure) {
+    // CTC: the magic graph is the whole graph; read it with one sequential
+    // scan of the clustered relation.
+    out->in_magic.assign(static_cast<size_t>(n), true);
+    out->is_source.assign(static_cast<size_t>(n), true);
+    TCDB_RETURN_IF_ERROR(ctx->relation->Scan(
+        [&](const Arc& arc) { adj[arc.src].push_back(arc.dst); }));
+  } else {
+    // PTC: forward search from the source set through the clustered index,
+    // marking the magic subgraph (paper Section 4: "the magic subgraph is
+    // identified during this phase").
+    std::vector<NodeId> stack;
+    for (NodeId s : query.sources) {
+      TCDB_CHECK(s >= 0 && s < n) << "source node out of range";
+      out->is_source[s] = true;
+      if (!out->in_magic[s]) {
+        out->in_magic[s] = true;
+        stack.push_back(s);
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      TCDB_RETURN_IF_ERROR(ctx->relation->LookupSrc(v, &adj[v]));
+      for (NodeId w : adj[v]) {
+        if (!out->in_magic[w]) {
+          out->in_magic[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  // Topological sort (of the pre-reduction graph; the reduction only
+  // removes or "hoists" arcs toward earlier nodes, so the order remains
+  // valid afterwards).
+  {
+    Digraph pre(n, AdjacencyToArcs(adj));
+    TCDB_ASSIGN_OR_RETURN(std::vector<NodeId> full_order,
+                          TopologicalSort(pre));
+    out->topo_order.clear();
+    for (NodeId v : full_order) {
+      if (out->in_magic[v]) out->topo_order.push_back(v);
+    }
+  }
+
+  if (single_parent_reduction) {
+    SingleParentReduction(out->topo_order, out->is_source, &adj);
+  }
+
+  out->graph = Digraph(n, AdjacencyToArcs(adj));
+  out->topo_pos.assign(static_cast<size_t>(n), -1);
+  for (size_t i = 0; i < out->topo_order.size(); ++i) {
+    out->topo_pos[out->topo_order[i]] = static_cast<int32_t>(i);
+  }
+  out->magic_nodes.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (out->in_magic[v]) out->magic_nodes.push_back(v);
+  }
+  TCDB_ASSIGN_OR_RETURN(out->levels, ComputeNodeLevels(out->graph));
+
+  ctx->metrics.magic_nodes = out->NumMagicNodes();
+  ctx->metrics.magic_arcs = out->NumMagicArcs();
+  return Status::Ok();
+}
+
+Status WriteInitialLists(RunContext* ctx, const RestructureResult& rs) {
+  ctx->succ = std::make_unique<SuccessorListStore>(
+      ctx->buffers.get(), ctx->succ_file, ctx->options.list_policy);
+  ctx->succ->Reset(static_cast<int32_t>(rs.topo_order.size()));
+  for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+    const NodeId x = rs.topo_order[pos];
+    const auto successors = rs.graph.Successors(x);
+    TCDB_RETURN_IF_ERROR(ctx->succ->AppendMany(
+        static_cast<int32_t>(pos),
+        std::span<const int32_t>(successors.data(), successors.size())));
+  }
+  return Status::Ok();
+}
+
+Status WriteInitialTrees(RunContext* ctx, const RestructureResult& rs) {
+  ctx->succ = std::make_unique<SuccessorListStore>(
+      ctx->buffers.get(), ctx->succ_file, ctx->options.list_policy);
+  ctx->succ->Reset(static_cast<int32_t>(rs.topo_order.size()));
+  std::vector<int32_t> encoded;
+  for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+    const NodeId x = rs.topo_order[pos];
+    const auto successors = rs.graph.Successors(x);
+    encoded.clear();
+    if (successors.empty()) {
+      encoded.push_back(x + 1);
+    } else {
+      encoded.push_back(-(x + 1));
+      for (NodeId c : successors) encoded.push_back(c + 1);
+    }
+    TCDB_RETURN_IF_ERROR(
+        ctx->succ->AppendMany(static_cast<int32_t>(pos), encoded));
+  }
+  return Status::Ok();
+}
+
+Status BuildPredecessorLists(RunContext* ctx, const RestructureResult& rs,
+                             bool dual, std::vector<int32_t>* pred_list_of) {
+  const NodeId n = ctx->num_nodes;
+  pred_list_of->assign(static_cast<size_t>(n), -1);
+  for (size_t rank = 0; rank < rs.magic_nodes.size(); ++rank) {
+    (*pred_list_of)[rs.magic_nodes[rank]] = static_cast<int32_t>(rank);
+  }
+  ctx->pred = std::make_unique<SuccessorListStore>(
+      ctx->buffers.get(), ctx->pred_file, ctx->options.list_policy);
+  ctx->pred->Reset(static_cast<int32_t>(rs.magic_nodes.size()));
+
+  if (dual) {
+    TCDB_CHECK(ctx->inverse != nullptr)
+        << "JKB2 requires the dual representation";
+    if (rs.magic_nodes.size() == static_cast<size_t>(n)) {
+      // CTC: one sequential scan of the inverse relation; appends arrive in
+      // destination order and lay out sequentially.
+      return ctx->inverse->Scan([&](const Arc& arc) {
+        // Inverse tuple (d, s) encodes the original arc (s, d).
+        const NodeId d = arc.src;
+        const NodeId s = arc.dst;
+        // Scan() cannot propagate status; appends to a fresh store only
+        // fail on buffer exhaustion, which is fatal here anyway.
+        TCDB_CHECK(ctx->pred->Append((*pred_list_of)[d], s).ok());
+      });
+    }
+    // PTC: probe the inverse index once per magic node — this is the
+    // "approximately twice that of BTC" preprocessing (Section 6.2).
+    std::vector<NodeId> preds;
+    for (const NodeId x : rs.magic_nodes) {
+      preds.clear();
+      TCDB_RETURN_IF_ERROR(ctx->inverse->LookupSrc(x, &preds));
+      for (const NodeId p : preds) {
+        if (!rs.in_magic[p]) continue;
+        TCDB_RETURN_IF_ERROR(ctx->pred->Append((*pred_list_of)[x], p));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // JKB: only the source-clustered relation exists, so predecessor lists
+  // are produced by scanning it; appends arrive in *source* order, hitting
+  // the destination-keyed lists randomly. With a small pool this thrashes —
+  // the cost the paper observed to grow prohibitive with the out-degree.
+  return ctx->relation->Scan([&](const Arc& arc) {
+    if (!rs.in_magic[arc.src] || !rs.in_magic[arc.dst]) return;
+    TCDB_CHECK(ctx->pred->Append((*pred_list_of)[arc.dst], arc.src).ok());
+  });
+}
+
+}  // namespace tcdb

@@ -1,0 +1,67 @@
+#ifndef TCDB_CORE_RESTRUCTURE_H_
+#define TCDB_CORE_RESTRUCTURE_H_
+
+#include <vector>
+
+#include "core/run_context.h"
+#include "core/types.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Output of the restructuring phase shared by all algorithms (paper
+// Section 4): the (magic) graph, its topological order and node levels.
+struct RestructureResult {
+  // Graph over the full node-id space whose arcs are exactly the magic
+  // subgraph's arcs (for CTC: the whole input graph). For BJ this is the
+  // graph *after* the single-parent reduction.
+  Digraph graph;
+  std::vector<bool> in_magic;   // node -> belongs to the magic subgraph
+  std::vector<bool> is_source;  // node -> is a query source (CTC: all true)
+  std::vector<NodeId> magic_nodes;  // ascending ids
+
+  std::vector<NodeId> topo_order;  // magic nodes, topologically sorted
+  std::vector<int32_t> topo_pos;   // node -> position in topo_order, or -1
+  std::vector<int32_t> levels;     // node -> paper's node level, or 0
+
+  int64_t NumMagicNodes() const {
+    return static_cast<int64_t>(magic_nodes.size());
+  }
+  int64_t NumMagicArcs() const { return graph.NumArcs(); }
+};
+
+// Reads the input relation (sequential scan for CTC; index-driven forward
+// search from the sources for PTC), optionally applies Jiang's single-parent
+// reduction, topologically sorts the result and computes node levels. All
+// relation page access is I/O-accounted against the restructuring phase.
+Status DiscoverAndSort(RunContext* ctx, const QuerySpec& query,
+                       bool single_parent_reduction, RestructureResult* out);
+
+// Converts the graph into successor-list format: one flat list of immediate
+// successors per magic node, laid out in topological order (list id ==
+// topological position).
+Status WriteInitialLists(RunContext* ctx, const RestructureResult& rs);
+
+// SPN variant: one successor *tree* per magic node (root + children),
+// in the negated-parent encoding.
+Status WriteInitialTrees(RunContext* ctx, const RestructureResult& rs);
+
+// JKB/JKB2 variant: immediate-*predecessor* lists for every magic node,
+// stored in ctx->pred with list id == rank of the node id among magic nodes.
+//
+// With `dual` set (JKB2) the lists are built by scanning the inverse
+// relation (clustered on the destination attribute): appends arrive in
+// destination order and lay out sequentially. Without it (JKB) the forward
+// relation is scanned, so appends arrive in *source* order and hit the
+// predecessor lists in random order — the page thrashing this causes in a
+// small pool is exactly why the paper found JKB's preprocessing prohibitive
+// at high out-degrees (Section 6.2).
+//
+// `pred_list_of` is filled with the node -> pred-list-id mapping.
+Status BuildPredecessorLists(RunContext* ctx, const RestructureResult& rs,
+                             bool dual, std::vector<int32_t>* pred_list_of);
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_RESTRUCTURE_H_

@@ -1,0 +1,22 @@
+#include "core/run_context.h"
+
+namespace tcdb {
+
+Status TupleWriter::Append(const Arc& arc) {
+  if (slot_ == kTuplesPerPage || current_page_ == kInvalidPageNumber) {
+    TCDB_ASSIGN_OR_RETURN(auto page, buffers_->NewPage(file_));
+    page.second->As<Arc>(0)[0] = arc;
+    buffers_->Unpin({file_, page.first}, /*dirty=*/true);
+    current_page_ = page.first;
+    slot_ = 1;
+  } else {
+    TCDB_ASSIGN_OR_RETURN(Page* page,
+                          buffers_->FetchPage({file_, current_page_}));
+    page->As<Arc>(0)[slot_++] = arc;
+    buffers_->Unpin({file_, current_page_}, /*dirty=*/true);
+  }
+  ++count_;
+  return Status::Ok();
+}
+
+}  // namespace tcdb

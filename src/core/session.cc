@@ -1,0 +1,104 @@
+#include "core/session.h"
+
+#include "core/algorithms.h"
+#include "graph/algorithms.h"
+#include "util/timer.h"
+
+namespace tcdb {
+
+Result<std::unique_ptr<TcSession>> TcSession::Open(
+    const ArcList& arcs, NodeId num_nodes, const SessionOptions& options) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("num_nodes must be positive");
+  }
+  for (size_t i = 1; i < arcs.size(); ++i) {
+    if (!(arcs[i - 1] < arcs[i])) {
+      return Status::InvalidArgument(
+          "arcs must be sorted by (src, dst) and duplicate-free");
+    }
+  }
+  for (const Arc& arc : arcs) {
+    if (arc.src < 0 || arc.src >= num_nodes || arc.dst < 0 ||
+        arc.dst >= num_nodes) {
+      return Status::InvalidArgument("arc endpoint out of range");
+    }
+  }
+  if (!IsAcyclic(Digraph(num_nodes, arcs))) {
+    return Status::InvalidArgument(
+        "graph is cyclic; condense it first (TcDatabase::CondenseInput)");
+  }
+  if (options.exec.buffer_pages < 4) {
+    return Status::InvalidArgument("buffer pool must have at least 4 pages");
+  }
+
+  auto session = std::unique_ptr<TcSession>(new TcSession());
+  session->options_ = options;
+  RunContext& ctx = session->ctx_;
+  ctx.options = options.exec;
+  ctx.num_nodes = num_nodes;
+  ctx.rel_data = ctx.pager.CreateFile("relation.dat");
+  ctx.rel_index = ctx.pager.CreateFile("relation.idx");
+  ctx.inv_data = ctx.pager.CreateFile("inverse.dat");
+  ctx.inv_index = ctx.pager.CreateFile("inverse.idx");
+  ctx.succ_file = ctx.pager.CreateFile("succ.dat");
+  ctx.pred_file = ctx.pager.CreateFile("pred.dat");
+  ctx.tree_file = ctx.pager.CreateFile("tree.dat");
+  ctx.out_file = ctx.pager.CreateFile("output.dat");
+  ctx.buffers = std::make_unique<BufferManager>(&ctx.pager,
+                                                options.exec.buffer_pages,
+                                                options.exec.page_policy,
+                                                options.exec.seed);
+  // Materialize both representations once, up front (a session may mix
+  // JKB2 with the other algorithms).
+  ctx.pager.SetPhase(Phase::kSetup);
+  TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
+                                           ctx.rel_index, arcs,
+                                           &ctx.relation));
+  TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.inv_data,
+                                           ctx.inv_index, ReverseArcs(arcs),
+                                           &ctx.inverse));
+  ctx.buffers->FlushAll();
+  ctx.buffers->DiscardAll();
+  return session;
+}
+
+void TcSession::ResetScratch() {
+  // The algorithm-owned stores must release their page directories before
+  // the files are truncated.
+  ctx_.succ.reset();
+  ctx_.pred.reset();
+  ctx_.trees.reset();
+  for (const FileId file :
+       {ctx_.succ_file, ctx_.pred_file, ctx_.tree_file, ctx_.out_file}) {
+    ctx_.buffers->DiscardFile(file);
+    ctx_.pager.TruncateFile(file);
+  }
+  if (!options_.keep_cache_warm) {
+    ctx_.buffers->FlushAll();
+    ctx_.buffers->DiscardAll();
+  }
+  ctx_.pager.ResetStats();
+  ctx_.buffers->ResetStats();
+  ctx_.metrics = RunMetrics{};
+}
+
+Result<RunResult> TcSession::Query(Algorithm algorithm,
+                                   const QuerySpec& query) {
+  if (!query.full_closure) {
+    for (const NodeId s : query.sources) {
+      if (s < 0 || s >= ctx_.num_nodes) {
+        return Status::InvalidArgument("query source out of range");
+      }
+    }
+  }
+  ResetScratch();
+  RunResult result;
+  WallTimer wall;
+  TCDB_RETURN_IF_ERROR(DispatchAlgorithm(&ctx_, algorithm, query, &result));
+  ctx_.metrics.wall_s = wall.ElapsedSeconds();
+  CollectRunStatistics(&ctx_, &result);
+  ++queries_run_;
+  return result;
+}
+
+}  // namespace tcdb

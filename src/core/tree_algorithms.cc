@@ -1,0 +1,360 @@
+#include <algorithm>
+
+#include "core/algorithms.h"
+#include "core/restructure.h"
+#include "succ/tree_codec.h"
+#include "util/bit_vector.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SPN — successor spanning trees (paper Section 3.5).
+// ---------------------------------------------------------------------------
+
+// Merges the (complete) successor tree of child `c` into `tree` (the tree
+// of the node being expanded). `seen` is the marking set: a node in `seen`
+// has its entire closure present already, so its subtree is skipped — this
+// is the structural-information saving of the Spanning Tree algorithm.
+void MergeSuccessorTree(const FlatTree& child_tree, FlatTree* tree,
+                        EpochSet* seen, RunMetrics* m) {
+  struct Item {
+    int32_t src_index;  // index in child_tree
+    int32_t dst_index;  // corresponding index in *tree
+  };
+  const int32_t root_dst = tree->IndexOf(child_tree.root());
+  TCDB_CHECK_GE(root_dst, 0);  // The child is already a child of the root.
+  std::vector<Item> stack = {{0, root_dst}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    for (const int32_t u : child_tree.ChildrenOf(item.src_index)) {
+      const NodeId node = child_tree.NodeAt(u);
+      ++m->tuples_generated;
+      if (seen->Contains(node)) continue;  // Whole subtree already present.
+      seen->Insert(node);
+      int32_t dst = tree->IndexOf(node);
+      if (dst == -1) {
+        dst = tree->AddChild(item.dst_index, node);
+        ++m->tuples_inserted;
+      }
+      stack.push_back({u, dst});
+    }
+  }
+}
+
+Status ReadTree(SuccessorListStore* store, int32_t list,
+                std::vector<int32_t>* scratch, FlatTree* out) {
+  scratch->clear();
+  TCDB_RETURN_IF_ERROR(store->Read(list, scratch));
+  TCDB_ASSIGN_OR_RETURN(*out, DecodeTree(*scratch));
+  return Status::Ok();
+}
+
+Status FinalizeTrees(RunContext* ctx, const QuerySpec& query,
+                     const RestructureResult& rs, RunResult* result) {
+  const int32_t num_lists = ctx->succ->num_lists();
+  std::vector<bool> keep(static_cast<size_t>(num_lists), query.full_closure);
+  for (int32_t pos = 0; pos < num_lists; ++pos) {
+    if (rs.is_source[rs.topo_order[pos]]) keep[pos] = true;
+  }
+  ctx->succ->FinalizeKeepLists(keep);
+  if (ctx->options.capture_answer || ctx->options.capture_trees) {
+    ctx->pager.SetPhase(Phase::kSetup);
+    std::vector<int32_t> scratch;
+    for (int32_t pos = 0; pos < num_lists; ++pos) {
+      const NodeId x = rs.topo_order[pos];
+      if (!query.full_closure && !rs.is_source[x]) continue;
+      FlatTree tree(0);
+      TCDB_RETURN_IF_ERROR(ReadTree(ctx->succ.get(), pos, &scratch, &tree));
+      if (ctx->options.capture_answer) {
+        std::vector<NodeId> successors(tree.nodes().begin() + 1,
+                                       tree.nodes().end());
+        std::sort(successors.begin(), successors.end());
+        result->answer.emplace_back(x, std::move(successors));
+      }
+      if (ctx->options.capture_trees) {
+        result->spanning_trees.emplace_back(x, std::move(tree));
+      }
+    }
+    std::sort(result->answer.begin(), result->answer.end());
+    std::sort(result->spanning_trees.begin(), result->spanning_trees.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// JKB / JKB2 — Compute_Tree with special-node predecessor trees
+// (paper Section 3.6).
+// ---------------------------------------------------------------------------
+
+// Merges the predecessor tree of immediate predecessor `p` into `tree`
+// (rooted at the node being processed). Unlike SPN, subtrees are never
+// skipped: the trees hold only *special* nodes, so a node's presence says
+// nothing about its subtree — this is exactly why JKB "misses many
+// opportunities to apply the marking optimization" (Section 6.3.3).
+void MergePredecessorTree(const FlatTree& pred_tree, FlatTree* tree,
+                          RunMetrics* m) {
+  struct Item {
+    int32_t src_index;
+    int32_t dst_index;
+  };
+  // The predecessor p itself hangs off the root of `tree`.
+  ++m->tuples_generated;
+  int32_t p_dst = tree->IndexOf(pred_tree.root());
+  if (p_dst == -1) {
+    p_dst = tree->AddChild(0, pred_tree.root());
+    ++m->tuples_inserted;
+  }
+  std::vector<Item> stack = {{0, p_dst}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    for (const int32_t u : pred_tree.ChildrenOf(item.src_index)) {
+      const NodeId node = pred_tree.NodeAt(u);
+      ++m->tuples_generated;
+      int32_t dst = tree->IndexOf(node);
+      if (dst == -1) {
+        dst = tree->AddChild(item.dst_index, node);
+        ++m->tuples_inserted;
+      }
+      stack.push_back({u, dst});
+    }
+  }
+}
+
+// Prunes `tree` down to its special nodes with respect to the root: the
+// root itself, every source node, and every branching node (the nearest
+// common ancestor of two unrelated sources). Non-special chain nodes are
+// spliced out and non-source leaves dropped, bounding the tree size by
+// ~2|S| (paper Section 3.6).
+FlatTree PruneToSpecial(const FlatTree& tree,
+                        const std::vector<bool>& is_source) {
+  FlatTree pruned(tree.root());
+  // Post-order over the old tree, computing for every node the list of
+  // surviving subtree roots (as indices into `pruned`, built bottom-up).
+  std::vector<std::vector<int32_t>> survivors(
+      static_cast<size_t>(tree.size()));
+  // Iterative post-order: push (index, expanded?) items.
+  std::vector<std::pair<int32_t, bool>> stack = {{0, false}};
+  // Build an arena of (node, children) for survivor subtrees before
+  // attaching them, since FlatTree only supports top-down construction.
+  struct Pending {
+    NodeId node;
+    std::vector<int32_t> children;  // indices into `arena`
+  };
+  std::vector<Pending> arena;
+  auto attach = [&](auto&& self, int32_t parent_index,
+                    int32_t arena_index) -> void {
+    const Pending& pending = arena[arena_index];
+    const int32_t index = pruned.Contains(pending.node)
+                              ? pruned.IndexOf(pending.node)
+                              : pruned.AddChild(parent_index, pending.node);
+    for (const int32_t child : pending.children) self(self, index, child);
+  };
+  while (!stack.empty()) {
+    const auto [index, expanded] = stack.back();
+    if (!expanded) {
+      stack.back().second = true;
+      for (const int32_t child : tree.ChildrenOf(index)) {
+        stack.push_back({child, false});
+      }
+      continue;
+    }
+    stack.pop_back();
+    std::vector<int32_t> child_survivors;
+    for (const int32_t child : tree.ChildrenOf(index)) {
+      for (const int32_t s : survivors[child]) child_survivors.push_back(s);
+    }
+    if (index == 0) {
+      // Root: always kept; attach all survivors beneath it.
+      for (const int32_t s : child_survivors) attach(attach, 0, s);
+      break;
+    }
+    const NodeId node = tree.NodeAt(index);
+    const bool special =
+        is_source[node] || child_survivors.size() >= 2;
+    if (special) {
+      arena.push_back(Pending{node, std::move(child_survivors)});
+      survivors[index] = {static_cast<int32_t>(arena.size()) - 1};
+    } else {
+      // Spliced out: its surviving descendants bubble up.
+      survivors[index] = std::move(child_survivors);
+    }
+  }
+  return pruned;
+}
+
+}  // namespace
+
+Status RunSpn(RunContext* ctx, const QuerySpec& query, RunResult* result) {
+  RestructureResult rs;
+  {
+    ctx->pager.SetPhase(Phase::kRestructuring);
+    CpuTimer cpu;
+    TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
+    TCDB_RETURN_IF_ERROR(WriteInitialTrees(ctx, rs));
+    ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
+  }
+  ctx->pager.SetPhase(Phase::kComputation);
+  CpuTimer cpu;
+  RunMetrics& m = ctx->metrics;
+  EpochSet seen(static_cast<size_t>(ctx->num_nodes));
+  std::vector<int32_t> scratch;
+  for (int32_t pos = static_cast<int32_t>(rs.topo_order.size()) - 1; pos >= 0;
+       --pos) {
+    const NodeId x = rs.topo_order[pos];
+    FlatTree tree(0);
+    TCDB_RETURN_IF_ERROR(ReadTree(ctx->succ.get(), pos, &scratch, &tree));
+    seen.ClearAll();
+    std::vector<NodeId> children(tree.nodes().begin() + 1,
+                                 tree.nodes().end());
+    std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
+      return rs.topo_pos[a] < rs.topo_pos[b];
+    });
+    FlatTree child_tree(0);
+    for (const NodeId c : children) {
+      ++m.arcs_processed;
+      if (ctx->options.use_marking && seen.Contains(c)) {
+        ++m.arcs_marked;
+        continue;
+      }
+      ++m.list_unions;
+      m.unmarked_locality_sum += rs.levels[x] - rs.levels[c];
+      seen.Insert(c);
+      TCDB_RETURN_IF_ERROR(
+          ReadTree(ctx->succ.get(), rs.topo_pos[c], &scratch, &child_tree));
+      MergeSuccessorTree(child_tree, &tree, &seen, &m);
+    }
+    // The expanded tree's structure changed; rewrite it in place.
+    ctx->succ->Truncate(pos);
+    TCDB_RETURN_IF_ERROR(ctx->succ->AppendMany(pos, EncodeTree(tree)));
+    m.distinct_tuples += tree.size() - 1;
+    if (rs.is_source[x]) m.selected_tuples += tree.size() - 1;
+  }
+  TCDB_RETURN_IF_ERROR(FinalizeTrees(ctx, query, rs, result));
+  ctx->metrics.compute_cpu_s = cpu.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status RunJkb(RunContext* ctx, const QuerySpec& query, bool dual,
+              RunResult* result) {
+  RestructureResult rs;
+  std::vector<int32_t> pred_list_of;
+  {
+    ctx->pager.SetPhase(Phase::kRestructuring);
+    CpuTimer cpu;
+    TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
+    TCDB_RETURN_IF_ERROR(
+        BuildPredecessorLists(ctx, rs, dual, &pred_list_of));
+    ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
+  }
+  ctx->pager.SetPhase(Phase::kComputation);
+  CpuTimer cpu;
+  RunMetrics& m = ctx->metrics;
+
+  // Predecessor trees live in their own store, indexed by topological
+  // position; the answer tuples stream into the output file.
+  ctx->trees = std::make_unique<SuccessorListStore>(
+      ctx->buffers.get(), ctx->tree_file, ctx->options.list_policy);
+  ctx->trees->Reset(static_cast<int32_t>(rs.topo_order.size()));
+  TupleWriter output(ctx->buffers.get(), ctx->out_file);
+
+  std::vector<std::vector<NodeId>> captured;
+  std::vector<int32_t> capture_index;
+  if (ctx->options.capture_answer) {
+    capture_index.assign(static_cast<size_t>(ctx->num_nodes), -1);
+    std::vector<NodeId> sources = query.sources;
+    if (query.full_closure) {
+      sources.resize(static_cast<size_t>(ctx->num_nodes));
+      for (NodeId v = 0; v < ctx->num_nodes; ++v) sources[v] = v;
+    }
+    captured.resize(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      capture_index[sources[i]] = static_cast<int32_t>(i);
+    }
+  }
+
+  std::vector<int32_t> scratch;
+  // Forward topological order: all immediate predecessors of a node are
+  // final before the node is reached.
+  for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
+    const NodeId x = rs.topo_order[pos];
+    scratch.clear();
+    TCDB_RETURN_IF_ERROR(ctx->pred->Read(pred_list_of[x], &scratch));
+    std::vector<NodeId> preds(scratch.begin(), scratch.end());
+    // Nearest predecessors first (the analogue of the topological child
+    // order in BTC).
+    std::sort(preds.begin(), preds.end(), [&](NodeId a, NodeId b) {
+      return rs.topo_pos[a] > rs.topo_pos[b];
+    });
+    FlatTree tree(x);
+    FlatTree pred_tree(0);
+    // The node's (initially trivial) tree lives on disk and is rewritten
+    // after every union, as in the original Compute_Tree: trees are
+    // maintained on their pages as they grow, they are not batched in
+    // memory. The repeated rewrites are part of the algorithm's real cost.
+    TCDB_RETURN_IF_ERROR(ctx->trees->AppendMany(static_cast<int32_t>(pos),
+                                                EncodeTree(tree)));
+    for (const NodeId p : preds) {
+      ++m.arcs_processed;
+      if (ctx->options.use_marking && tree.Contains(p)) {
+        // Marked: p already appears in the (special-node) tree. Because
+        // non-special predecessors never appear, this almost never fires —
+        // the poor marking utilization of Section 6.3.3.
+        ++m.arcs_marked;
+        continue;
+      }
+      ++m.list_unions;
+      m.unmarked_locality_sum += rs.levels[p] - rs.levels[x];
+      TCDB_RETURN_IF_ERROR(ReadTree(ctx->trees.get(), rs.topo_pos[p],
+                                    &scratch, &pred_tree));
+      MergePredecessorTree(pred_tree, &tree, &m);
+      // Copy only the nodes special with respect to x (bottom-up pruning),
+      // then write the updated tree back. When every node is a source
+      // (CTC) pruning is an identity and is skipped.
+      if (!query.full_closure) tree = PruneToSpecial(tree, rs.is_source);
+      ctx->trees->Truncate(static_cast<int32_t>(pos));
+      TCDB_RETURN_IF_ERROR(ctx->trees->AppendMany(static_cast<int32_t>(pos),
+                                                  EncodeTree(tree)));
+    }
+    const FlatTree& special = tree;
+    m.distinct_tuples += special.size() - 1;
+    // Emit the answer tuples (s, x) for every source s in the tree.
+    for (const NodeId u : special.nodes()) {
+      if (u == x || !rs.is_source[u]) continue;
+      TCDB_RETURN_IF_ERROR(output.Append(Arc{u, x}));
+      ++m.selected_tuples;
+      if (ctx->options.capture_answer && capture_index[u] >= 0) {
+        captured[capture_index[u]].push_back(x);
+      }
+    }
+  }
+
+  // Write-out: the answer tuples are flushed; the predecessor lists and
+  // trees are intermediates and are dropped.
+  ctx->buffers->FlushFile(ctx->out_file);
+  ctx->trees->FinalizeKeepLists(
+      std::vector<bool>(ctx->trees->num_lists(), false));
+  ctx->pred->FinalizeKeepLists(
+      std::vector<bool>(ctx->pred->num_lists(), false));
+
+  if (ctx->options.capture_answer) {
+    std::vector<NodeId> sources = query.sources;
+    if (query.full_closure) {
+      sources.resize(static_cast<size_t>(ctx->num_nodes));
+      for (NodeId v = 0; v < ctx->num_nodes; ++v) sources[v] = v;
+    }
+    for (size_t i = 0; i < sources.size(); ++i) {
+      std::sort(captured[i].begin(), captured[i].end());
+      result->answer.emplace_back(sources[i], std::move(captured[i]));
+    }
+    std::sort(result->answer.begin(), result->answer.end());
+  }
+  ctx->metrics.compute_cpu_s = cpu.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace tcdb

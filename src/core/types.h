@@ -1,0 +1,92 @@
+#ifndef TCDB_CORE_TYPES_H_
+#define TCDB_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "storage/replacement_policy.h"
+#include "succ/successor_list_store.h"
+
+namespace tcdb {
+
+// The candidate algorithms of the study (paper Section 3), under the
+// paper's own implementation names (Section 4.1):
+//   kBtc  - basic topological algorithm with the marking optimization.
+//   kHyb  - Hybrid algorithm: BTC plus blocking of successor lists.
+//   kBj   - Jiang's BFS algorithm: BTC plus the single-parent optimization.
+//   kSrch - Search algorithm: one search per source node, no
+//           immediate-successor optimization.
+//   kSpn  - Spanning Tree algorithm: successor trees instead of flat lists.
+//   kJkb  - Jakobsson's Compute_Tree: special-node predecessor trees,
+//           single (source-clustered) representation.
+//   kJkb2 - Compute_Tree over the dual representation (inverse relation
+//           clustered and indexed on the destination attribute).
+// Baselines from the related-work comparison (implemented for ablations),
+// covering the progression the literature took before the graph-based
+// algorithms (paper Section 8):
+//   kSeminaive     - iterative relational seminaive evaluation.
+//   kWarshall      - Warshall's algorithm over a paged bit matrix
+//                    (k-outer triple loop; the pre-Warren matrix method).
+//   kWarren        - Warren's two-pass row algorithm, paged.
+//   kWarrenBlocked - Warren with a pinned block of rows (the "Blocked
+//                    Warren"/"Blocked Row" idea of the Direct algorithms).
+enum class Algorithm {
+  kBtc,
+  kHyb,
+  kBj,
+  kSrch,
+  kSpn,
+  kJkb,
+  kJkb2,
+  kSeminaive,
+  kWarshall,
+  kWarren,
+  kWarrenBlocked,
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+// Inverse of AlgorithmName (case-insensitive). NotFound for unknown names.
+Result<Algorithm> AlgorithmFromName(const std::string& name);
+
+// A transitive-closure query: either the full closure (CTC) or the partial
+// closure (PTC) of a set of source nodes (paper Section 2).
+struct QuerySpec {
+  bool full_closure = true;
+  std::vector<NodeId> sources;  // Used when full_closure == false.
+
+  static QuerySpec Full() { return QuerySpec{}; }
+  static QuerySpec Partial(std::vector<NodeId> sources) {
+    return QuerySpec{false, std::move(sources)};
+  }
+};
+
+// System / execution parameters of one run (paper Section 5.1).
+struct ExecOptions {
+  // Buffer pool size M in pages (paper: 10, 20, 50).
+  size_t buffer_pages = 20;
+  PagePolicy page_policy = PagePolicy::kLru;
+  ListPolicy list_policy = ListPolicy::kMoveSelf;
+  // HYB: fraction of the buffer pool reserved for the diagonal block
+  // (ILIMIT). 0 disables blocking, making HYB identical to BTC.
+  double ilimit = 0.2;
+  // Per-I/O latency (seconds) used for the estimated I/O time of Table 3.
+  // The paper established 20 ms for its RZ24 disk.
+  double io_latency_s = 0.020;
+  // Disables the marking optimization (ablation only; all the paper's
+  // algorithms keep it on).
+  bool use_marking = true;
+  // Capture the query answer in RunResult::answer (for tests/examples).
+  bool capture_answer = false;
+  // SPN only: capture the successor spanning trees in
+  // RunResult::spanning_trees (enables path reconstruction; see
+  // core/paths.h).
+  bool capture_trees = false;
+  uint64_t seed = 0x5eed;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_TYPES_H_

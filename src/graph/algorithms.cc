@@ -1,0 +1,197 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bit_vector.h"
+
+namespace tcdb {
+
+Result<std::vector<NodeId>> TopologicalSort(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<int32_t> in_degree(static_cast<size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : graph.Successors(v)) in_degree[w]++;
+  }
+  // Min-heap over ready nodes makes the order deterministic.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId w : graph.Successors(v)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("graph is cyclic");
+  }
+  return order;
+}
+
+bool IsAcyclic(const Digraph& graph) { return TopologicalSort(graph).ok(); }
+
+std::vector<int32_t> OrderPositions(const std::vector<NodeId>& order) {
+  std::vector<int32_t> positions(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    positions[order[i]] = static_cast<int32_t>(i);
+  }
+  return positions;
+}
+
+std::vector<NodeId> ReachableFrom(const Digraph& graph,
+                                  const std::vector<NodeId>& sources) {
+  const NodeId n = graph.NumNodes();
+  BitVector visited(static_cast<size_t>(n));
+  std::vector<NodeId> stack;
+  for (NodeId s : sources) {
+    TCDB_CHECK(s >= 0 && s < n);
+    if (visited.TestAndSet(s)) stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : graph.Successors(v)) {
+      if (visited.TestAndSet(w)) stack.push_back(w);
+    }
+  }
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < n; ++v) {
+    if (visited.Test(v)) result.push_back(v);
+  }
+  return result;
+}
+
+SccResult StronglyConnectedComponents(const Digraph& graph) {
+  // Iterative Tarjan.
+  const NodeId n = graph.NumNodes();
+  SccResult result;
+  result.component.assign(static_cast<size_t>(n), -1);
+  std::vector<int32_t> index(static_cast<size_t>(n), -1);
+  std::vector<int32_t> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<NodeId> stack;
+  int32_t next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t child = 0;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    call_stack.push_back({root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId v = frame.v;
+      const auto successors = graph.Successors(v);
+      if (frame.child < successors.size()) {
+        const NodeId w = successors[frame.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // All children done: close the SCC if v is a root.
+      if (lowlink[v] == index[v]) {
+        const int32_t id = result.num_components++;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = id;
+        } while (w != v);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const NodeId parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+Condensation Condense(const Digraph& graph) {
+  const SccResult scc = StronglyConnectedComponents(graph);
+  ArcList arcs;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : graph.Successors(v)) {
+      if (scc.component[v] != scc.component[w]) {
+        arcs.push_back(Arc{scc.component[v], scc.component[w]});
+      }
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  Condensation out;
+  out.dag = Digraph(scc.num_components, arcs);
+  out.node_map = scc.component;
+  return out;
+}
+
+namespace {
+
+std::vector<NodeId> BfsSuccessors(const Digraph& graph, NodeId source,
+                                  BitVector* scratch) {
+  scratch->Reset();
+  std::vector<NodeId> stack;
+  std::vector<NodeId> found;
+  for (NodeId w : graph.Successors(source)) {
+    if (scratch->TestAndSet(w)) {
+      stack.push_back(w);
+      found.push_back(w);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : graph.Successors(v)) {
+      if (scratch->TestAndSet(w)) {
+        stack.push_back(w);
+        found.push_back(w);
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> ReferenceClosure(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<std::vector<NodeId>> closure(static_cast<size_t>(n));
+  BitVector scratch(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    closure[v] = BfsSuccessors(graph, v, &scratch);
+  }
+  return closure;
+}
+
+std::vector<std::vector<NodeId>> ReferencePartialClosure(
+    const Digraph& graph, const std::vector<NodeId>& sources) {
+  std::vector<std::vector<NodeId>> closure(sources.size());
+  BitVector scratch(static_cast<size_t>(graph.NumNodes()));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    closure[i] = BfsSuccessors(graph, sources[i], &scratch);
+  }
+  return closure;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,147 @@
+#include "graph/analyzer.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/bit_vector.h"
+
+namespace tcdb {
+
+Result<std::vector<int32_t>> ComputeNodeLevels(const Digraph& graph) {
+  TCDB_ASSIGN_OR_RETURN(std::vector<NodeId> order, TopologicalSort(graph));
+  std::vector<int32_t> levels(static_cast<size_t>(graph.NumNodes()), 1);
+  // Reverse topological order: children are final before their parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    int32_t best = 0;
+    for (NodeId w : graph.Successors(v)) best = std::max(best, levels[w]);
+    levels[v] = 1 + best;
+  }
+  return levels;
+}
+
+int32_t ArcLocality(const std::vector<int32_t>& levels, NodeId src,
+                    NodeId dst) {
+  return levels[src] - levels[dst];
+}
+
+Result<ReductionInfo> ComputeReduction(const Digraph& graph) {
+  TCDB_ASSIGN_OR_RETURN(std::vector<NodeId> order, TopologicalSort(graph));
+  const std::vector<int32_t> positions = OrderPositions(order);
+  const NodeId n = graph.NumNodes();
+
+  ReductionInfo info;
+  info.redundant.resize(static_cast<size_t>(n));
+  // closure[v] = bitset of successors of v. Built bottom-up in reverse
+  // topological order, exactly like the BTC expansion with the marking
+  // optimization: children are considered in topological order, and a child
+  // already present in the accumulated set is redundant.
+  std::vector<BitVector> closure(static_cast<size_t>(n));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    auto successors = graph.Successors(v);
+    // Children in topological order.
+    std::vector<NodeId> children(successors.begin(), successors.end());
+    std::sort(children.begin(), children.end(), [&](NodeId a, NodeId b) {
+      return positions[a] < positions[b];
+    });
+    BitVector& set = closure[v];
+    set.Resize(static_cast<size_t>(n));
+    // Map child -> its position in the Successors(v) (dst-ascending) span,
+    // so redundancy flags align with adjacency iteration order.
+    info.redundant[v].assign(children.size(), false);
+    for (const NodeId child : children) {
+      const auto span = graph.Successors(v);
+      const size_t adj_index = static_cast<size_t>(
+          std::lower_bound(span.begin(), span.end(), child) - span.begin());
+      if (set.Test(static_cast<size_t>(child))) {
+        info.redundant[v][adj_index] = true;
+        ++info.num_redundant_arcs;
+        continue;
+      }
+      set.Set(static_cast<size_t>(child));
+      set.UnionWith(closure[child]);
+    }
+    info.closure_size += static_cast<int64_t>(set.Count());
+  }
+  return info;
+}
+
+Result<RectangleModel> AnalyzeDag(const Digraph& graph, bool with_reduction) {
+  TCDB_ASSIGN_OR_RETURN(std::vector<int32_t> levels, ComputeNodeLevels(graph));
+  RectangleModel model;
+  model.num_arcs = graph.NumArcs();
+  const NodeId n = graph.NumNodes();
+  int64_t level_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    model.max_level = std::max(model.max_level, levels[v]);
+    level_sum += levels[v];
+  }
+  model.height = n == 0 ? 0.0
+                        : static_cast<double>(level_sum) /
+                              static_cast<double>(n);
+  model.width = model.height == 0.0
+                    ? 0.0
+                    : static_cast<double>(model.num_arcs) / model.height;
+
+  int64_t locality_sum = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : graph.Successors(v)) {
+      locality_sum += ArcLocality(levels, v, w);
+    }
+  }
+  model.avg_arc_locality =
+      model.num_arcs == 0
+          ? 0.0
+          : static_cast<double>(locality_sum) /
+                static_cast<double>(model.num_arcs);
+
+  if (with_reduction) {
+    TCDB_ASSIGN_OR_RETURN(ReductionInfo info, ComputeReduction(graph));
+    model.num_redundant_arcs = info.num_redundant_arcs;
+    model.closure_size = info.closure_size;
+    int64_t irredundant_sum = 0;
+    int64_t irredundant_count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      auto successors = graph.Successors(v);
+      for (size_t k = 0; k < successors.size(); ++k) {
+        if (!info.redundant[v][k]) {
+          irredundant_sum += ArcLocality(levels, v, successors[k]);
+          ++irredundant_count;
+        }
+      }
+    }
+    model.avg_irredundant_locality =
+        irredundant_count == 0
+            ? 0.0
+            : static_cast<double>(irredundant_sum) /
+                  static_cast<double>(irredundant_count);
+  }
+  return model;
+}
+
+Result<Digraph> TransitiveReduction(const Digraph& graph) {
+  TCDB_ASSIGN_OR_RETURN(ReductionInfo info, ComputeReduction(graph));
+  ArcList arcs;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    auto successors = graph.Successors(v);
+    for (size_t k = 0; k < successors.size(); ++k) {
+      if (!info.redundant[v][k]) arcs.push_back(Arc{v, successors[k]});
+    }
+  }
+  return Digraph(graph.NumNodes(), arcs);
+}
+
+Result<Digraph> TransitiveClosureGraph(const Digraph& graph) {
+  if (!IsAcyclic(graph)) {
+    return Status::InvalidArgument("closure graph requires a DAG");
+  }
+  const auto closure = ReferenceClosure(graph);
+  ArcList arcs;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : closure[v]) arcs.push_back(Arc{v, w});
+  }
+  return Digraph(graph.NumNodes(), arcs);
+}
+
+}  // namespace tcdb

@@ -1,0 +1,68 @@
+#ifndef TCDB_GRAPH_ANALYZER_H_
+#define TCDB_GRAPH_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Node levels per the paper (Section 5.3):
+//   level(i) = 1                          if i is a sink,
+//   level(i) = 1 + max over children j of level(j)   otherwise.
+// Requires a DAG. Computable in one DFS/reverse-topological pass — the
+// paper's Theorem 2 (the statistics come for free during restructuring).
+Result<std::vector<int32_t>> ComputeNodeLevels(const Digraph& graph);
+
+// Arc locality per the paper: locality(i, j) = level(i) - level(j), the
+// "distance" an arc spans; low-locality arcs are the expensive ones because
+// lists are expanded in reverse topological order.
+// (Always >= 1 on a DAG.)
+int32_t ArcLocality(const std::vector<int32_t>& levels, NodeId src, NodeId dst);
+
+// Per-arc redundancy flags and closure sizes, computed with the marking
+// procedure (Goralcikova-Koubek): an arc (i, j) is redundant iff it is not
+// in the transitive reduction, i.e. some longer path i ~> j exists.
+struct ReductionInfo {
+  // For node v, redundant[v][k] corresponds to the k-th entry of
+  // Successors(v) (ascending dst order).
+  std::vector<std::vector<bool>> redundant;
+  int64_t num_redundant_arcs = 0;
+  // |TC(G)|: number of (x, y), x != y, with y reachable from x.
+  int64_t closure_size = 0;
+};
+Result<ReductionInfo> ComputeReduction(const Digraph& graph);
+
+// The paper's rectangle model plus the other per-graph statistics reported
+// in Table 2.
+struct RectangleModel {
+  int64_t num_arcs = 0;
+  int32_t max_level = 0;
+  // H(G): mean node level. Identical for G, TR(G) and TC(G) (Theorem 1.1).
+  double height = 0.0;
+  // W(G) = |G| / H(G). Monotone under reduction/closure (Theorem 1.2).
+  double width = 0.0;
+  double avg_arc_locality = 0.0;
+  double avg_irredundant_locality = 0.0;
+  int64_t num_redundant_arcs = 0;
+  int64_t closure_size = 0;
+};
+
+// Computes the full model. `with_reduction` enables the redundancy-aware
+// statistics (irredundant locality, closure size), which cost O(n * |TC|/64)
+// instead of a single pass.
+Result<RectangleModel> AnalyzeDag(const Digraph& graph,
+                                  bool with_reduction = true);
+
+// Builds the transitive reduction as a graph (keeps only irredundant arcs).
+Result<Digraph> TransitiveReduction(const Digraph& graph);
+
+// Builds the transitive closure as a graph (arc (x, y) for every reachable
+// pair, x != y). In-memory utility for tests of Theorem 1.
+Result<Digraph> TransitiveClosureGraph(const Digraph& graph);
+
+}  // namespace tcdb
+
+#endif  // TCDB_GRAPH_ANALYZER_H_

@@ -1,0 +1,44 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace tcdb {
+
+Digraph::Digraph(NodeId num_nodes, const ArcList& arcs) {
+  TCDB_CHECK_GE(num_nodes, 0);
+  offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Arc& arc : arcs) {
+    TCDB_CHECK(arc.src >= 0 && arc.src < num_nodes) << "src out of range";
+    TCDB_CHECK(arc.dst >= 0 && arc.dst < num_nodes) << "dst out of range";
+    offsets_[arc.src + 1]++;
+  }
+  for (size_t v = 1; v < offsets_.size(); ++v) offsets_[v] += offsets_[v - 1];
+  targets_.resize(arcs.size());
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Arc& arc : arcs) targets_[cursor[arc.src]++] = arc.dst;
+  // Keep each adjacency list sorted for deterministic iteration.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::sort(targets_.begin() + offsets_[v], targets_.begin() + offsets_[v + 1]);
+  }
+}
+
+ArcList Digraph::ToArcs() const {
+  ArcList arcs;
+  arcs.reserve(targets_.size());
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    for (NodeId w : Successors(v)) arcs.push_back(Arc{v, w});
+  }
+  std::sort(arcs.begin(), arcs.end());
+  return arcs;
+}
+
+Digraph Digraph::Reversed() const {
+  ArcList arcs;
+  arcs.reserve(targets_.size());
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    for (NodeId w : Successors(v)) arcs.push_back(Arc{w, v});
+  }
+  return Digraph(NumNodes(), arcs);
+}
+
+}  // namespace tcdb

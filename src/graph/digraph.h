@@ -1,0 +1,55 @@
+#ifndef TCDB_GRAPH_DIGRAPH_H_
+#define TCDB_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relation/arc.h"
+#include "util/check.h"
+
+namespace tcdb {
+
+// Node identifier. Nodes are dense integers in [0, NumNodes()).
+using NodeId = int32_t;
+
+// Immutable in-memory directed graph in CSR (compressed sparse row) form.
+// Used for pure graph manipulation (generation, analysis, oracle closures);
+// all I/O-accounted access goes through the disk-resident structures.
+class Digraph {
+ public:
+  // An empty graph with zero nodes.
+  Digraph() : offsets_(1, 0) {}
+
+  // Builds from an arc list. `num_nodes` must exceed every endpoint.
+  // Arcs need not be sorted; parallel arcs are preserved as given.
+  Digraph(NodeId num_nodes, const ArcList& arcs);
+
+  NodeId NumNodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+  int64_t NumArcs() const { return static_cast<int64_t>(targets_.size()); }
+
+  int32_t OutDegree(NodeId v) const {
+    TCDB_DCHECK(v >= 0 && v < NumNodes());
+    return static_cast<int32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const NodeId> Successors(NodeId v) const {
+    TCDB_DCHECK(v >= 0 && v < NumNodes());
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  // Returns all arcs sorted by (src, dst).
+  ArcList ToArcs() const;
+
+  // Returns the graph with every arc reversed.
+  Digraph Reversed() const;
+
+ private:
+  std::vector<int64_t> offsets_;  // size NumNodes()+1
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_GRAPH_DIGRAPH_H_

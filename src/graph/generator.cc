@@ -1,0 +1,75 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace tcdb {
+
+ArcList GenerateDag(const GeneratorParams& params) {
+  TCDB_CHECK_GT(params.num_nodes, 0);
+  TCDB_CHECK_GE(params.avg_out_degree, 0);
+  TCDB_CHECK_GE(params.locality, 1);
+  Rng rng(params.seed);
+  ArcList arcs;
+  arcs.reserve(static_cast<size_t>(params.num_nodes) *
+               static_cast<size_t>(params.avg_out_degree));
+  const NodeId n = params.num_nodes;
+  for (NodeId i = 0; i < n; ++i) {
+    // Paper: actual out-degree uniform in [0, 2F]; arcs restricted to
+    // [i+1, min(i+l, n)] (1-based), i.e. [i+1, min(i+l, n-1)] 0-based.
+    const int32_t degree =
+        static_cast<int32_t>(rng.Uniform(0, 2 * params.avg_out_degree));
+    const NodeId lo = i + 1;
+    const NodeId hi = std::min<NodeId>(i + params.locality, n - 1);
+    if (lo > hi) continue;  // Last node: no forward targets.
+    for (int32_t d = 0; d < degree; ++d) {
+      const NodeId target = static_cast<NodeId>(rng.Uniform(lo, hi));
+      arcs.push_back(Arc{i, target});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  return arcs;
+}
+
+ArcList GenerateCyclicDigraph(const GeneratorParams& params,
+                              int32_t num_back_arcs) {
+  ArcList arcs = GenerateDag(params);
+  Rng rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  const NodeId n = params.num_nodes;
+  for (int32_t k = 0; k < num_back_arcs; ++k) {
+    // A back arc goes from a higher-numbered node to a lower-numbered one,
+    // guaranteeing it can close a cycle with forward arcs.
+    const NodeId src = static_cast<NodeId>(rng.Uniform(1, n - 1));
+    const NodeId dst = static_cast<NodeId>(rng.Uniform(0, src - 1));
+    arcs.push_back(Arc{src, dst});
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  return arcs;
+}
+
+std::vector<NodeId> SampleSourceNodes(NodeId num_nodes, int32_t count,
+                                      uint64_t seed) {
+  TCDB_CHECK_GE(count, 0);
+  TCDB_CHECK_LE(count, num_nodes);
+  Rng rng(seed);
+  // Floyd's algorithm for a uniform sample without replacement.
+  std::vector<NodeId> sample;
+  std::vector<bool> chosen(static_cast<size_t>(num_nodes), false);
+  for (NodeId j = num_nodes - count; j < num_nodes; ++j) {
+    const NodeId t = static_cast<NodeId>(rng.Uniform(0, j));
+    if (chosen[t]) {
+      sample.push_back(j);
+      chosen[j] = true;
+    } else {
+      sample.push_back(t);
+      chosen[t] = true;
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,44 @@
+#ifndef TCDB_GRAPH_GENERATOR_H_
+#define TCDB_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "relation/arc.h"
+
+namespace tcdb {
+
+// Parameters of the paper's synthetic DAG generator (Section 5.2):
+//   - num_nodes (n): number of nodes,
+//   - avg_out_degree (F): the actual out-degree of each node is uniform in
+//     [0, 2F],
+//   - locality (l): arcs out of node i may only reach nodes in
+//     [i+1, min(i+l, n)] ("generation locality").
+// Duplicate arcs produced by the routine are eliminated, so the realized
+// arc count is usually below n*F — especially when l caps the fanout (the
+// paper calls out G10).
+struct GeneratorParams {
+  NodeId num_nodes = 2000;
+  int32_t avg_out_degree = 5;   // F
+  int32_t locality = 200;       // l
+  uint64_t seed = 1;
+};
+
+// Generates the arc list of a random DAG per `params`, sorted by (src, dst)
+// and duplicate-free. Deterministic in `params.seed`.
+ArcList GenerateDag(const GeneratorParams& params);
+
+// Generates a random *cyclic* digraph: a DAG per `params` plus `num_back_arcs`
+// uniformly random back arcs. Used to exercise the condensation path (the
+// study itself runs on acyclic graphs; see paper Section 1).
+ArcList GenerateCyclicDigraph(const GeneratorParams& params,
+                              int32_t num_back_arcs);
+
+// Source-set sampler for PTC queries: `count` distinct nodes drawn uniformly
+// from [0, num_nodes), deterministic in `seed`, returned sorted.
+std::vector<NodeId> SampleSourceNodes(NodeId num_nodes, int32_t count,
+                                      uint64_t seed);
+
+}  // namespace tcdb
+
+#endif  // TCDB_GRAPH_GENERATOR_H_

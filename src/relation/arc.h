@@ -1,0 +1,35 @@
+#ifndef TCDB_RELATION_ARC_H_
+#define TCDB_RELATION_ARC_H_
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace tcdb {
+
+// One tuple of the binary input relation: an arc (src, dst) of the graph.
+// 8 bytes, exactly as in the paper ("tuples are 8 bytes long (two
+// integers)"), giving 256 tuples per 2048-byte page.
+struct Arc {
+  int32_t src = 0;
+  int32_t dst = 0;
+
+  auto operator<=>(const Arc&) const = default;
+};
+
+static_assert(sizeof(Arc) == 8);
+
+inline constexpr size_t kTuplesPerPage = kPageSize / sizeof(Arc);  // 256
+static_assert(kTuplesPerPage == 256);
+
+using ArcList = std::vector<Arc>;
+
+// Returns a copy of `arcs` with src/dst swapped (the inverse relation used
+// by the dual representation for JKB2).
+ArcList ReverseArcs(const ArcList& arcs);
+
+}  // namespace tcdb
+
+#endif  // TCDB_RELATION_ARC_H_

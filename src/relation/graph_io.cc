@@ -1,0 +1,118 @@
+#include "relation/graph_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tcdb {
+namespace {
+
+// Returns true and advances past leading spaces if more input remains.
+bool SkipSpaces(const std::string& line, size_t* pos) {
+  while (*pos < line.size() && std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+  return *pos < line.size();
+}
+
+bool ParseInt(const std::string& line, size_t* pos, int64_t* out) {
+  if (!SkipSpaces(line, pos)) return false;
+  const char* begin = line.c_str() + *pos;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(begin, &end, 10);
+  if (end == begin || errno != 0) return false;
+  *out = value;
+  *pos += static_cast<size_t>(end - begin);
+  return true;
+}
+
+}  // namespace
+
+Result<LoadedGraph> ParseArcText(const std::string& text) {
+  LoadedGraph graph;
+  NodeId declared_nodes = -1;
+  NodeId max_id = -1;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    size_t pos = 0;
+    if (!SkipSpaces(line, &pos)) continue;  // blank
+    if (line[pos] == '#') {
+      // Optional "# nodes N" header.
+      std::istringstream comment(line.substr(pos + 1));
+      std::string keyword;
+      int64_t value = 0;
+      if (comment >> keyword >> value && keyword == "nodes") {
+        if (value <= 0) {
+          return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                         ": nodes header must be positive");
+        }
+        declared_nodes = static_cast<NodeId>(value);
+      }
+      continue;
+    }
+    int64_t src = 0;
+    int64_t dst = 0;
+    if (!ParseInt(line, &pos, &src) || !ParseInt(line, &pos, &dst)) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected 'src dst'");
+    }
+    if (SkipSpaces(line, &pos) && line[pos] != '#') {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": trailing tokens");
+    }
+    if (src < 0 || dst < 0 || src > INT32_MAX || dst > INT32_MAX) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": node id out of range");
+    }
+    graph.arcs.push_back(
+        Arc{static_cast<NodeId>(src), static_cast<NodeId>(dst)});
+    max_id = std::max({max_id, static_cast<NodeId>(src),
+                       static_cast<NodeId>(dst)});
+  }
+  std::sort(graph.arcs.begin(), graph.arcs.end());
+  graph.arcs.erase(std::unique(graph.arcs.begin(), graph.arcs.end()),
+                   graph.arcs.end());
+  graph.num_nodes = declared_nodes > 0 ? declared_nodes : max_id + 1;
+  if (graph.num_nodes <= 0) {
+    return Status::InvalidArgument("empty graph with no nodes header");
+  }
+  if (max_id >= graph.num_nodes) {
+    return Status::InvalidArgument(
+        "arc references node beyond the declared node count");
+  }
+  return graph;
+}
+
+Result<LoadedGraph> ReadArcFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseArcText(contents.str());
+}
+
+Status WriteArcFile(const std::string& path, const ArcList& arcs,
+                    NodeId num_nodes) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  file << "# nodes " << num_nodes << "\n";
+  for (const Arc& arc : arcs) {
+    file << arc.src << " " << arc.dst << "\n";
+  }
+  file.flush();
+  return file ? Status::Ok()
+              : Status::InvalidArgument("write to " + path + " failed");
+}
+
+}  // namespace tcdb

@@ -1,0 +1,39 @@
+#ifndef TCDB_RELATION_GRAPH_IO_H_
+#define TCDB_RELATION_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "relation/arc.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Plain-text arc-list files:
+//   # comment lines start with '#'
+//   # an optional header fixes the node count:
+//   # nodes 2000
+//   0 17
+//   0 23
+//   ...
+// Node ids are non-negative integers. Without a header, the node count is
+// inferred as max id + 1.
+struct LoadedGraph {
+  ArcList arcs;  // sorted by (src, dst), duplicates removed
+  NodeId num_nodes = 0;
+};
+
+// Parses an arc-list file. Duplicate arcs are dropped; self-loops and
+// cycles are allowed (callers that need a DAG should condense).
+Result<LoadedGraph> ReadArcFile(const std::string& path);
+
+// Parses the same format from a string (testing / embedding).
+Result<LoadedGraph> ParseArcText(const std::string& text);
+
+// Writes the format back out (with a nodes header).
+Status WriteArcFile(const std::string& path, const ArcList& arcs,
+                    NodeId num_nodes);
+
+}  // namespace tcdb
+
+#endif  // TCDB_RELATION_GRAPH_IO_H_

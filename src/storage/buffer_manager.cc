@@ -1,0 +1,195 @@
+#include "storage/buffer_manager.h"
+
+namespace tcdb {
+
+AccessStats::HitMiss AccessStats::ForPhase(Phase phase) const {
+  HitMiss out;
+  for (const auto& cells : per_file_) out += cells[static_cast<size_t>(phase)];
+  return out;
+}
+
+AccessStats::HitMiss AccessStats::ForFileAndPhase(FileId file,
+                                                  Phase phase) const {
+  if (file >= per_file_.size()) return {};
+  return per_file_[file][static_cast<size_t>(phase)];
+}
+
+AccessStats::HitMiss AccessStats::Total() const {
+  HitMiss out;
+  for (const auto& cells : per_file_) {
+    for (const auto& cell : cells) out += cell;
+  }
+  return out;
+}
+
+BufferManager::BufferManager(Pager* pager, size_t num_frames,
+                             PagePolicy policy, uint64_t seed)
+    : pager_(pager),
+      frames_(num_frames),
+      policy_(MakeReplacementPolicy(policy, num_frames, seed)) {
+  TCDB_CHECK_GT(num_frames, 0u);
+  free_frames_.reserve(num_frames);
+  for (size_t f = num_frames; f-- > 0;) free_frames_.push_back(f);
+}
+
+bool BufferManager::IsPinned(PageId id) const {
+  auto it = page_table_.find(id);
+  return it != page_table_.end() && frames_[it->second].pin_count > 0;
+}
+
+size_t BufferManager::PinnedCount() const {
+  size_t count = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.valid && frame.pin_count > 0) ++count;
+  }
+  return count;
+}
+
+Result<Page*> BufferManager::FetchPage(PageId id) {
+  const Phase phase = pager_->phase();
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    frame.pin_count++;
+    policy_->OnAccess(it->second);
+    access_stats_.RecordHit(id.file, phase);
+    return &frame.page;
+  }
+  Result<size_t> frame_index = AcquireFrame();
+  if (!frame_index.ok()) return frame_index.status();
+  const size_t f = frame_index.value();
+  Frame& frame = frames_[f];
+  pager_->ReadPage(id.file, id.page_no, &frame.page);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.valid = true;
+  page_table_[id] = f;
+  policy_->OnInsert(f);
+  access_stats_.RecordMiss(id.file, phase);
+  return &frame.page;
+}
+
+Result<std::pair<PageNumber, Page*>> BufferManager::NewPage(FileId file) {
+  Result<size_t> frame_index = AcquireFrame();
+  if (!frame_index.ok()) return frame_index.status();
+  const size_t f = frame_index.value();
+  const PageNumber page_no = pager_->AllocatePage(file);
+  Frame& frame = frames_[f];
+  frame.page.Zero();
+  frame.id = PageId{file, page_no};
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.valid = true;
+  page_table_[frame.id] = f;
+  policy_->OnInsert(f);
+  return std::make_pair(page_no, &frame.page);
+}
+
+void BufferManager::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  TCDB_CHECK(it != page_table_.end()) << "unpin of uncached page";
+  Frame& frame = frames_[it->second];
+  TCDB_CHECK_GT(frame.pin_count, 0u) << "unpin of unpinned page";
+  frame.pin_count--;
+  frame.dirty = frame.dirty || dirty;
+}
+
+Result<size_t> BufferManager::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  auto is_candidate = [this](size_t f) {
+    return frames_[f].valid && frames_[f].pin_count == 0;
+  };
+  std::optional<size_t> victim = policy_->PickVictim(is_candidate);
+  if (!victim.has_value()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  EvictFrame(*victim);
+  return *victim;
+}
+
+void BufferManager::EvictFrame(size_t f) {
+  Frame& frame = frames_[f];
+  TCDB_CHECK(frame.valid);
+  TCDB_CHECK_EQ(frame.pin_count, 0u);
+  if (frame.dirty) {
+    pager_->WritePage(frame.id.file, frame.id.page_no, frame.page);
+  }
+  page_table_.erase(frame.id);
+  policy_->OnRemove(f);
+  frame.valid = false;
+  frame.dirty = false;
+}
+
+void BufferManager::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.valid && frame.dirty) {
+      pager_->WritePage(frame.id.file, frame.id.page_no, frame.page);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferManager::FlushFile(FileId file) {
+  for (Frame& frame : frames_) {
+    if (frame.valid && frame.dirty && frame.id.file == file) {
+      pager_->WritePage(frame.id.file, frame.id.page_no, frame.page);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferManager::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.dirty) {
+    pager_->WritePage(frame.id.file, frame.id.page_no, frame.page);
+    frame.dirty = false;
+  }
+}
+
+void BufferManager::DiscardPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  const size_t f = it->second;
+  Frame& frame = frames_[f];
+  TCDB_CHECK_EQ(frame.pin_count, 0u) << "discard of pinned page";
+  page_table_.erase(it);
+  policy_->OnRemove(f);
+  frame.valid = false;
+  frame.dirty = false;
+  free_frames_.push_back(f);
+}
+
+void BufferManager::DiscardFile(FileId file) {
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    Frame& frame = frames_[f];
+    if (!frame.valid || frame.id.file != file) continue;
+    TCDB_CHECK_EQ(frame.pin_count, 0u) << "DiscardFile with pinned page";
+    page_table_.erase(frame.id);
+    policy_->OnRemove(f);
+    frame.valid = false;
+    frame.dirty = false;
+    free_frames_.push_back(f);
+  }
+}
+
+void BufferManager::DiscardAll() {
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    Frame& frame = frames_[f];
+    if (!frame.valid) continue;
+    TCDB_CHECK_EQ(frame.pin_count, 0u) << "DiscardAll with pinned page";
+    page_table_.erase(frame.id);
+    policy_->OnRemove(f);
+    frame.valid = false;
+    frame.dirty = false;
+    free_frames_.push_back(f);
+  }
+}
+
+}  // namespace tcdb

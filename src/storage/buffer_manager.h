@@ -1,0 +1,142 @@
+#ifndef TCDB_STORAGE_BUFFER_MANAGER_H_
+#define TCDB_STORAGE_BUFFER_MANAGER_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "storage/replacement_policy.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Buffer hit/miss counters, attributed by file and phase. The paper's
+// Figure 13 reports the hit ratio of successor-list page requests during the
+// computation phase only, which requires this granularity.
+class AccessStats {
+ public:
+  struct HitMiss {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t requests() const { return hits + misses; }
+    double HitRatio() const {
+      const uint64_t r = requests();
+      return r == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(r);
+    }
+    HitMiss& operator+=(const HitMiss& other) {
+      hits += other.hits;
+      misses += other.misses;
+      return *this;
+    }
+  };
+
+  void RecordHit(FileId file, Phase phase) { Cell(file, phase).hits++; }
+  void RecordMiss(FileId file, Phase phase) { Cell(file, phase).misses++; }
+
+  HitMiss ForPhase(Phase phase) const;
+  HitMiss ForFileAndPhase(FileId file, Phase phase) const;
+  HitMiss Total() const;
+
+  void Reset() { per_file_.clear(); }
+
+ private:
+  HitMiss& Cell(FileId file, Phase phase) {
+    if (file >= per_file_.size()) per_file_.resize(file + 1);
+    return per_file_[file][static_cast<size_t>(phase)];
+  }
+
+  std::vector<std::array<HitMiss, kNumPhases>> per_file_;
+};
+
+// Fixed-size buffer pool over the simulated disk. All algorithm page traffic
+// goes through FetchPage/NewPage/Unpin; device I/O happens only on misses
+// and dirty evictions, which is what makes the recorded page I/O counts
+// meaningful.
+//
+// Pin discipline: FetchPage and NewPage return the page pinned; every
+// successful call must be matched by exactly one Unpin. Pins nest. The pool
+// reports kResourceExhausted when a miss occurs while every frame is pinned
+// (the Hybrid algorithm uses this signal for dynamic reblocking).
+class BufferManager {
+ public:
+  BufferManager(Pager* pager, size_t num_frames, PagePolicy policy,
+                uint64_t seed = 0x7c0ffee);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  // Returns the page pinned, reading it from disk on a miss.
+  Result<Page*> FetchPage(PageId id);
+
+  // Allocates a fresh zeroed page in `file`, pinned and dirty. The new page
+  // is born in the pool (no device read).
+  Result<std::pair<PageNumber, Page*>> NewPage(FileId file);
+
+  // Releases one pin; `dirty` marks the frame as modified.
+  void Unpin(PageId id, bool dirty);
+
+  bool IsCached(PageId id) const { return page_table_.contains(id); }
+  bool IsPinned(PageId id) const;
+
+  // Writes all dirty unpinned-or-pinned frames to disk (does not evict).
+  void FlushAll();
+
+  // Writes dirty frames of `file` to disk (does not evict).
+  void FlushFile(FileId file);
+
+  // Writes the page to disk if it is cached and dirty (does not evict).
+  void FlushPage(PageId id);
+
+  // Drops the page from the pool without writing it, if cached. The page
+  // must not be pinned. Used for PTC, where expanded non-source lists are
+  // not part of the query answer and are not written out.
+  void DiscardPage(PageId id);
+
+  // Drops every unpinned frame without writing. Fatal if any frame is
+  // pinned.
+  void DiscardAll();
+
+  // Drops every cached page of `file` without writing (fatal if any is
+  // pinned). Required before truncating a file.
+  void DiscardFile(FileId file);
+
+  size_t num_frames() const { return frames_.size(); }
+  size_t PinnedCount() const;
+  size_t CachedCount() const { return page_table_.size(); }
+
+  const AccessStats& access_stats() const { return access_stats_; }
+  void ResetStats() { access_stats_.Reset(); }
+
+  Pager* pager() { return pager_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+    Page page;
+  };
+
+  // Finds a free frame, evicting a victim if necessary. Returns the frame
+  // index or kResourceExhausted.
+  Result<size_t> AcquireFrame();
+
+  void EvictFrame(size_t frame);
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  AccessStats access_stats_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_STORAGE_BUFFER_MANAGER_H_

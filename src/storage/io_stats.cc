@@ -1,0 +1,43 @@
+#include "storage/io_stats.h"
+
+namespace tcdb {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kSetup:
+      return "setup";
+    case Phase::kRestructuring:
+      return "restructuring";
+    case Phase::kComputation:
+      return "computation";
+  }
+  return "unknown";
+}
+
+IoCounters IoStats::ForPhase(Phase phase) const {
+  IoCounters out;
+  for (const auto& cells : per_file_) {
+    out += cells[static_cast<size_t>(phase)];
+  }
+  return out;
+}
+
+IoCounters IoStats::ForFile(FileId file) const {
+  IoCounters out;
+  if (file < per_file_.size()) {
+    for (const auto& cell : per_file_[file]) out += cell;
+  }
+  return out;
+}
+
+IoCounters IoStats::Total() const {
+  IoCounters out;
+  for (const auto& cells : per_file_) {
+    for (const auto& cell : cells) out += cell;
+  }
+  return out;
+}
+
+void IoStats::Reset() { per_file_.clear(); }
+
+}  // namespace tcdb

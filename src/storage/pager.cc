@@ -1,0 +1,54 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+namespace tcdb {
+
+FileId Pager::CreateFile(std::string name) {
+  TCDB_CHECK_LT(files_.size(), static_cast<size_t>(UINT16_MAX));
+  files_.push_back(File{std::move(name), {}});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+const std::string& Pager::FileName(FileId file) const {
+  TCDB_CHECK_LT(file, files_.size());
+  return files_[file].name;
+}
+
+PageNumber Pager::FileSize(FileId file) const {
+  TCDB_CHECK_LT(file, files_.size());
+  return static_cast<PageNumber>(files_[file].pages.size());
+}
+
+Pager::File& Pager::GetFile(FileId file) {
+  TCDB_CHECK_LT(file, files_.size());
+  return files_[file];
+}
+
+PageNumber Pager::AllocatePage(FileId file) {
+  File& f = GetFile(file);
+  auto page = std::make_unique<Page>();
+  page->Zero();
+  f.pages.push_back(std::move(page));
+  return static_cast<PageNumber>(f.pages.size() - 1);
+}
+
+void Pager::TruncateFile(FileId file) { GetFile(file).pages.clear(); }
+
+void Pager::ReadPage(FileId file, PageNumber page_no, Page* out) {
+  File& f = GetFile(file);
+  TCDB_CHECK_LT(page_no, f.pages.size())
+      << "read past end of file '" << f.name << "'";
+  std::memcpy(out->data, f.pages[page_no]->data, kPageSize);
+  stats_.RecordRead(file, phase_);
+}
+
+void Pager::WritePage(FileId file, PageNumber page_no, const Page& in) {
+  File& f = GetFile(file);
+  TCDB_CHECK_LT(page_no, f.pages.size())
+      << "write past end of file '" << f.name << "'";
+  std::memcpy(f.pages[page_no]->data, in.data, kPageSize);
+  stats_.RecordWrite(file, phase_);
+}
+
+}  // namespace tcdb

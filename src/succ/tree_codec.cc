@@ -1,0 +1,105 @@
+#include "succ/tree_codec.h"
+
+namespace tcdb {
+
+FlatTree::FlatTree(NodeId root) {
+  nodes_.push_back(root);
+  parent_.push_back(-1);
+  num_children_.push_back(0);
+  first_child_.push_back(-1);
+  last_child_.push_back(-1);
+  next_sibling_.push_back(-1);
+  index_[root] = 0;
+}
+
+int32_t FlatTree::IndexOf(NodeId node) const {
+  auto it = index_.find(node);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int32_t FlatTree::AddChild(int32_t parent_index, NodeId node) {
+  TCDB_CHECK(parent_index >= 0 && parent_index < size());
+  TCDB_CHECK(!Contains(node)) << "node already in tree";
+  const int32_t index = size();
+  nodes_.push_back(node);
+  parent_.push_back(parent_index);
+  num_children_.push_back(0);
+  first_child_.push_back(-1);
+  last_child_.push_back(-1);
+  next_sibling_.push_back(-1);
+  index_[node] = index;
+  if (first_child_[parent_index] == -1) {
+    first_child_[parent_index] = index;
+  } else {
+    next_sibling_[last_child_[parent_index]] = index;
+  }
+  last_child_[parent_index] = index;
+  num_children_[parent_index]++;
+  return index;
+}
+
+std::vector<int32_t> FlatTree::ChildrenOf(int32_t index) const {
+  TCDB_CHECK(index >= 0 && index < size());
+  std::vector<int32_t> children;
+  children.reserve(static_cast<size_t>(num_children_[index]));
+  for (int32_t c = first_child_[index]; c != -1; c = next_sibling_[c]) {
+    children.push_back(c);
+  }
+  return children;
+}
+
+std::vector<int32_t> EncodeTree(const FlatTree& tree) {
+  std::vector<int32_t> out;
+  if (tree.size() == 1) {
+    out.push_back(tree.root() + 1);
+    return out;
+  }
+  // BFS over internal nodes; the tree's index order is already a valid BFS
+  // substitute because parents precede children... not guaranteed after
+  // arbitrary construction order, so do an explicit BFS.
+  std::vector<int32_t> queue = {0};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const int32_t p = queue[qi];
+    if (tree.NumChildren(p) == 0) continue;
+    out.push_back(-(tree.NodeAt(p) + 1));
+    for (int32_t c : tree.ChildrenOf(p)) {
+      out.push_back(tree.NodeAt(c) + 1);
+      queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<FlatTree> DecodeTree(std::span<const int32_t> encoded) {
+  if (encoded.empty()) {
+    return Status::InvalidArgument("empty tree encoding");
+  }
+  if (encoded[0] > 0) {
+    if (encoded.size() != 1) {
+      return Status::InvalidArgument(
+          "single-node encoding with trailing entries");
+    }
+    return FlatTree(encoded[0] - 1);
+  }
+  FlatTree tree(-encoded[0] - 1);
+  int32_t current_parent = 0;
+  for (size_t i = 1; i < encoded.size(); ++i) {
+    const int32_t value = encoded[i];
+    if (value == 0) return Status::InvalidArgument("zero entry in encoding");
+    if (value < 0) {
+      const int32_t index = tree.IndexOf(-value - 1);
+      if (index == -1) {
+        return Status::InvalidArgument("parent marker for unknown node");
+      }
+      current_parent = index;
+    } else {
+      if (tree.Contains(value - 1)) {
+        return Status::InvalidArgument("duplicate node in encoding");
+      }
+      tree.AddChild(current_parent, value - 1);
+    }
+  }
+  return tree;
+}
+
+}  // namespace tcdb

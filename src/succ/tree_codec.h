@@ -1,0 +1,68 @@
+#ifndef TCDB_SUCC_TREE_CODEC_H_
+#define TCDB_SUCC_TREE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// In-memory rooted tree over node ids, used for the successor spanning
+// trees of SPN and the special-node predecessor trees of JKB/JKB2.
+// Nodes are unique within a tree. Child order is append order.
+class FlatTree {
+ public:
+  explicit FlatTree(NodeId root);
+
+  NodeId root() const { return nodes_[0]; }
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  bool Contains(NodeId node) const { return index_.contains(node); }
+  // Index of `node` within the tree, or -1.
+  int32_t IndexOf(NodeId node) const;
+
+  NodeId NodeAt(int32_t index) const { return nodes_[index]; }
+  int32_t ParentOf(int32_t index) const { return parent_[index]; }
+  int32_t NumChildren(int32_t index) const { return num_children_[index]; }
+
+  // Adds `node` (must be absent) as the last child of `parent_index`.
+  // Returns the new node's index.
+  int32_t AddChild(int32_t parent_index, NodeId node);
+
+  // Children indices of `index`, in insertion order.
+  std::vector<int32_t> ChildrenOf(int32_t index) const;
+
+  // All node ids in index (BFS-compatible insertion) order.
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> num_children_;
+  std::vector<int32_t> first_child_;
+  std::vector<int32_t> last_child_;
+  std::vector<int32_t> next_sibling_;
+  std::unordered_map<NodeId, int32_t> index_;
+};
+
+// Serializes a tree into the paper's on-disk format: "each parent (internal
+// node) [is stored] once, followed by a list of its children. Parent nodes
+// are distinguished by negating their values" (Section 4.1). Values are
+// biased by +1 so node 0 survives negation. Internal nodes are emitted in
+// BFS order, which guarantees each parent already appeared as a child of an
+// earlier entry (or is the root).
+//
+// A tree consisting only of its root encodes as the single positive entry
+// for the root.
+std::vector<int32_t> EncodeTree(const FlatTree& tree);
+
+// Inverse of EncodeTree. Fails on malformed input.
+Result<FlatTree> DecodeTree(std::span<const int32_t> encoded);
+
+}  // namespace tcdb
+
+#endif  // TCDB_SUCC_TREE_CODEC_H_

@@ -1,0 +1,23 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+
+namespace tcdb {
+
+size_t BitVector::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void BitVector::UnionWith(const BitVector& other) {
+  TCDB_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::IntersectWith(const BitVector& other) {
+  TCDB_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+}  // namespace tcdb

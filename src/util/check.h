@@ -1,0 +1,65 @@
+#ifndef TCDB_UTIL_CHECK_H_
+#define TCDB_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace tcdb {
+namespace internal {
+
+// Terminates the process after printing `message` together with the source
+// location of the failed check. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream collector used by the TCDB_CHECK* macros to build failure messages.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tcdb
+
+// Fatal assertion macros. These guard programming errors and internal
+// invariants; they are enabled in all build modes because the library is a
+// measurement instrument and silent corruption would invalidate results.
+#define TCDB_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::tcdb::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TCDB_CHECK_EQ(a, b) TCDB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCDB_CHECK_NE(a, b) TCDB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCDB_CHECK_LT(a, b) TCDB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCDB_CHECK_LE(a, b) TCDB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCDB_CHECK_GT(a, b) TCDB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCDB_CHECK_GE(a, b) TCDB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define TCDB_DCHECK(condition) TCDB_CHECK(true || (condition))
+#else
+#define TCDB_DCHECK(condition) TCDB_CHECK(condition)
+#endif
+
+#endif  // TCDB_UTIL_CHECK_H_

@@ -1,0 +1,22 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace tcdb {
+
+int64_t GetEnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0') return default_value;
+  return parsed;
+}
+
+bool GetEnvBool(const char* name, bool default_value) {
+  return GetEnvInt(name, default_value ? 1 : 0) != 0;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,18 @@
+#ifndef TCDB_UTIL_ENV_H_
+#define TCDB_UTIL_ENV_H_
+
+#include <cstdint>
+
+namespace tcdb {
+
+// Returns the integer value of environment variable `name`, or
+// `default_value` when it is unset or unparseable. Bench binaries honor
+// QUICK=1 (fewer seeds / repetitions) so the full suite stays CI-friendly.
+int64_t GetEnvInt(const char* name, int64_t default_value);
+
+// Convenience for QUICK=1 style boolean flags: unset/0 -> false, else true.
+bool GetEnvBool(const char* name, bool default_value = false);
+
+}  // namespace tcdb
+
+#endif  // TCDB_UTIL_ENV_H_

@@ -1,0 +1,46 @@
+#ifndef TCDB_UTIL_STATS_H_
+#define TCDB_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace tcdb {
+
+// Online accumulator for min / max / mean / standard deviation (Welford).
+// Used to aggregate a metric over repeated experiment runs (the paper
+// averages 5 graph instances x 5 source sets per data point).
+class StatAccumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Merge(const StatAccumulator& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_UTIL_STATS_H_

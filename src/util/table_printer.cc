@@ -1,0 +1,99 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+TablePrinter& TablePrinter::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(std::string value) {
+  TCDB_CHECK(!rows_.empty()) << "AddCell before NewRow";
+  TCDB_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(int64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(uint64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddCell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return AddCell(std::string(buf));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (size_t width : widths) out << std::string(width + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::WriteCsv(const std::string& name) const {
+  const char* dir = std::getenv("BENCH_DATA_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream file(std::string(dir) + "/" + name + ".csv");
+  if (!file) return;
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) file << ',';
+      file << CsvEscape(cells[i]);
+    }
+    file << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace tcdb

@@ -1,0 +1,47 @@
+#ifndef TCDB_UTIL_TABLE_PRINTER_H_
+#define TCDB_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcdb {
+
+// Builds aligned, paper-style text tables. The bench binaries use this to
+// print rows analogous to the tables and figure series in the paper.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Starts a new row. Subsequent Add* calls fill its cells left to right.
+  TablePrinter& NewRow();
+
+  TablePrinter& AddCell(std::string value);
+  TablePrinter& AddCell(int64_t value);
+  TablePrinter& AddCell(uint64_t value);
+  TablePrinter& AddCell(int value) { return AddCell(static_cast<int64_t>(value)); }
+  // Formats with `precision` digits after the decimal point.
+  TablePrinter& AddCell(double value, int precision = 2);
+
+  // Writes the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  // Returns the rendered table as a string.
+  std::string ToString() const;
+
+  // Also exports the table as CSV to $BENCH_DATA_DIR/<name>.csv when the
+  // BENCH_DATA_DIR environment variable is set (no-op otherwise); cells
+  // containing commas or quotes are quoted. Lets plotting scripts consume
+  // the bench results without scraping the text tables.
+  void WriteCsv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_UTIL_TABLE_PRINTER_H_

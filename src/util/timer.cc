@@ -1,0 +1,27 @@
+#include "util/timer.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+namespace tcdb {
+namespace {
+
+double ProcessCpuSeconds() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  auto to_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(usage.ru_utime) + to_seconds(usage.ru_stime);
+}
+
+}  // namespace
+
+void CpuTimer::Restart() { start_seconds_ = ProcessCpuSeconds(); }
+
+double CpuTimer::ElapsedSeconds() const {
+  return ProcessCpuSeconds() - start_seconds_;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,43 @@
+#ifndef TCDB_UTIL_TIMER_H_
+#define TCDB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tcdb {
+
+// Wall-clock stopwatch. Corresponds to the "real time" column of the paper's
+// Table 3.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Per-process CPU stopwatch (user + system). Corresponds to the "user time"
+// and "system time" columns of Table 3, which the paper obtained with the
+// Unix time command.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart();
+
+  // CPU seconds (user + system) consumed by this process since Restart().
+  double ElapsedSeconds() const;
+
+ private:
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_UTIL_TIMER_H_

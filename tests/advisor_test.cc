@@ -1,0 +1,139 @@
+// Advisor tests: the recommendations follow the paper's rules, and — the
+// part that matters — the recommended algorithm actually wins (or ties
+// within tolerance) on representative workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/database.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+RectangleModel ModelWith(double width, int64_t arcs) {
+  RectangleModel model;
+  model.width = width;
+  model.num_arcs = arcs;
+  model.height = width == 0 ? 0 : static_cast<double>(arcs) / width;
+  return model;
+}
+
+TEST(AdvisorRulesTest, FullClosureIsBtc) {
+  const Advice advice =
+      RecommendAlgorithm(ModelWith(50, 5000), 1000, QuerySpec::Full());
+  EXPECT_EQ(advice.algorithm, Algorithm::kBtc);
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(AdvisorRulesTest, TinySourceSetIsSearch) {
+  const Advice advice = RecommendAlgorithm(ModelWith(500, 50000), 1000,
+                                           QuerySpec::Partial({1, 2}));
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+}
+
+TEST(AdvisorRulesTest, NarrowSelectiveIsJkb2) {
+  // Beyond the search window (s > 1% of n) but still selective.
+  std::vector<NodeId> sources(60);
+  for (NodeId v = 0; v < 60; ++v) sources[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(40, 8000), 2000,
+                                           QuerySpec::Partial(sources));
+  EXPECT_EQ(advice.algorithm, Algorithm::kJkb2);
+  EXPECT_NE(advice.rationale.find("narrow"), std::string::npos);
+}
+
+TEST(AdvisorRulesTest, SearchWindowScalesWithN) {
+  // 15 sources over 2000 nodes sits inside the paper's Figure 8 range
+  // where SRCH stays cheapest.
+  std::vector<NodeId> sources(15);
+  for (NodeId v = 0; v < 15; ++v) sources[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(40, 8000), 2000,
+                                           QuerySpec::Partial(sources));
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+}
+
+TEST(AdvisorRulesTest, WideSelectiveSparseIsBj) {
+  std::vector<NodeId> sources(60);
+  for (NodeId v = 0; v < 60; ++v) sources[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(400, 4000), 2000,
+                                           QuerySpec::Partial(sources));
+  EXPECT_EQ(advice.algorithm, Algorithm::kBj);
+}
+
+TEST(AdvisorRulesTest, WideSelectiveDenseIsBtc) {
+  std::vector<NodeId> sources(60);
+  for (NodeId v = 0; v < 60; ++v) sources[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(400, 80000), 2000,
+                                           QuerySpec::Partial(sources));
+  EXPECT_EQ(advice.algorithm, Algorithm::kBtc);
+}
+
+TEST(AdvisorRulesTest, LowSelectivityAvoidsJkb2AndSearch) {
+  std::vector<NodeId> many(1500);
+  for (NodeId v = 0; v < 1500; ++v) many[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(40, 8000), 2000,
+                                           QuerySpec::Partial(many));
+  EXPECT_NE(advice.algorithm, Algorithm::kJkb2);
+  EXPECT_NE(advice.algorithm, Algorithm::kSrch);
+}
+
+TEST(AdvisorRulesTest, ConfigThresholdsRespected) {
+  AdvisorConfig config;
+  config.search_source_limit = 10;
+  const Advice advice =
+      RecommendAlgorithm(ModelWith(40, 8000), 2000,
+                         QuerySpec::Partial({1, 2, 3, 4, 5}), config);
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+}
+
+// End-to-end: on representative workloads the advised algorithm is at
+// least competitive with every alternative (within a 1.3x slack — the
+// advisor encodes heuristics, not an oracle).
+TEST(AdvisorEndToEndTest, AdvisedAlgorithmIsCompetitive) {
+  struct Workload {
+    GeneratorParams graph;
+    int32_t num_sources;  // -1 = full closure
+  };
+  const std::vector<Workload> workloads = {
+      {{2000, 5, 20, 1}, 60},    // deep/narrow, selective (G4-like)
+      {{1200, 20, 1200, 2}, 12}, // wide, inside the search window
+      {{1200, 5, 200, 3}, 2},    // tiny source set
+      {{1000, 5, 200, 4}, -1},   // full closure
+  };
+  for (const Workload& workload : workloads) {
+    const ArcList arcs = GenerateDag(workload.graph);
+    auto db = TcDatabase::Create(arcs, workload.graph.num_nodes);
+    ASSERT_TRUE(db.ok());
+    auto model = db.value()->Analyze();
+    ASSERT_TRUE(model.ok());
+    const QuerySpec query =
+        workload.num_sources < 0
+            ? QuerySpec::Full()
+            : QuerySpec::Partial(SampleSourceNodes(
+                  workload.graph.num_nodes, workload.num_sources, 5));
+    const Advice advice = RecommendAlgorithm(
+        model.value(), workload.graph.num_nodes, query);
+
+    ExecOptions options;
+    options.buffer_pages = 10;
+    uint64_t advised_io = 0;
+    uint64_t best_io = UINT64_MAX;
+    for (const Algorithm algorithm :
+         {Algorithm::kBtc, Algorithm::kBj, Algorithm::kSrch,
+          Algorithm::kJkb2}) {
+      auto run = db.value()->Execute(algorithm, query, options);
+      ASSERT_TRUE(run.ok());
+      const uint64_t io = run.value().metrics.TotalIo();
+      if (algorithm == advice.algorithm) advised_io = io;
+      best_io = std::min(best_io, io);
+    }
+    EXPECT_LE(static_cast<double>(advised_io),
+              1.5 * static_cast<double>(best_io))
+        << "advised " << AlgorithmName(advice.algorithm) << " for F="
+        << workload.graph.avg_out_degree << " l=" << workload.graph.locality
+        << " s=" << workload.num_sources;
+  }
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,192 @@
+// End-to-end correctness: every algorithm must produce exactly the
+// reference closure (per-source BFS) for full and partial queries, across
+// graph shapes, buffer sizes and policies.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/database.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+struct Config {
+  Algorithm algorithm;
+  GeneratorParams graph;
+  size_t buffer_pages;
+  bool full_closure;
+  int32_t num_sources;  // PTC only
+};
+
+std::string SanitizeName(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::string ConfigName(const testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  std::string name = SanitizeName(AlgorithmName(c.algorithm));
+  name += "_n" + std::to_string(c.graph.num_nodes);
+  name += "_F" + std::to_string(c.graph.avg_out_degree);
+  name += "_l" + std::to_string(c.graph.locality);
+  name += "_M" + std::to_string(c.buffer_pages);
+  name += c.full_closure ? "_ctc" : "_ptc" + std::to_string(c.num_sources);
+  return name;
+}
+
+class AlgorithmCorrectnessTest : public testing::TestWithParam<Config> {};
+
+TEST_P(AlgorithmCorrectnessTest, MatchesReferenceClosure) {
+  const Config& config = GetParam();
+  const ArcList arcs = GenerateDag(config.graph);
+  const Digraph graph(config.graph.num_nodes, arcs);
+
+  auto db_result = TcDatabase::Create(arcs, config.graph.num_nodes);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  const auto& db = db_result.value();
+
+  QuerySpec query;
+  std::vector<NodeId> sources;
+  if (config.full_closure) {
+    query = QuerySpec::Full();
+    for (NodeId v = 0; v < config.graph.num_nodes; ++v) sources.push_back(v);
+  } else {
+    sources = SampleSourceNodes(config.graph.num_nodes, config.num_sources,
+                                /*seed=*/config.graph.seed * 13 + 7);
+    query = QuerySpec::Partial(sources);
+  }
+
+  ExecOptions options;
+  options.buffer_pages = config.buffer_pages;
+  options.capture_answer = true;
+
+  auto run = db->Execute(config.algorithm, query, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const RunResult& result = run.value();
+
+  const auto expected = ReferencePartialClosure(graph, sources);
+  ASSERT_EQ(result.answer.size(), sources.size());
+  // result.answer is sorted by node id; align with sources sorted.
+  std::vector<NodeId> sorted_sources = sources;
+  std::sort(sorted_sources.begin(), sorted_sources.end());
+  for (size_t i = 0; i < sorted_sources.size(); ++i) {
+    EXPECT_EQ(result.answer[i].first, sorted_sources[i]);
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    const auto it = std::lower_bound(
+        result.answer.begin(), result.answer.end(), s,
+        [](const auto& entry, NodeId node) { return entry.first < node; });
+    ASSERT_NE(it, result.answer.end());
+    ASSERT_EQ(it->first, s);
+    EXPECT_EQ(it->second, expected[i]) << "source " << s;
+  }
+
+  // Metric sanity that must hold for every algorithm.
+  const RunMetrics& m = result.metrics;
+  EXPECT_GE(m.arcs_processed, m.arcs_marked);
+  EXPECT_GE(m.tuples_generated, m.tuples_inserted);
+  int64_t expected_selected = 0;
+  for (const auto& successors : expected) {
+    expected_selected += static_cast<int64_t>(successors.size());
+  }
+  EXPECT_EQ(m.selected_tuples, expected_selected);
+}
+
+std::vector<Config> AllConfigs() {
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kBtc,       Algorithm::kHyb,
+      Algorithm::kBj,        Algorithm::kSrch,
+      Algorithm::kSpn,       Algorithm::kJkb,
+      Algorithm::kJkb2,      Algorithm::kSeminaive,
+      Algorithm::kWarshall,  Algorithm::kWarren,
+      Algorithm::kWarrenBlocked,
+  };
+  const std::vector<GeneratorParams> graphs = {
+      {200, 2, 20, 11},    // deep, sparse
+      {200, 5, 200, 12},   // mid
+      {200, 20, 200, 13},  // dense
+      {150, 3, 150, 14},   // global locality
+  };
+  std::vector<Config> configs;
+  for (const Algorithm algorithm : algorithms) {
+    for (const GeneratorParams& graph : graphs) {
+      configs.push_back({algorithm, graph, 10, /*full=*/true, 0});
+      configs.push_back({algorithm, graph, 10, /*full=*/false, 5});
+      configs.push_back({algorithm, graph, 20, /*full=*/false, 25});
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmCorrectnessTest,
+                         testing::ValuesIn(AllConfigs()), ConfigName);
+
+// Degenerate inputs every algorithm must survive.
+class AlgorithmEdgeCaseTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(AlgorithmEdgeCaseTest, EmptyGraph) {
+  auto db = TcDatabase::Create({}, 10);
+  ASSERT_TRUE(db.ok());
+  auto run = db.value()->Execute(GetParam(), QuerySpec::Full(),
+                                 {.capture_answer = true});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (const auto& [node, successors] : run.value().answer) {
+    EXPECT_TRUE(successors.empty());
+  }
+  EXPECT_EQ(run.value().metrics.selected_tuples, 0);
+}
+
+TEST_P(AlgorithmEdgeCaseTest, SingleArc) {
+  auto db = TcDatabase::Create({Arc{0, 1}}, 2);
+  ASSERT_TRUE(db.ok());
+  auto run = db.value()->Execute(GetParam(), QuerySpec::Full(),
+                                 {.capture_answer = true});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().answer.size(), 2u);
+  EXPECT_EQ(run.value().answer[0].second, std::vector<NodeId>{1});
+  EXPECT_TRUE(run.value().answer[1].second.empty());
+}
+
+TEST_P(AlgorithmEdgeCaseTest, ChainGraph) {
+  // 0 -> 1 -> 2 -> ... -> 19: closure of node i is {i+1, ..., 19}.
+  ArcList arcs;
+  for (NodeId v = 0; v + 1 < 20; ++v) arcs.push_back(Arc{v, v + 1});
+  auto db = TcDatabase::Create(arcs, 20);
+  ASSERT_TRUE(db.ok());
+  auto run = db.value()->Execute(GetParam(), QuerySpec::Partial({0, 10}),
+                                 {.capture_answer = true});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().answer.size(), 2u);
+  EXPECT_EQ(run.value().answer[0].second.size(), 19u);
+  EXPECT_EQ(run.value().answer[1].second.size(), 9u);
+}
+
+TEST_P(AlgorithmEdgeCaseTest, EmptySourceSet) {
+  auto db = TcDatabase::Create({Arc{0, 1}}, 2);
+  ASSERT_TRUE(db.ok());
+  auto run = db.value()->Execute(GetParam(), QuerySpec::Partial({}),
+                                 {.capture_answer = true});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run.value().answer.empty());
+  EXPECT_EQ(run.value().metrics.selected_tuples, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmEdgeCaseTest,
+    testing::Values(Algorithm::kBtc, Algorithm::kHyb, Algorithm::kBj,
+                    Algorithm::kSrch, Algorithm::kSpn, Algorithm::kJkb,
+                    Algorithm::kJkb2, Algorithm::kSeminaive,
+                    Algorithm::kWarshall, Algorithm::kWarren,
+                    Algorithm::kWarrenBlocked),
+    [](const testing::TestParamInfo<Algorithm>& info) {
+      return SanitizeName(AlgorithmName(info.param));
+    });
+
+}  // namespace
+}  // namespace tcdb

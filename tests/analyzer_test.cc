@@ -1,0 +1,176 @@
+// Rectangle-model analyzer tests, including property tests for the paper's
+// Theorem 1: H(G) = H(TR(G)) = H(TC(G)) and W(TR) <= W(G) <= W(TC).
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/analyzer.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+TEST(LevelsTest, HandComputed) {
+  // 0 -> 1 -> 2, 0 -> 2: levels are 3, 2, 1.
+  auto levels = ComputeNodeLevels(Digraph(3, {{0, 1}, {0, 2}, {1, 2}}));
+  ASSERT_TRUE(levels.ok());
+  EXPECT_EQ(levels.value(), (std::vector<int32_t>{3, 2, 1}));
+}
+
+TEST(LevelsTest, SinksAreLevelOne) {
+  auto levels = ComputeNodeLevels(Digraph(3, {}));
+  ASSERT_TRUE(levels.ok());
+  EXPECT_EQ(levels.value(), (std::vector<int32_t>{1, 1, 1}));
+}
+
+TEST(LevelsTest, FailsOnCycle) {
+  EXPECT_FALSE(ComputeNodeLevels(Digraph(2, {{0, 1}, {1, 0}})).ok());
+}
+
+TEST(LevelsTest, ArcLocalityIsPositiveOnDag) {
+  const ArcList arcs = GenerateDag({200, 5, 50, 3});
+  const Digraph graph(200, arcs);
+  auto levels = ComputeNodeLevels(graph);
+  ASSERT_TRUE(levels.ok());
+  for (const Arc& arc : arcs) {
+    EXPECT_GE(ArcLocality(levels.value(), arc.src, arc.dst), 1);
+  }
+}
+
+TEST(ReductionTest, DiamondHasOneRedundantArc) {
+  // 0 -> 1 -> 2 plus shortcut 0 -> 2: the shortcut is redundant.
+  auto info = ComputeReduction(Digraph(3, {{0, 1}, {0, 2}, {1, 2}}));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_redundant_arcs, 1);
+  EXPECT_EQ(info.value().closure_size, 3);  // (0,1) (0,2) (1,2)
+  // Successors(0) = {1, 2}; the arc to 2 (index 1) is the redundant one.
+  EXPECT_FALSE(info.value().redundant[0][0]);
+  EXPECT_TRUE(info.value().redundant[0][1]);
+}
+
+TEST(ReductionTest, ChainHasNoRedundancy) {
+  ArcList arcs;
+  for (NodeId v = 0; v + 1 < 10; ++v) arcs.push_back(Arc{v, v + 1});
+  auto info = ComputeReduction(Digraph(10, arcs));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_redundant_arcs, 0);
+  EXPECT_EQ(info.value().closure_size, 45);  // 9+8+...+1
+}
+
+TEST(ReductionTest, ClosureSizeMatchesReference) {
+  const ArcList arcs = GenerateDag({150, 5, 40, 21});
+  const Digraph graph(150, arcs);
+  auto info = ComputeReduction(graph);
+  ASSERT_TRUE(info.ok());
+  int64_t expected = 0;
+  for (const auto& successors : ReferenceClosure(graph)) {
+    expected += static_cast<int64_t>(successors.size());
+  }
+  EXPECT_EQ(info.value().closure_size, expected);
+}
+
+TEST(ReductionTest, TransitiveReductionPreservesClosure) {
+  const ArcList arcs = GenerateDag({120, 6, 30, 5});
+  const Digraph graph(120, arcs);
+  auto reduced = TransitiveReduction(graph);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced.value().NumArcs(), graph.NumArcs());
+  EXPECT_EQ(ReferenceClosure(reduced.value()), ReferenceClosure(graph));
+}
+
+TEST(ReductionTest, ReductionIsMinimal) {
+  // Removing any arc from TR(G) changes the closure (uniqueness of the DAG
+  // transitive reduction, Aho-Garey-Ullman).
+  const ArcList arcs = GenerateDag({40, 3, 10, 8});
+  const Digraph graph(40, arcs);
+  auto reduced = TransitiveReduction(graph);
+  ASSERT_TRUE(reduced.ok());
+  const ArcList tr_arcs = reduced.value().ToArcs();
+  const auto closure = ReferenceClosure(graph);
+  for (size_t skip = 0; skip < tr_arcs.size(); ++skip) {
+    ArcList pruned;
+    for (size_t i = 0; i < tr_arcs.size(); ++i) {
+      if (i != skip) pruned.push_back(tr_arcs[i]);
+    }
+    EXPECT_NE(ReferenceClosure(Digraph(40, pruned)), closure)
+        << "arc " << tr_arcs[skip].src << "->" << tr_arcs[skip].dst
+        << " is not redundant in TR";
+  }
+}
+
+class RectangleModelPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+// Paper Theorem 1, verified on random DAGs.
+TEST_P(RectangleModelPropertyTest, TheoremOne) {
+  const GeneratorParams params{120, 4, 40, GetParam()};
+  const Digraph graph(params.num_nodes, GenerateDag(params));
+  auto model = AnalyzeDag(graph);
+  ASSERT_TRUE(model.ok());
+  auto tr = TransitiveReduction(graph);
+  ASSERT_TRUE(tr.ok());
+  auto tc = TransitiveClosureGraph(graph);
+  ASSERT_TRUE(tc.ok());
+  auto tr_model = AnalyzeDag(tr.value());
+  auto tc_model = AnalyzeDag(tc.value());
+  ASSERT_TRUE(tr_model.ok());
+  ASSERT_TRUE(tc_model.ok());
+
+  // H(G) = H(TR(G)) = H(TC(G)).
+  EXPECT_DOUBLE_EQ(model.value().height, tr_model.value().height);
+  EXPECT_DOUBLE_EQ(model.value().height, tc_model.value().height);
+  // W(TR(G)) <= W(G) <= W(TC(G)).
+  EXPECT_LE(tr_model.value().width, model.value().width + 1e-9);
+  EXPECT_LE(model.value().width, tc_model.value().width + 1e-9);
+}
+
+// Theorem 2: the model comes from a single traversal — cross-check the
+// one-pass statistics against independently computed quantities.
+TEST_P(RectangleModelPropertyTest, ModelConsistency) {
+  const GeneratorParams params{150, 5, 50, GetParam() + 100};
+  const Digraph graph(params.num_nodes, GenerateDag(params));
+  auto model = AnalyzeDag(graph);
+  ASSERT_TRUE(model.ok());
+  const RectangleModel& m = model.value();
+  EXPECT_EQ(m.num_arcs, graph.NumArcs());
+  // H * W == |G| by construction.
+  EXPECT_NEAR(m.height * m.width, static_cast<double>(m.num_arcs), 1e-6);
+  // Heights and levels.
+  auto levels = ComputeNodeLevels(graph);
+  ASSERT_TRUE(levels.ok());
+  int32_t max_level = 0;
+  int64_t sum = 0;
+  for (const int32_t level : levels.value()) {
+    max_level = std::max(max_level, level);
+    sum += level;
+  }
+  EXPECT_EQ(m.max_level, max_level);
+  EXPECT_DOUBLE_EQ(m.height,
+                   static_cast<double>(sum) / params.num_nodes);
+  EXPECT_GE(m.avg_arc_locality, m.avg_irredundant_locality);
+  EXPECT_LE(m.height, static_cast<double>(m.max_level));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectangleModelPropertyTest,
+                         testing::Range<uint64_t>(1, 9));
+
+TEST(RectangleModelTest, EmptyGraph) {
+  auto model = AnalyzeDag(Digraph(5, {}));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().num_arcs, 0);
+  EXPECT_DOUBLE_EQ(model.value().height, 1.0);  // all sinks, level 1
+  EXPECT_DOUBLE_EQ(model.value().width, 0.0);
+  EXPECT_EQ(model.value().closure_size, 0);
+}
+
+TEST(RectangleModelTest, IrredundantLocalityIsLower) {
+  // Matches the paper's Table 2 observation: the average locality of
+  // irredundant arcs is much lower than the average over all arcs.
+  const Digraph graph(2000, GenerateDag({2000, 20, 200, 4}));
+  auto model = AnalyzeDag(graph);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().avg_irredundant_locality,
+            model.value().avg_arc_locality);
+}
+
+}  // namespace
+}  // namespace tcdb

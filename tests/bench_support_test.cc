@@ -1,0 +1,127 @@
+// Catalog / experiment-driver tests: family definitions, seed handling,
+// QUICK mode, source-set determinism, averaging, and the TupleWriter used
+// for materialized output.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "bench_support/catalog.h"
+#include "bench_support/driver.h"
+
+namespace tcdb {
+namespace {
+
+TEST(CatalogTest, TwelveFamiliesMatchTable1) {
+  const auto& catalog = GraphCatalog();
+  ASSERT_EQ(catalog.size(), 12u);
+  EXPECT_EQ(catalog[0].name, "G1");
+  EXPECT_EQ(catalog[11].name, "G12");
+  // The F x l grid of Table 1.
+  std::set<std::pair<int32_t, int32_t>> combos;
+  for (const GraphFamily& family : catalog) {
+    combos.emplace(family.avg_out_degree, family.locality);
+  }
+  EXPECT_EQ(combos.size(), 12u);
+  for (const int32_t degree : {2, 5, 20, 50}) {
+    for (const int32_t locality : {20, 200, 2000}) {
+      EXPECT_TRUE(combos.contains({degree, locality}))
+          << "F=" << degree << " l=" << locality;
+    }
+  }
+}
+
+TEST(CatalogTest, FamilyByNameRoundTrip) {
+  EXPECT_EQ(FamilyByName("G7").avg_out_degree, 20);
+  EXPECT_EQ(FamilyByName("G7").locality, 20);
+}
+
+TEST(CatalogTest, SeedsAreDistinctAcrossInstancesAndFamilies) {
+  std::set<uint64_t> seeds;
+  for (const GraphFamily& family : GraphCatalog()) {
+    for (int32_t i = 0; i < 5; ++i) {
+      seeds.insert(CatalogParams(family, i).seed);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 60u);
+}
+
+TEST(CatalogTest, DatabaseHas2000Nodes) {
+  auto db = MakeCatalogDatabase(FamilyByName("G1"), 0);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->num_nodes(), 2000);
+  EXPECT_GT(db.value()->arcs().size(), 2000u);
+}
+
+TEST(CatalogTest, QuickModeReducesRepetitions) {
+  unsetenv("QUICK");
+  EXPECT_EQ(NumSeeds(), 5);
+  EXPECT_EQ(NumSourceSets(), 5);
+  setenv("QUICK", "1", 1);
+  EXPECT_EQ(NumSeeds(), 2);
+  EXPECT_EQ(NumSourceSets(), 2);
+  unsetenv("QUICK");
+}
+
+TEST(CatalogTest, SourceSetsAreDeterministicAndDistinct) {
+  const GraphFamily& family = FamilyByName("G5");
+  const auto a = CatalogSources(family, 0, 0, 10);
+  EXPECT_EQ(a, CatalogSources(family, 0, 0, 10));
+  EXPECT_NE(a, CatalogSources(family, 0, 1, 10));
+  EXPECT_NE(a, CatalogSources(family, 1, 0, 10));
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(DriverTest, RunExperimentAveragesRuns) {
+  setenv("QUICK", "1", 1);
+  ExecOptions options;
+  options.buffer_pages = 10;
+  auto ctc = RunExperiment(FamilyByName("G1"), Algorithm::kBtc, -1, options);
+  ASSERT_TRUE(ctc.ok());
+  EXPECT_EQ(ctc.value().runs, 2);  // seeds only for CTC
+  EXPECT_GT(ctc.value().metrics.TotalIo(), 0u);
+  auto ptc = RunExperiment(FamilyByName("G1"), Algorithm::kBtc, 5, options);
+  ASSERT_TRUE(ptc.ok());
+  EXPECT_EQ(ptc.value().runs, 4);  // seeds x source sets
+  unsetenv("QUICK");
+}
+
+TEST(DriverTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(TupleWriterTest, PacksAndCounts) {
+  Pager pager;
+  const FileId file = pager.CreateFile("out");
+  BufferManager buffers(&pager, 8, PagePolicy::kLru);
+  TupleWriter writer(&buffers, file);
+  for (int32_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(writer.Append(Arc{i, i + 1}).ok());
+  }
+  EXPECT_EQ(writer.count(), 600);
+  EXPECT_EQ(writer.num_pages(), 3u);  // ceil(600 / 256)
+  buffers.FlushAll();
+  // Verify contents directly.
+  Page page;
+  pager.ReadPage(file, 1, &page);
+  EXPECT_EQ(page.As<Arc>(0)[0].src, 256);
+  pager.ReadPage(file, 2, &page);
+  EXPECT_EQ(page.As<Arc>(0)[87].src, 599);
+}
+
+TEST(TupleWriterTest, EmptyWriter) {
+  Pager pager;
+  const FileId file = pager.CreateFile("out");
+  BufferManager buffers(&pager, 4, PagePolicy::kLru);
+  TupleWriter writer(&buffers, file);
+  EXPECT_EQ(writer.count(), 0);
+  EXPECT_EQ(writer.num_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace tcdb

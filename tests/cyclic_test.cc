@@ -1,0 +1,145 @@
+// CyclicClosure tests: closure over cyclic graphs via condensation,
+// validated against a direct in-memory reference on the original graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cyclic.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+// Reference reachability on a possibly-cyclic graph: y is a successor of x
+// iff there is a path of length >= 1 from x to y (so x is its own
+// successor exactly when it lies on a cycle).
+std::vector<std::vector<NodeId>> CyclicReference(const Digraph& graph) {
+  std::vector<std::vector<NodeId>> closure(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    std::vector<bool> visited(graph.NumNodes(), false);
+    std::vector<NodeId> stack;
+    for (NodeId w : graph.Successors(v)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        stack.push_back(w);
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId w : graph.Successors(u)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    for (NodeId w = 0; w < graph.NumNodes(); ++w) {
+      if (visited[w]) closure[v].push_back(w);
+    }
+  }
+  return closure;
+}
+
+TEST(CyclicClosureTest, SimpleCycle) {
+  // 0 -> 1 -> 2 -> 0, plus 2 -> 3.
+  const ArcList arcs = {{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  auto closure = CyclicClosure::Create(arcs, 4);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure.value()->condensation().num_nodes(), 2);
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run = closure.value()->Execute(Algorithm::kBtc, QuerySpec::Full(),
+                                      options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().answer.size(), 4u);
+  EXPECT_EQ(run.value().answer[0].second, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(run.value().answer[2].second, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_TRUE(run.value().answer[3].second.empty());
+}
+
+TEST(CyclicClosureTest, AcyclicInputPassesThrough) {
+  const ArcList arcs = {{0, 1}, {1, 2}};
+  auto closure = CyclicClosure::Create(arcs, 3);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure.value()->condensation().num_nodes(), 3);
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run = closure.value()->Execute(Algorithm::kBtc,
+                                      QuerySpec::Partial({0}), options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().answer.size(), 1u);
+  EXPECT_EQ(run.value().answer[0].second, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(CyclicClosureTest, RejectsBadSources) {
+  auto closure = CyclicClosure::Create({{0, 1}}, 2);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_FALSE(
+      closure.value()->Execute(Algorithm::kBtc, QuerySpec::Partial({9}), {})
+          .ok());
+}
+
+TEST(CyclicClosureTest, DuplicateSourcesInSameComponent) {
+  // Both sources collapse into one component; the answer still has one
+  // entry per requested (distinct) source.
+  const ArcList arcs = {{0, 1}, {1, 0}, {1, 2}};
+  auto closure = CyclicClosure::Create(arcs, 3);
+  ASSERT_TRUE(closure.ok());
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run = closure.value()->Execute(Algorithm::kBtc,
+                                      QuerySpec::Partial({0, 1}), options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().answer.size(), 2u);
+  EXPECT_EQ(run.value().answer[0].second, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(run.value().answer[1].second, (std::vector<NodeId>{0, 1, 2}));
+}
+
+class CyclicPropertyTest
+    : public testing::TestWithParam<std::tuple<Algorithm, uint64_t>> {};
+
+TEST_P(CyclicPropertyTest, MatchesDirectReference) {
+  const auto [algorithm, seed] = GetParam();
+  const ArcList arcs = GenerateCyclicDigraph({150, 4, 40, seed}, 25);
+  const Digraph graph(150, arcs);
+  auto closure = CyclicClosure::Create(arcs, 150);
+  ASSERT_TRUE(closure.ok());
+
+  const auto reference = CyclicReference(graph);
+  const std::vector<NodeId> sources = SampleSourceNodes(150, 7, seed + 1);
+
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run = closure.value()->Execute(algorithm,
+                                      QuerySpec::Partial(sources), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().answer.size(), sources.size());
+  for (const auto& [node, successors] : run.value().answer) {
+    EXPECT_EQ(successors, reference[node]) << "node " << node;
+  }
+
+  // Full closure as well.
+  auto full = closure.value()->Execute(algorithm, QuerySpec::Full(), options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.value().answer.size(), 150u);
+  for (const auto& [node, successors] : full.value().answer) {
+    EXPECT_EQ(successors, reference[node]) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSeeds, CyclicPropertyTest,
+    testing::Combine(testing::Values(Algorithm::kBtc, Algorithm::kBj,
+                                     Algorithm::kSpn, Algorithm::kJkb2,
+                                     Algorithm::kSrch),
+                     testing::Values(1, 2, 3)),
+    [](const testing::TestParamInfo<std::tuple<Algorithm, uint64_t>>& info) {
+      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,202 @@
+// TcDatabase / executor semantics: input validation, condensation path,
+// phase attribution, metric invariants, cross-algorithm answer agreement,
+// and insensitivity of correctness to policies and pool sizes.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+TEST(DatabaseCreateTest, RejectsBadInputs) {
+  EXPECT_FALSE(TcDatabase::Create({}, 0).ok());
+  EXPECT_FALSE(TcDatabase::Create({Arc{0, 5}}, 3).ok());   // out of range
+  EXPECT_FALSE(TcDatabase::Create({Arc{-1, 0}}, 3).ok());  // negative
+  EXPECT_FALSE(
+      TcDatabase::Create({Arc{1, 2}, Arc{0, 1}}, 3).ok());  // unsorted
+  EXPECT_FALSE(
+      TcDatabase::Create({Arc{0, 1}, Arc{0, 1}}, 3).ok());  // duplicate
+  EXPECT_FALSE(
+      TcDatabase::Create({Arc{0, 1}, Arc{1, 0}}, 2).ok());  // cyclic
+}
+
+TEST(DatabaseCreateTest, AcceptsValidDag) {
+  auto db = TcDatabase::Create({Arc{0, 1}, Arc{1, 2}}, 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->num_nodes(), 3);
+  EXPECT_EQ(db.value()->arcs().size(), 2u);
+}
+
+TEST(DatabaseCreateTest, CondenseInputHandlesCycles) {
+  // 0 <-> 1 cycle feeding 2.
+  auto condensed =
+      TcDatabase::CondenseInput({Arc{0, 1}, Arc{1, 0}, Arc{1, 2}}, 3);
+  ASSERT_TRUE(condensed.ok());
+  EXPECT_EQ(condensed.value().database->num_nodes(), 2);
+  EXPECT_EQ(condensed.value().node_map[0], condensed.value().node_map[1]);
+}
+
+TEST(DatabaseExecuteTest, RejectsBadQueries) {
+  auto db = TcDatabase::Create({Arc{0, 1}}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(
+      db.value()->Execute(Algorithm::kBtc, QuerySpec::Partial({7}), {}).ok());
+  ExecOptions tiny;
+  tiny.buffer_pages = 2;
+  EXPECT_FALSE(
+      db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), tiny).ok());
+}
+
+TEST(DatabaseExecuteTest, SetupIoIsExcluded) {
+  // The measured I/O must not include loading the relation: a trivial query
+  // on a large relation should report I/O proportional to the magic
+  // subgraph, not the whole file.
+  const ArcList arcs = GenerateDag({1000, 10, 100, 3});
+  auto db = TcDatabase::Create(arcs, 1000);
+  ASSERT_TRUE(db.ok());
+  // Source with no outgoing arcs anywhere near the end.
+  auto run =
+      db.value()->Execute(Algorithm::kBtc, QuerySpec::Partial({999}), {});
+  ASSERT_TRUE(run.ok());
+  // A couple of index/data page reads, nothing like the ~40 relation pages.
+  EXPECT_LE(run.value().metrics.TotalIo(), 10u);
+}
+
+TEST(DatabaseExecuteTest, MetricInvariantsHold) {
+  const ArcList arcs = GenerateDag({300, 5, 60, 5});
+  auto db = TcDatabase::Create(arcs, 300);
+  ASSERT_TRUE(db.ok());
+  for (const Algorithm algorithm :
+       {Algorithm::kBtc, Algorithm::kBj, Algorithm::kSpn, Algorithm::kJkb2}) {
+    auto run = db.value()->Execute(
+        algorithm, QuerySpec::Partial(SampleSourceNodes(300, 8, 9)), {});
+    ASSERT_TRUE(run.ok()) << AlgorithmName(algorithm);
+    const RunMetrics& m = run.value().metrics;
+    EXPECT_GT(m.TotalIo(), 0u) << AlgorithmName(algorithm);
+    EXPECT_EQ(m.list_unions, m.arcs_processed - m.arcs_marked)
+        << AlgorithmName(algorithm);
+    EXPECT_GE(m.tuples_generated, m.tuples_inserted);
+    EXPECT_GE(m.magic_nodes, 8);
+    EXPECT_LE(m.magic_nodes, 300);
+    EXPECT_GE(m.selected_tuples, 0);
+    EXPECT_GE(m.compute_list_hits + m.compute_list_misses, 0u);
+  }
+}
+
+TEST(DatabaseExecuteTest, MagicGraphSmallerForSelectiveQueries) {
+  const ArcList arcs = GenerateDag({1000, 3, 25, 11});
+  auto db = TcDatabase::Create(arcs, 1000);
+  ASSERT_TRUE(db.ok());
+  auto full = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), {});
+  auto partial = db.value()->Execute(
+      Algorithm::kBtc, QuerySpec::Partial({500}), {});
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(full.value().metrics.magic_nodes, 1000);
+  EXPECT_LT(partial.value().metrics.magic_nodes, 600);
+  EXPECT_LT(partial.value().metrics.TotalIo(),
+            full.value().metrics.TotalIo());
+}
+
+TEST(DatabaseExecuteTest, AnswerIndependentOfPoliciesAndPoolSize) {
+  const ArcList arcs = GenerateDag({250, 6, 50, 13});
+  auto db = TcDatabase::Create(arcs, 250);
+  ASSERT_TRUE(db.ok());
+  const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(250, 6, 3));
+
+  ExecOptions reference_options;
+  reference_options.capture_answer = true;
+  auto reference =
+      db.value()->Execute(Algorithm::kBtc, query, reference_options);
+  ASSERT_TRUE(reference.ok());
+
+  for (const PagePolicy page_policy :
+       {PagePolicy::kMru, PagePolicy::kFifo, PagePolicy::kClock,
+        PagePolicy::kRandom}) {
+    for (const ListPolicy list_policy :
+         {ListPolicy::kMoveLargest, ListPolicy::kMoveNewest}) {
+      for (const size_t buffer_pages : {4u, 11u, 64u}) {
+        ExecOptions options;
+        options.page_policy = page_policy;
+        options.list_policy = list_policy;
+        options.buffer_pages = buffer_pages;
+        options.capture_answer = true;
+        auto run = db.value()->Execute(Algorithm::kBtc, query, options);
+        ASSERT_TRUE(run.ok());
+        EXPECT_EQ(run.value().answer, reference.value().answer)
+            << PagePolicyName(page_policy) << "/"
+            << ListPolicyName(list_policy) << "/M=" << buffer_pages;
+      }
+    }
+  }
+}
+
+TEST(DatabaseExecuteTest, MarkingAblationPreservesAnswerAndAddsUnions) {
+  const ArcList arcs = GenerateDag({300, 8, 100, 17});
+  auto db = TcDatabase::Create(arcs, 300);
+  ASSERT_TRUE(db.ok());
+  ExecOptions with;
+  with.capture_answer = true;
+  ExecOptions without = with;
+  without.use_marking = false;
+  auto marked = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), with);
+  auto unmarked =
+      db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), without);
+  ASSERT_TRUE(marked.ok());
+  ASSERT_TRUE(unmarked.ok());
+  EXPECT_EQ(marked.value().answer, unmarked.value().answer);
+  EXPECT_GT(marked.value().metrics.arcs_marked, 0);
+  EXPECT_EQ(unmarked.value().metrics.arcs_marked, 0);
+  EXPECT_GT(unmarked.value().metrics.list_unions,
+            marked.value().metrics.list_unions);
+  EXPECT_GE(unmarked.value().metrics.tuples_generated,
+            marked.value().metrics.tuples_generated);
+}
+
+TEST(DatabaseExecuteTest, DeterministicAcrossRepeatedRuns) {
+  const ArcList arcs = GenerateDag({200, 5, 40, 23});
+  auto db = TcDatabase::Create(arcs, 200);
+  ASSERT_TRUE(db.ok());
+  const QuerySpec query = QuerySpec::Partial({10, 20, 30});
+  auto a = db.value()->Execute(Algorithm::kJkb2, query, {});
+  auto b = db.value()->Execute(Algorithm::kJkb2, query, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().metrics.TotalIo(), b.value().metrics.TotalIo());
+  EXPECT_EQ(a.value().metrics.tuples_generated,
+            b.value().metrics.tuples_generated);
+  EXPECT_EQ(a.value().metrics.list_unions, b.value().metrics.list_unions);
+}
+
+TEST(DatabaseExecuteTest, HybMatchesBtcWhenIlimitZero) {
+  const ArcList arcs = GenerateDag({300, 10, 100, 29});
+  auto db = TcDatabase::Create(arcs, 300);
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  options.ilimit = 0.0;
+  auto hyb = db.value()->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+  auto btc = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), options);
+  ASSERT_TRUE(hyb.ok());
+  ASSERT_TRUE(btc.ok());
+  EXPECT_EQ(hyb.value().metrics.TotalIo(), btc.value().metrics.TotalIo());
+  EXPECT_EQ(hyb.value().metrics.list_unions,
+            btc.value().metrics.list_unions);
+}
+
+TEST(DatabaseExecuteTest, AnalyzeMatchesExecutionClosureSize) {
+  const ArcList arcs = GenerateDag({400, 5, 80, 31});
+  auto db = TcDatabase::Create(arcs, 400);
+  ASSERT_TRUE(db.ok());
+  auto model = db.value()->Analyze();
+  ASSERT_TRUE(model.ok());
+  auto run = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().metrics.distinct_tuples,
+            model.value().closure_size);
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,74 @@
+// Full determinism: identical configuration must give bit-identical
+// metrics and answers for every algorithm, including the random
+// replacement policy (fixed seed) and HYB's blocking. Reproducibility is a
+// precondition for every number in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/database.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+class DeterminismTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  const GeneratorParams params{250, 5, 60, 31};
+  auto db = TcDatabase::Create(GenerateDag(params), params.num_nodes);
+  ASSERT_TRUE(db.ok());
+  const QuerySpec query =
+      QuerySpec::Partial(SampleSourceNodes(params.num_nodes, 6, 8));
+
+  for (const PagePolicy policy : {PagePolicy::kLru, PagePolicy::kRandom}) {
+    ExecOptions options;
+    options.buffer_pages = 8;
+    options.page_policy = policy;
+    options.ilimit = 0.3;
+    options.capture_answer = true;
+    auto first = db.value()->Execute(GetParam(), query, options);
+    auto second = db.value()->Execute(GetParam(), query, options);
+    ASSERT_TRUE(first.ok()) << AlgorithmName(GetParam());
+    ASSERT_TRUE(second.ok());
+    const RunMetrics& a = first.value().metrics;
+    const RunMetrics& b = second.value().metrics;
+    EXPECT_EQ(a.restructure_reads, b.restructure_reads);
+    EXPECT_EQ(a.restructure_writes, b.restructure_writes);
+    EXPECT_EQ(a.compute_reads, b.compute_reads);
+    EXPECT_EQ(a.compute_writes, b.compute_writes);
+    EXPECT_EQ(a.compute_list_hits, b.compute_list_hits);
+    EXPECT_EQ(a.compute_list_misses, b.compute_list_misses);
+    EXPECT_EQ(a.arcs_processed, b.arcs_processed);
+    EXPECT_EQ(a.arcs_marked, b.arcs_marked);
+    EXPECT_EQ(a.list_unions, b.list_unions);
+    EXPECT_EQ(a.tuples_generated, b.tuples_generated);
+    EXPECT_EQ(a.tuples_inserted, b.tuples_inserted);
+    EXPECT_EQ(a.distinct_tuples, b.distinct_tuples);
+    EXPECT_EQ(a.selected_tuples, b.selected_tuples);
+    EXPECT_EQ(a.unmarked_locality_sum, b.unmarked_locality_sum);
+    EXPECT_EQ(a.lists_read, b.lists_read);
+    EXPECT_EQ(a.entries_read, b.entries_read);
+    EXPECT_EQ(a.entries_written, b.entries_written);
+    EXPECT_EQ(first.value().answer, second.value().answer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DeterminismTest,
+    testing::Values(Algorithm::kBtc, Algorithm::kHyb, Algorithm::kBj,
+                    Algorithm::kSrch, Algorithm::kSpn, Algorithm::kJkb,
+                    Algorithm::kJkb2, Algorithm::kSeminaive,
+                    Algorithm::kWarshall, Algorithm::kWarren,
+                    Algorithm::kWarrenBlocked),
+    [](const testing::TestParamInfo<Algorithm>& info) {
+      std::string name = AlgorithmName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,201 @@
+// Generalized transitive closure tests: min/max hop lengths and path
+// counts checked against in-memory dynamic-programming references, plus
+// the structural consequences (no marking; reachable sets identical to the
+// plain closure).
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/database.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+// Reference shortest hop counts from `source` (BFS).
+std::vector<int64_t> BfsDistances(const Digraph& graph, NodeId source) {
+  std::vector<int64_t> dist(graph.NumNodes(), -1);
+  std::queue<NodeId> queue;
+  queue.push(source);
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const NodeId w : graph.Successors(v)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  dist[source] = -1;  // A node is not its own successor on a DAG.
+  return dist;
+}
+
+// Reference longest path lengths / path counts from `source` by DP in
+// reverse topological order.
+std::vector<int64_t> DagDp(const Digraph& graph, NodeId source, bool count) {
+  const auto order = TopologicalSort(graph).value();
+  // Forward DP from `source` in topological order.
+  std::vector<int64_t> value(graph.NumNodes(), count ? 0 : -1);
+  if (count) value[source] = 1;
+  else value[source] = 0;
+  for (const NodeId v : order) {
+    if ((count && value[v] == 0) || (!count && value[v] == -1)) continue;
+    for (const NodeId w : graph.Successors(v)) {
+      if (count) {
+        value[w] += value[v];
+      } else {
+        value[w] = std::max(value[w], value[v] + 1);
+      }
+    }
+  }
+  if (count) value[source] = 0;  // exclude the empty path to itself
+  else value[source] = -1;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (count && value[v] == 0) value[v] = -1;  // unreachable marker
+  }
+  return value;
+}
+
+class GeneralizedClosureTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralizedClosureTest, MatchesReferences) {
+  const GeneratorParams params{180, 4, 40, GetParam()};
+  const ArcList arcs = GenerateDag(params);
+  const Digraph graph(params.num_nodes, arcs);
+  auto db = TcDatabase::Create(arcs, params.num_nodes);
+  ASSERT_TRUE(db.ok());
+
+  const std::vector<NodeId> sources =
+      SampleSourceNodes(params.num_nodes, 5, GetParam() + 3);
+  ExecOptions options;
+  options.buffer_pages = 10;
+  options.capture_answer = true;
+
+  for (const PathAggregate aggregate :
+       {PathAggregate::kMinLength, PathAggregate::kMaxLength,
+        PathAggregate::kPathCount}) {
+    auto run = db.value()->ExecuteAggregate(
+        aggregate, QuerySpec::Partial(sources), options);
+    ASSERT_TRUE(run.ok()) << PathAggregateName(aggregate);
+    ASSERT_EQ(run.value().answer.size(), sources.size());
+    for (const auto& [source, pairs] : run.value().answer) {
+      std::vector<int64_t> expected;
+      switch (aggregate) {
+        case PathAggregate::kMinLength:
+          expected = BfsDistances(graph, source);
+          break;
+        case PathAggregate::kMaxLength:
+          expected = DagDp(graph, source, /*count=*/false);
+          break;
+        case PathAggregate::kPathCount:
+          expected = DagDp(graph, source, /*count=*/true);
+          break;
+      }
+      // Same reachable set as the plain closure, with the right values.
+      int64_t reachable = 0;
+      for (NodeId v = 0; v < params.num_nodes; ++v) {
+        reachable += expected[v] >= 0 ? 1 : 0;
+      }
+      ASSERT_EQ(static_cast<int64_t>(pairs.size()), reachable)
+          << PathAggregateName(aggregate) << " source " << source;
+      for (const auto& [node, value] : pairs) {
+        EXPECT_EQ(value, expected[node])
+            << PathAggregateName(aggregate) << " " << source << "->" << node;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizedClosureTest,
+                         testing::Range<uint64_t>(1, 6));
+
+TEST(GeneralizedClosureTest, HandComputedDiamond) {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, 0 -> 3: three paths 0 ~> 3 of lengths
+  // 1, 2, 2.
+  const ArcList arcs = {{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  auto db = TcDatabase::Create(arcs, 4);
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  options.capture_answer = true;
+  auto min = db.value()->ExecuteAggregate(PathAggregate::kMinLength,
+                                          QuerySpec::Partial({0}), options);
+  auto max = db.value()->ExecuteAggregate(PathAggregate::kMaxLength,
+                                          QuerySpec::Partial({0}), options);
+  auto count = db.value()->ExecuteAggregate(PathAggregate::kPathCount,
+                                            QuerySpec::Partial({0}), options);
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE(max.ok());
+  ASSERT_TRUE(count.ok());
+  using Pairs = std::vector<std::pair<NodeId, int64_t>>;
+  EXPECT_EQ(min.value().answer[0].second, (Pairs{{1, 1}, {2, 1}, {3, 1}}));
+  EXPECT_EQ(max.value().answer[0].second, (Pairs{{1, 1}, {2, 1}, {3, 2}}));
+  EXPECT_EQ(count.value().answer[0].second, (Pairs{{1, 1}, {2, 1}, {3, 3}}));
+}
+
+TEST(GeneralizedClosureTest, NoMarkingEveryArcProcessed) {
+  // The marking optimization does not apply to path aggregates: every
+  // magic arc is a union.
+  const ArcList arcs = GenerateDag({300, 8, 100, 9});
+  auto db = TcDatabase::Create(arcs, 300);
+  ASSERT_TRUE(db.ok());
+  auto run = db.value()->ExecuteAggregate(PathAggregate::kMinLength,
+                                          QuerySpec::Full(), {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().metrics.arcs_processed,
+            static_cast<int64_t>(arcs.size()));
+  EXPECT_EQ(run.value().metrics.arcs_marked, 0);
+  EXPECT_EQ(run.value().metrics.list_unions,
+            static_cast<int64_t>(arcs.size()));
+  // ... which makes it strictly more expensive than the plain closure.
+  auto plain = db.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), {});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(run.value().metrics.TotalIo(), plain.value().metrics.TotalIo());
+}
+
+TEST(GeneralizedClosureTest, PathCountSaturates) {
+  // A ladder of diamonds doubles the path count per stage: 2^40 paths
+  // overflow int32 storage and must clamp, not wrap.
+  ArcList arcs;
+  const int kStages = 40;
+  // Nodes: stage i junction = 3i; two middles 3i+1, 3i+2; next junction
+  // 3(i+1).
+  for (int i = 0; i < kStages; ++i) {
+    const NodeId a = 3 * i;
+    arcs.push_back(Arc{a, a + 1});
+    arcs.push_back(Arc{a, a + 2});
+    arcs.push_back(Arc{a + 1, a + 3});
+    arcs.push_back(Arc{a + 2, a + 3});
+  }
+  std::sort(arcs.begin(), arcs.end());
+  const NodeId n = 3 * kStages + 1;
+  auto db = TcDatabase::Create(arcs, n);
+  ASSERT_TRUE(db.ok());
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run = db.value()->ExecuteAggregate(PathAggregate::kPathCount,
+                                          QuerySpec::Partial({0}), options);
+  ASSERT_TRUE(run.ok());
+  const auto& pairs = run.value().answer[0].second;
+  // The last junction has 2^40 paths; storage clamps at INT32_MAX.
+  const auto it = std::find_if(pairs.begin(), pairs.end(), [&](const auto& p) {
+    return p.first == n - 1;
+  });
+  ASSERT_NE(it, pairs.end());
+  EXPECT_EQ(it->second, std::numeric_limits<int32_t>::max());
+}
+
+TEST(GeneralizedClosureTest, RejectsBadInput) {
+  auto db = TcDatabase::Create({Arc{0, 1}}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db.value()
+                   ->ExecuteAggregate(PathAggregate::kMinLength,
+                                      QuerySpec::Partial({5}), {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,79 @@
+// Arc-list file format tests: parsing, headers, error handling, and a
+// write/read round trip through a real file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generator.h"
+#include "relation/graph_io.h"
+
+namespace tcdb {
+namespace {
+
+TEST(ParseArcTextTest, BasicArcs) {
+  auto graph = ParseArcText("0 1\n1 2\n0 2\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_nodes, 3);
+  EXPECT_EQ(graph.value().arcs,
+            (ArcList{{0, 1}, {0, 2}, {1, 2}}));  // sorted
+}
+
+TEST(ParseArcTextTest, HeaderFixesNodeCount) {
+  auto graph = ParseArcText("# nodes 10\n0 1\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_nodes, 10);
+}
+
+TEST(ParseArcTextTest, CommentsAndBlankLines) {
+  auto graph = ParseArcText("# a comment\n\n   \n0 1  # trailing comment\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().arcs, (ArcList{{0, 1}}));
+}
+
+TEST(ParseArcTextTest, DuplicatesDropped) {
+  auto graph = ParseArcText("0 1\n0 1\n0 1\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().arcs.size(), 1u);
+}
+
+TEST(ParseArcTextTest, Rejections) {
+  EXPECT_FALSE(ParseArcText("0\n").ok());           // missing dst
+  EXPECT_FALSE(ParseArcText("0 1 2\n").ok());       // trailing token
+  EXPECT_FALSE(ParseArcText("a b\n").ok());         // not integers
+  EXPECT_FALSE(ParseArcText("-1 0\n").ok());        // negative id
+  EXPECT_FALSE(ParseArcText("").ok());              // empty, no header
+  EXPECT_FALSE(ParseArcText("# nodes 2\n0 5\n").ok());  // beyond header
+  EXPECT_FALSE(ParseArcText("# nodes 0\n").ok());   // bad header
+}
+
+TEST(ParseArcTextTest, HeaderOnlyGraph) {
+  auto graph = ParseArcText("# nodes 4\n");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_nodes, 4);
+  EXPECT_TRUE(graph.value().arcs.empty());
+}
+
+TEST(GraphIoFileTest, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tcdb_graph_io_test.txt")
+          .string();
+  const GeneratorParams params{120, 4, 30, 77};
+  const ArcList arcs = GenerateDag(params);
+  ASSERT_TRUE(WriteArcFile(path, arcs, params.num_nodes).ok());
+  auto loaded = ReadArcFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes, params.num_nodes);
+  EXPECT_EQ(loaded.value().arcs, arcs);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoFileTest, MissingFile) {
+  auto loaded = ReadArcFile("/nonexistent/definitely/not/here.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tcdb

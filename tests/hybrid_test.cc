@@ -1,0 +1,139 @@
+// HYB-specific behaviour: block formation, the ILIMIT knob, dynamic
+// reblocking under extreme pressure, and equivalence of results with BTC
+// across the whole parameter range.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+class HybridTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const GeneratorParams params{400, 8, 100, 7};
+    arcs_ = GenerateDag(params);
+    auto db = TcDatabase::Create(arcs_, params.num_nodes);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  ArcList arcs_;
+  std::unique_ptr<TcDatabase> db_;
+};
+
+TEST_F(HybridTest, AnswerMatchesBtcForEveryIlimit) {
+  ExecOptions reference_options;
+  reference_options.capture_answer = true;
+  auto reference =
+      db_->Execute(Algorithm::kBtc, QuerySpec::Full(), reference_options);
+  ASSERT_TRUE(reference.ok());
+  for (const double ilimit : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.9}) {
+    ExecOptions options;
+    options.ilimit = ilimit;
+    options.capture_answer = true;
+    auto run = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+    ASSERT_TRUE(run.ok()) << "ilimit " << ilimit;
+    EXPECT_EQ(run.value().answer, reference.value().answer)
+        << "ilimit " << ilimit;
+  }
+}
+
+TEST_F(HybridTest, AnswerCorrectUnderExtremePressure) {
+  // The smallest legal pool with a large reserved share exercises the
+  // dynamic-reblocking fallbacks.
+  ExecOptions options;
+  options.buffer_pages = 4;
+  options.ilimit = 0.9;
+  options.capture_answer = true;
+  auto run = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+  ASSERT_TRUE(run.ok());
+  ExecOptions reference_options;
+  reference_options.capture_answer = true;
+  auto reference =
+      db_->Execute(Algorithm::kBtc, QuerySpec::Full(), reference_options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(run.value().answer, reference.value().answer);
+}
+
+TEST_F(HybridTest, ArcsProcessedIsInvariant) {
+  // Blocking reorders work but every magic arc is processed exactly once.
+  ExecOptions btc_options;
+  auto btc = db_->Execute(Algorithm::kBtc, QuerySpec::Full(), btc_options);
+  ASSERT_TRUE(btc.ok());
+  for (const double ilimit : {0.1, 0.3}) {
+    ExecOptions options;
+    options.ilimit = ilimit;
+    auto run = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run.value().metrics.arcs_processed,
+              btc.value().metrics.arcs_processed);
+  }
+}
+
+TEST_F(HybridTest, BlockingLosesMarkingOpportunities) {
+  // The off-diagonal-first order may expand arcs a strict topological
+  // order would mark (paper Section 6.2): marked arcs never increase.
+  ExecOptions btc_options;
+  auto btc = db_->Execute(Algorithm::kBtc, QuerySpec::Full(), btc_options);
+  ASSERT_TRUE(btc.ok());
+  ExecOptions options;
+  options.ilimit = 0.3;
+  auto hyb = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+  ASSERT_TRUE(hyb.ok());
+  EXPECT_LE(hyb.value().metrics.arcs_marked, btc.value().metrics.arcs_marked);
+  EXPECT_GE(hyb.value().metrics.tuples_generated,
+            btc.value().metrics.tuples_generated);
+}
+
+TEST_F(HybridTest, PartialQueriesWorkWithBlocking) {
+  const std::vector<NodeId> sources = SampleSourceNodes(400, 5, 3);
+  ExecOptions options;
+  options.ilimit = 0.3;
+  options.buffer_pages = 10;
+  options.capture_answer = true;
+  auto hyb = db_->Execute(Algorithm::kHyb, QuerySpec::Partial(sources),
+                          options);
+  ASSERT_TRUE(hyb.ok());
+  ExecOptions reference_options;
+  reference_options.capture_answer = true;
+  auto btc = db_->Execute(Algorithm::kBtc, QuerySpec::Partial(sources),
+                          reference_options);
+  ASSERT_TRUE(btc.ok());
+  EXPECT_EQ(hyb.value().answer, btc.value().answer);
+}
+
+TEST_F(HybridTest, IlimitOneStillLeavesWorkingFrames) {
+  // ILIMIT >= 1 would reserve the whole pool; the budget clamps so the
+  // run completes (and still matches BTC's answer).
+  ExecOptions options;
+  options.buffer_pages = 6;
+  options.ilimit = 1.0;
+  options.capture_answer = true;
+  auto run = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExecOptions reference_options;
+  reference_options.capture_answer = true;
+  auto reference =
+      db_->Execute(Algorithm::kBtc, QuerySpec::Full(), reference_options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(run.value().answer, reference.value().answer);
+}
+
+TEST_F(HybridTest, NoPinsLeakAcrossRun) {
+  // If the block pin bookkeeping leaked, a second run on the same database
+  // (fresh context) would still pass, but the run itself would die on the
+  // FinalizeFlat discard checks. Run a sweep to shake it out.
+  for (const size_t buffer_pages : {4u, 6u, 12u}) {
+    ExecOptions options;
+    options.buffer_pages = buffer_pages;
+    options.ilimit = 0.4;
+    auto run = db_->Execute(Algorithm::kHyb, QuerySpec::Full(), options);
+    ASSERT_TRUE(run.ok()) << "M=" << buffer_pages;
+  }
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,87 @@
+// RunMetrics arithmetic: accumulation, averaging, derived ratios.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace tcdb {
+namespace {
+
+RunMetrics Sample() {
+  RunMetrics m;
+  m.restructure_reads = 10;
+  m.restructure_writes = 4;
+  m.compute_reads = 100;
+  m.compute_writes = 50;
+  m.compute_list_hits = 75;
+  m.compute_list_misses = 25;
+  m.arcs_processed = 200;
+  m.arcs_marked = 50;
+  m.list_unions = 150;
+  m.tuples_generated = 1000;
+  m.tuples_inserted = 600;
+  m.distinct_tuples = 700;
+  m.selected_tuples = 70;
+  m.unmarked_locality_sum = 300;
+  m.restructure_cpu_s = 0.5;
+  m.compute_cpu_s = 1.5;
+  return m;
+}
+
+TEST(RunMetricsTest, DerivedQuantities) {
+  const RunMetrics m = Sample();
+  EXPECT_EQ(m.RestructureIo(), 14u);
+  EXPECT_EQ(m.ComputeIo(), 150u);
+  EXPECT_EQ(m.TotalIo(), 164u);
+  EXPECT_DOUBLE_EQ(m.ComputeHitRatio(), 0.75);
+  EXPECT_EQ(m.duplicates(), 400);
+  EXPECT_DOUBLE_EQ(m.MarkingPercentage(), 25.0);
+  EXPECT_DOUBLE_EQ(m.SelectionEfficiency(), 0.07);
+  EXPECT_DOUBLE_EQ(m.AvgUnmarkedLocality(), 2.0);  // 300 / (200 - 50)
+  EXPECT_DOUBLE_EQ(m.EstimatedIoSeconds(0.020), 164 * 0.020);
+}
+
+TEST(RunMetricsTest, ZeroSafeRatios) {
+  const RunMetrics m;
+  EXPECT_EQ(m.ComputeHitRatio(), 0.0);
+  EXPECT_EQ(m.MarkingPercentage(), 0.0);
+  EXPECT_EQ(m.SelectionEfficiency(), 0.0);
+  EXPECT_EQ(m.AvgUnmarkedLocality(), 0.0);
+}
+
+TEST(RunMetricsTest, AccumulateThenScaleDownAverages) {
+  RunMetrics total;
+  for (int i = 0; i < 4; ++i) total.Accumulate(Sample());
+  total.ScaleDown(4);
+  const RunMetrics expected = Sample();
+  EXPECT_EQ(total.TotalIo(), expected.TotalIo());
+  EXPECT_EQ(total.tuples_generated, expected.tuples_generated);
+  EXPECT_EQ(total.arcs_marked, expected.arcs_marked);
+  EXPECT_DOUBLE_EQ(total.compute_cpu_s, expected.compute_cpu_s);
+}
+
+TEST(RunMetricsTest, ScaleDownRounds) {
+  RunMetrics a;
+  a.compute_reads = 10;
+  RunMetrics b;
+  b.compute_reads = 15;
+  a.Accumulate(b);
+  a.ScaleDown(2);
+  EXPECT_EQ(a.compute_reads, 13u);  // 12.5 rounds up
+}
+
+TEST(RunMetricsTest, ScaleDownByOneIsIdentity) {
+  RunMetrics m = Sample();
+  m.ScaleDown(1);
+  EXPECT_EQ(m.TotalIo(), Sample().TotalIo());
+}
+
+TEST(RunMetricsTest, ToStringMentionsKeyCounters) {
+  const std::string s = Sample().ToString();
+  EXPECT_NE(s.find("total_io=164"), std::string::npos);
+  EXPECT_NE(s.find("unions=150"), std::string::npos);
+  EXPECT_NE(s.find("marked=50/200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdb

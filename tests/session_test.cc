@@ -1,0 +1,130 @@
+// TcSession tests: repeated queries over one prepared database, warm vs
+// cold pools, algorithm mixing, and equivalence with per-run execution.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/session.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+namespace {
+
+class SessionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const GeneratorParams params{400, 5, 80, 21};
+    arcs_ = GenerateDag(params);
+    num_nodes_ = params.num_nodes;
+  }
+
+  std::unique_ptr<TcSession> Open(bool warm, size_t buffer_pages = 10) {
+    TcSession::SessionOptions options;
+    options.exec.buffer_pages = buffer_pages;
+    options.exec.capture_answer = true;
+    options.keep_cache_warm = warm;
+    auto session = TcSession::Open(arcs_, num_nodes_, options);
+    TCDB_CHECK(session.ok()) << session.status().ToString();
+    return std::move(session).value();
+  }
+
+  ArcList arcs_;
+  NodeId num_nodes_ = 0;
+};
+
+TEST_F(SessionTest, OpenValidatesInput) {
+  TcSession::SessionOptions options;
+  EXPECT_FALSE(TcSession::Open({{1, 0}, {0, 1}}, 2, options).ok());  // cyclic+unsorted
+  EXPECT_FALSE(TcSession::Open({{0, 1}, {1, 0}}, 2, options).ok());  // cyclic
+  EXPECT_FALSE(TcSession::Open({{0, 5}}, 2, options).ok());          // range
+  EXPECT_FALSE(TcSession::Open({}, 0, options).ok());
+  options.exec.buffer_pages = 2;
+  EXPECT_FALSE(TcSession::Open({{0, 1}}, 2, options).ok());
+}
+
+TEST_F(SessionTest, RepeatedQueriesMatchOneShotExecution) {
+  auto session = Open(/*warm=*/false);
+  auto db = TcDatabase::Create(arcs_, num_nodes_);
+  ASSERT_TRUE(db.ok());
+  ExecOptions one_shot;
+  one_shot.buffer_pages = 10;
+  one_shot.capture_answer = true;
+
+  const std::vector<QuerySpec> queries = {
+      QuerySpec::Partial(SampleSourceNodes(num_nodes_, 4, 1)),
+      QuerySpec::Full(),
+      QuerySpec::Partial(SampleSourceNodes(num_nodes_, 9, 2)),
+  };
+  for (const QuerySpec& query : queries) {
+    for (const Algorithm algorithm :
+         {Algorithm::kBtc, Algorithm::kSpn, Algorithm::kJkb2}) {
+      auto via_session = session->Query(algorithm, query);
+      auto via_execute = db.value()->Execute(algorithm, query, one_shot);
+      ASSERT_TRUE(via_session.ok()) << AlgorithmName(algorithm);
+      ASSERT_TRUE(via_execute.ok());
+      EXPECT_EQ(via_session.value().answer, via_execute.value().answer)
+          << AlgorithmName(algorithm);
+      // A cold session reproduces the one-shot I/O counts exactly.
+      EXPECT_EQ(via_session.value().metrics.TotalIo(),
+                via_execute.value().metrics.TotalIo())
+          << AlgorithmName(algorithm);
+    }
+  }
+  EXPECT_EQ(session->queries_run(), 9);
+}
+
+TEST_F(SessionTest, ColdSessionQueriesAreIndependent) {
+  auto session = Open(/*warm=*/false);
+  const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(400, 5, 3));
+  auto first = session->Query(Algorithm::kBtc, query);
+  auto second = session->Query(Algorithm::kBtc, query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().metrics.TotalIo(), second.value().metrics.TotalIo());
+  EXPECT_EQ(first.value().answer, second.value().answer);
+}
+
+TEST_F(SessionTest, WarmPoolReducesRepeatQueryIo) {
+  auto warm = Open(/*warm=*/true, /*buffer_pages=*/64);
+  const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(400, 5, 4));
+  auto first = warm->Query(Algorithm::kSrch, query);
+  auto second = warm->Query(Algorithm::kSrch, query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().answer, second.value().answer);
+  // The relation pages stay cached: the repeat query reads dramatically
+  // less.
+  EXPECT_LT(second.value().metrics.TotalIo(),
+            first.value().metrics.TotalIo() / 2 + 1);
+}
+
+TEST_F(SessionTest, WarmSessionStillCorrectAcrossAlgorithms) {
+  auto warm = Open(/*warm=*/true);
+  auto db = TcDatabase::Create(arcs_, num_nodes_);
+  ASSERT_TRUE(db.ok());
+  ExecOptions one_shot;
+  one_shot.buffer_pages = 10;
+  one_shot.capture_answer = true;
+  const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(400, 6, 5));
+  for (const Algorithm algorithm :
+       {Algorithm::kBtc, Algorithm::kBj, Algorithm::kSrch, Algorithm::kSpn,
+        Algorithm::kJkb, Algorithm::kJkb2, Algorithm::kSeminaive,
+        Algorithm::kWarren}) {
+    auto run = warm->Query(algorithm, query);
+    ASSERT_TRUE(run.ok()) << AlgorithmName(algorithm);
+    auto reference = db.value()->Execute(algorithm, query, one_shot);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(run.value().answer, reference.value().answer)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(SessionTest, RejectsOutOfRangeSources) {
+  auto session = Open(false);
+  EXPECT_FALSE(session->Query(Algorithm::kBtc, QuerySpec::Partial({-1})).ok());
+  EXPECT_FALSE(
+      session->Query(Algorithm::kBtc, QuerySpec::Partial({400})).ok());
+}
+
+}  // namespace
+}  // namespace tcdb

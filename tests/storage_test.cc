@@ -1,0 +1,115 @@
+// Unit tests for the simulated disk (Pager) and I/O statistics.
+
+#include <gtest/gtest.h>
+
+#include "storage/io_stats.h"
+#include "storage/pager.h"
+
+namespace tcdb {
+namespace {
+
+TEST(PageTest, TypedAccess) {
+  Page page;
+  page.Zero();
+  *page.As<uint64_t>(8) = 0xdeadbeef;
+  EXPECT_EQ(*page.As<uint64_t>(8), 0xdeadbeefu);
+  EXPECT_EQ(*page.As<uint64_t>(0), 0u);
+}
+
+TEST(PagerTest, CreateFilesAndAllocate) {
+  Pager pager;
+  const FileId a = pager.CreateFile("a");
+  const FileId b = pager.CreateFile("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pager.FileName(a), "a");
+  EXPECT_EQ(pager.FileSize(a), 0u);
+  EXPECT_EQ(pager.AllocatePage(a), 0u);
+  EXPECT_EQ(pager.AllocatePage(a), 1u);
+  EXPECT_EQ(pager.FileSize(a), 2u);
+  EXPECT_EQ(pager.FileSize(b), 0u);
+}
+
+TEST(PagerTest, ReadWriteRoundTrip) {
+  Pager pager;
+  const FileId file = pager.CreateFile("data");
+  const PageNumber page_no = pager.AllocatePage(file);
+  Page out;
+  out.Zero();
+  *out.As<int32_t>(100) = -77;
+  pager.WritePage(file, page_no, out);
+  Page in;
+  pager.ReadPage(file, page_no, &in);
+  EXPECT_EQ(*in.As<int32_t>(100), -77);
+}
+
+TEST(PagerTest, FreshPagesAreZeroed) {
+  Pager pager;
+  const FileId file = pager.CreateFile("data");
+  pager.AllocatePage(file);
+  Page in;
+  pager.ReadPage(file, 0, &in);
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(in.data[i], 0);
+}
+
+TEST(PagerTest, CountsIoByPhaseAndFile) {
+  Pager pager;
+  const FileId a = pager.CreateFile("a");
+  const FileId b = pager.CreateFile("b");
+  pager.AllocatePage(a);
+  pager.AllocatePage(b);
+  Page page;
+  page.Zero();
+
+  pager.SetPhase(Phase::kRestructuring);
+  pager.WritePage(a, 0, page);
+  pager.ReadPage(a, 0, &page);
+  pager.SetPhase(Phase::kComputation);
+  pager.ReadPage(b, 0, &page);
+  pager.ReadPage(b, 0, &page);
+
+  const IoStats& stats = pager.stats();
+  EXPECT_EQ(stats.ForPhase(Phase::kRestructuring).reads, 1u);
+  EXPECT_EQ(stats.ForPhase(Phase::kRestructuring).writes, 1u);
+  EXPECT_EQ(stats.ForPhase(Phase::kComputation).reads, 2u);
+  EXPECT_EQ(stats.ForPhase(Phase::kComputation).writes, 0u);
+  EXPECT_EQ(stats.ForFile(a).total(), 2u);
+  EXPECT_EQ(stats.ForFile(b).total(), 2u);
+  EXPECT_EQ(stats.Total().reads, 3u);
+  EXPECT_EQ(stats.Total().writes, 1u);
+}
+
+TEST(PagerTest, AllocationIsNotIo) {
+  Pager pager;
+  const FileId file = pager.CreateFile("data");
+  for (int i = 0; i < 10; ++i) pager.AllocatePage(file);
+  EXPECT_EQ(pager.stats().Total().total(), 0u);
+}
+
+TEST(PagerTest, TruncateEmptiesFile) {
+  Pager pager;
+  const FileId file = pager.CreateFile("data");
+  pager.AllocatePage(file);
+  pager.AllocatePage(file);
+  pager.TruncateFile(file);
+  EXPECT_EQ(pager.FileSize(file), 0u);
+  EXPECT_EQ(pager.AllocatePage(file), 0u);
+}
+
+TEST(PagerTest, ResetStats) {
+  Pager pager;
+  const FileId file = pager.CreateFile("data");
+  pager.AllocatePage(file);
+  Page page;
+  pager.ReadPage(file, 0, &page);
+  pager.ResetStats();
+  EXPECT_EQ(pager.stats().Total().total(), 0u);
+}
+
+TEST(IoStatsTest, PhaseNames) {
+  EXPECT_STREQ(PhaseName(Phase::kSetup), "setup");
+  EXPECT_STREQ(PhaseName(Phase::kRestructuring), "restructuring");
+  EXPECT_STREQ(PhaseName(Phase::kComputation), "computation");
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,130 @@
+// FlatTree and encode/decode tests, including round-trip property tests
+// over random trees (the negated-parent on-disk format of SPN/JKB).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "succ/tree_codec.h"
+#include "util/random.h"
+
+namespace tcdb {
+namespace {
+
+TEST(FlatTreeTest, RootOnly) {
+  FlatTree tree(5);
+  EXPECT_EQ(tree.root(), 5);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_TRUE(tree.Contains(5));
+  EXPECT_FALSE(tree.Contains(4));
+  EXPECT_EQ(tree.IndexOf(5), 0);
+  EXPECT_EQ(tree.IndexOf(4), -1);
+  EXPECT_EQ(tree.NumChildren(0), 0);
+}
+
+TEST(FlatTreeTest, AddChildrenPreservesOrder) {
+  FlatTree tree(0);
+  const int32_t a = tree.AddChild(0, 3);
+  const int32_t b = tree.AddChild(0, 1);
+  tree.AddChild(a, 7);
+  EXPECT_EQ(tree.size(), 4);
+  EXPECT_EQ(tree.ChildrenOf(0), (std::vector<int32_t>{a, b}));
+  EXPECT_EQ(tree.ParentOf(a), 0);
+  EXPECT_EQ(tree.NumChildren(a), 1);
+  EXPECT_EQ(tree.NodeAt(tree.ChildrenOf(a)[0]), 7);
+}
+
+TEST(TreeCodecTest, SingleNodeEncoding) {
+  FlatTree tree(0);  // node id 0 exercises the +1 bias
+  const std::vector<int32_t> encoded = EncodeTree(tree);
+  EXPECT_EQ(encoded, std::vector<int32_t>{1});
+  auto decoded = DecodeTree(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().root(), 0);
+  EXPECT_EQ(decoded.value().size(), 1);
+}
+
+TEST(TreeCodecTest, PaperFormatParentsNegated) {
+  // Root 4 with children 2 and 9; 2 has child 0.
+  FlatTree tree(4);
+  const int32_t two = tree.AddChild(0, 2);
+  tree.AddChild(0, 9);
+  tree.AddChild(two, 0);
+  const std::vector<int32_t> encoded = EncodeTree(tree);
+  // BFS: -(4+1), 2+1, 9+1, -(2+1), 0+1.
+  EXPECT_EQ(encoded, (std::vector<int32_t>{-5, 3, 10, -3, 1}));
+}
+
+TEST(TreeCodecTest, DecodeRejectsMalformedInput) {
+  EXPECT_FALSE(DecodeTree(std::vector<int32_t>{}).ok());
+  // Trailing data after a single-node encoding.
+  EXPECT_FALSE(DecodeTree(std::vector<int32_t>{1, 2}).ok());
+  // Parent marker for a node never introduced.
+  EXPECT_FALSE(DecodeTree(std::vector<int32_t>{-1, 2, -9, 4}).ok());
+  // Duplicate node.
+  EXPECT_FALSE(DecodeTree(std::vector<int32_t>{-1, 2, 2}).ok());
+  // Zero entry is invalid (ids are biased by +1).
+  EXPECT_FALSE(DecodeTree(std::vector<int32_t>{-1, 0}).ok());
+}
+
+FlatTree RandomTree(Rng* rng, int32_t num_nodes) {
+  FlatTree tree(0);
+  for (NodeId node = 1; node < num_nodes; ++node) {
+    const int32_t parent =
+        static_cast<int32_t>(rng->Uniform(0, tree.size() - 1));
+    tree.AddChild(parent, node);
+  }
+  return tree;
+}
+
+bool SameTree(const FlatTree& a, const FlatTree& b) {
+  if (a.size() != b.size() || a.root() != b.root()) return false;
+  for (int32_t i = 0; i < a.size(); ++i) {
+    const NodeId node = a.NodeAt(i);
+    const int32_t j = b.IndexOf(node);
+    if (j == -1) return false;
+    // Same parent node id.
+    const int32_t pa = a.ParentOf(i);
+    const int32_t pb = b.ParentOf(j);
+    if ((pa == -1) != (pb == -1)) return false;
+    if (pa != -1 && a.NodeAt(pa) != b.NodeAt(pb)) return false;
+    // Same child order.
+    std::vector<NodeId> ca, cb;
+    for (int32_t c : a.ChildrenOf(i)) ca.push_back(a.NodeAt(c));
+    for (int32_t c : b.ChildrenOf(j)) cb.push_back(b.NodeAt(c));
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+class TreeCodecPropertyTest : public testing::TestWithParam<int32_t> {};
+
+TEST_P(TreeCodecPropertyTest, RoundTripRandomTrees) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t size = static_cast<int32_t>(rng.Uniform(1, 200));
+    const FlatTree tree = RandomTree(&rng, size);
+    const std::vector<int32_t> encoded = EncodeTree(tree);
+    // Encoding size: every node appears once as a child (except the root),
+    // plus one negated marker per internal node.
+    int32_t internal = 0;
+    for (int32_t i = 0; i < tree.size(); ++i) {
+      internal += tree.NumChildren(i) > 0 ? 1 : 0;
+    }
+    if (tree.size() == 1) {
+      EXPECT_EQ(encoded.size(), 1u);
+    } else {
+      EXPECT_EQ(static_cast<int32_t>(encoded.size()),
+                tree.size() - 1 + internal);
+    }
+    auto decoded = DecodeTree(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(SameTree(tree, decoded.value())) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeCodecPropertyTest,
+                         testing::Range<int32_t>(1, 6));
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,264 @@
+// Unit tests for the utility layer: Status/Result, Rng, BitVector,
+// EpochSet, StatAccumulator, TablePrinter, env helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/bit_vector.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing key");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing key");
+  EXPECT_EQ(status.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kCorruption}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::OutOfRange("x"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+Status FailsThenPropagates() {
+  TCDB_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kCorruption);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) differing += a.Next() != b.Next();
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t value = rng.Uniform(-3, 12);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 12);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(99);
+  std::set<int64_t> values;
+  for (int i = 0; i < 1000; ++i) values.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(values.size(), 10u);
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Uniform(4, 4), 4);
+}
+
+TEST(RngTest, UniformIsApproximatelyUniform) {
+  Rng rng(42);
+  std::map<int64_t, int> histogram;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) histogram[rng.Uniform(0, 4)]++;
+  for (const auto& [value, count] : histogram) {
+    EXPECT_NEAR(count, kSamples / 5, kSamples / 50) << "value " << value;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bits(130);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitVectorTest, TestAndSet) {
+  BitVector bits(10);
+  EXPECT_TRUE(bits.TestAndSet(3));
+  EXPECT_FALSE(bits.TestAndSet(3));
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(BitVectorTest, ResetClearsAll) {
+  BitVector bits(100);
+  for (size_t i = 0; i < 100; i += 7) bits.Set(i);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, UnionAndIntersect) {
+  BitVector a(70), b(70);
+  a.Set(1);
+  a.Set(65);
+  b.Set(1);
+  b.Set(2);
+  BitVector u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+  BitVector i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(1));
+}
+
+TEST(EpochSetTest, InsertAndContains) {
+  EpochSet set(50);
+  EXPECT_FALSE(set.Contains(10));
+  set.Insert(10);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.InsertIfAbsent(10));
+  EXPECT_TRUE(set.InsertIfAbsent(11));
+}
+
+TEST(EpochSetTest, ClearAllIsO1AndComplete) {
+  EpochSet set(100);
+  for (size_t i = 0; i < 100; ++i) set.Insert(i);
+  set.ClearAll();
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(set.Contains(i));
+}
+
+TEST(EpochSetTest, SurvivesManyEpochs) {
+  EpochSet set(4);
+  for (int round = 0; round < 100000; ++round) {
+    set.Insert(round % 4);
+    set.ClearAll();
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_FALSE(set.Contains(i));
+}
+
+TEST(StatAccumulatorTest, BasicMoments) {
+  StatAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+}
+
+TEST(StatAccumulatorTest, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulatorTest, MergeMatchesSequential) {
+  StatAccumulator all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.NewRow().AddCell("x").AddCell(int64_t{12345});
+  table.NewRow().AddCell("longer").AddCell(3.14159, 2);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 3.14  |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HandlesMissingCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.NewRow().AddCell("only");
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(EnvTest, ParsesInteger) {
+  setenv("TCDB_TEST_ENV", "42", 1);
+  EXPECT_EQ(GetEnvInt("TCDB_TEST_ENV", 0), 42);
+  unsetenv("TCDB_TEST_ENV");
+  EXPECT_EQ(GetEnvInt("TCDB_TEST_ENV", 7), 7);
+}
+
+TEST(EnvTest, RejectsGarbage) {
+  setenv("TCDB_TEST_ENV", "12abc", 1);
+  EXPECT_EQ(GetEnvInt("TCDB_TEST_ENV", 7), 7);
+  unsetenv("TCDB_TEST_ENV");
+}
+
+TEST(EnvTest, BoolSemantics) {
+  setenv("TCDB_TEST_ENV", "1", 1);
+  EXPECT_TRUE(GetEnvBool("TCDB_TEST_ENV"));
+  setenv("TCDB_TEST_ENV", "0", 1);
+  EXPECT_FALSE(GetEnvBool("TCDB_TEST_ENV"));
+  unsetenv("TCDB_TEST_ENV");
+  EXPECT_FALSE(GetEnvBool("TCDB_TEST_ENV"));
+}
+
+}  // namespace
+}  // namespace tcdb

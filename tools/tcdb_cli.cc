@@ -1,0 +1,335 @@
+// tcdb command-line driver: run any of the study's algorithms on a graph
+// from a file or from the synthetic generator, print the answer and/or the
+// full metric bundle, analyze workloads, and ask the advisor.
+//
+// Examples:
+//   tcdb_cli --generate 2000,5,200,1 --algorithm btc --full
+//   tcdb_cli --graph g.txt --algorithm jkb2 --sources 3,17,99 --answer
+//   tcdb_cli --graph g.txt --analyze
+//   tcdb_cli --generate 2000,50,200,1 --advise --sources 1,2,3,4,5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/cyclic.h"
+#include "core/generalized.h"
+#include "core/database.h"
+#include "graph/generator.h"
+#include "relation/graph_io.h"
+
+namespace tcdb {
+namespace {
+
+void Usage() {
+  std::fprintf(stderr, R"(usage: tcdb_cli [options]
+
+graph input (one of):
+  --graph FILE             arc-list file ("src dst" lines, '# nodes N' header)
+  --generate N,F,L,SEED    synthetic DAG (paper generator)
+
+query (one of):
+  --full                   full transitive closure (default)
+  --sources A,B,C          partial closure of the listed nodes
+  --random-sources K,SEED  partial closure of K random nodes
+
+actions:
+  --algorithm NAME         btc|hyb|bj|srch|spn|jkb|jkb2|seminaive|warren
+                           (default btc)
+  --analyze                print the rectangle model instead of running
+  --advise                 print the advisor's recommendation, then run it
+  --answer                 print the resulting successor lists
+  --aggregate KIND         generalized closure instead of reachability:
+                           min-length|max-length|path-count (acyclic
+                           inputs only; runs on the BTC machinery)
+
+system parameters:
+  --buffer-pages M         buffer pool size (default 20)
+  --page-policy P          lru|mru|fifo|clock|random (default lru)
+  --list-policy P          move-self|move-largest|move-newest
+  --ilimit X               HYB diagonal-block fraction (default 0.2)
+)");
+}
+
+bool ParseCsvInts(const std::string& text, std::vector<int64_t>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char* end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos || errno != 0) return false;
+    out->push_back(value);
+    pos = static_cast<size_t>(end - text.c_str());
+    if (pos < text.size()) {
+      if (text[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  return !out->empty();
+}
+
+int Run(int argc, char** argv) {
+  std::string graph_file;
+  std::vector<int64_t> generate_params;
+  std::vector<NodeId> sources;
+  int32_t random_source_count = -1;
+  uint64_t random_source_seed = 0;
+  bool full = true;
+  bool analyze = false;
+  bool advise = false;
+  bool print_answer = false;
+  std::string algorithm_name = "btc";
+  std::string aggregate_name;
+  ExecOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--graph") {
+      graph_file = next();
+    } else if (flag == "--generate") {
+      if (!ParseCsvInts(next(), &generate_params) ||
+          generate_params.size() != 4) {
+        std::fprintf(stderr, "--generate expects N,F,L,SEED\n");
+        return 2;
+      }
+    } else if (flag == "--full") {
+      full = true;
+    } else if (flag == "--sources") {
+      std::vector<int64_t> values;
+      if (!ParseCsvInts(next(), &values)) {
+        std::fprintf(stderr, "--sources expects a comma-separated list\n");
+        return 2;
+      }
+      for (int64_t v : values) sources.push_back(static_cast<NodeId>(v));
+      full = false;
+    } else if (flag == "--random-sources") {
+      std::vector<int64_t> values;
+      if (!ParseCsvInts(next(), &values) || values.size() != 2) {
+        std::fprintf(stderr, "--random-sources expects K,SEED\n");
+        return 2;
+      }
+      // Resolved after the graph is loaded (needs the node count).
+      random_source_count = static_cast<int32_t>(values[0]);
+      random_source_seed = static_cast<uint64_t>(values[1]);
+      full = false;
+    } else if (flag == "--algorithm") {
+      algorithm_name = next();
+    } else if (flag == "--aggregate") {
+      aggregate_name = next();
+    } else if (flag == "--analyze") {
+      analyze = true;
+    } else if (flag == "--advise") {
+      advise = true;
+    } else if (flag == "--answer") {
+      print_answer = true;
+    } else if (flag == "--buffer-pages") {
+      options.buffer_pages = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--ilimit") {
+      options.ilimit = std::atof(next());
+    } else if (flag == "--page-policy") {
+      const std::string name = next();
+      bool found = false;
+      for (const PagePolicy policy :
+           {PagePolicy::kLru, PagePolicy::kMru, PagePolicy::kFifo,
+            PagePolicy::kClock, PagePolicy::kRandom}) {
+        if (name == PagePolicyName(policy)) {
+          options.page_policy = policy;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown page policy '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (flag == "--list-policy") {
+      const std::string name = next();
+      bool found = false;
+      for (const ListPolicy policy :
+           {ListPolicy::kMoveSelf, ListPolicy::kMoveLargest,
+            ListPolicy::kMoveNewest}) {
+        if (name == ListPolicyName(policy)) {
+          options.list_policy = policy;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown list policy '%s'\n", name.c_str());
+        return 2;
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  // --- Load the graph.
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (!graph_file.empty()) {
+    auto loaded = ReadArcFile(graph_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    arcs = std::move(loaded.value().arcs);
+    num_nodes = loaded.value().num_nodes;
+  } else if (generate_params.size() == 4) {
+    GeneratorParams params;
+    params.num_nodes = static_cast<NodeId>(generate_params[0]);
+    params.avg_out_degree = static_cast<int32_t>(generate_params[1]);
+    params.locality = static_cast<int32_t>(generate_params[2]);
+    params.seed = static_cast<uint64_t>(generate_params[3]);
+    arcs = GenerateDag(params);
+    num_nodes = params.num_nodes;
+  } else {
+    std::fprintf(stderr, "need --graph or --generate\n");
+    Usage();
+    return 2;
+  }
+
+  // Resolve deferred random sources.
+  if (!full && random_source_count >= 0) {
+    sources = SampleSourceNodes(num_nodes, random_source_count,
+                                random_source_seed);
+  }
+
+  // --- Cyclic inputs are condensed transparently.
+  auto closure = CyclicClosure::Create(arcs, num_nodes);
+  if (!closure.ok()) {
+    std::fprintf(stderr, "%s\n", closure.status().ToString().c_str());
+    return 1;
+  }
+  const TcDatabase& db = closure.value()->condensation();
+  if (db.num_nodes() != num_nodes) {
+    std::printf("input is cyclic: condensed %d nodes into %d components\n",
+                num_nodes, db.num_nodes());
+  }
+
+  auto model = db.Analyze();
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  if (analyze) {
+    const RectangleModel& m = model.value();
+    std::printf("nodes %d  arcs %lld\n", db.num_nodes(),
+                static_cast<long long>(m.num_arcs));
+    std::printf("H(G) %.1f  W(G) %.1f  max level %d\n", m.height, m.width,
+                m.max_level);
+    std::printf("avg locality %.1f  avg irredundant locality %.1f\n",
+                m.avg_arc_locality, m.avg_irredundant_locality);
+    std::printf("redundant arcs %lld  |TC(G)| %lld\n",
+                static_cast<long long>(m.num_redundant_arcs),
+                static_cast<long long>(m.closure_size));
+    return 0;
+  }
+
+  const QuerySpec query =
+      full ? QuerySpec::Full() : QuerySpec::Partial(sources);
+
+  if (!aggregate_name.empty()) {
+    PathAggregate aggregate;
+    if (aggregate_name == "min-length") {
+      aggregate = PathAggregate::kMinLength;
+    } else if (aggregate_name == "max-length") {
+      aggregate = PathAggregate::kMaxLength;
+    } else if (aggregate_name == "path-count") {
+      aggregate = PathAggregate::kPathCount;
+    } else {
+      std::fprintf(stderr, "unknown aggregate '%s'\n",
+                   aggregate_name.c_str());
+      return 2;
+    }
+    if (db.num_nodes() != num_nodes) {
+      std::fprintf(stderr,
+                   "--aggregate requires an acyclic input (path aggregates "
+                   "over cycles are unbounded)\n");
+      return 2;
+    }
+    options.capture_answer = print_answer;
+    auto aggregate_db = TcDatabase::Create(arcs, num_nodes);
+    if (!aggregate_db.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   aggregate_db.status().ToString().c_str());
+      return 1;
+    }
+    auto run =
+        aggregate_db.value()->ExecuteAggregate(aggregate, query, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    if (print_answer) {
+      for (const auto& [node, pairs] : run.value().answer) {
+        std::printf("%d:", node);
+        for (const auto& [successor, value] : pairs) {
+          std::printf(" %d=%lld", successor,
+                      static_cast<long long>(value));
+        }
+        std::printf("\n");
+      }
+    }
+    std::fprintf(stderr, "[%s] %s\n", PathAggregateName(aggregate),
+                 run.value().metrics.ToString().c_str());
+    return 0;
+  }
+
+  Algorithm algorithm;
+  if (advise) {
+    const Advice advice =
+        RecommendAlgorithm(model.value(), db.num_nodes(), query);
+    std::printf("advisor: %s — %s\n", AlgorithmName(advice.algorithm),
+                advice.rationale.c_str());
+    algorithm = advice.algorithm;
+  } else {
+    auto parsed = AlgorithmFromName(algorithm_name);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    algorithm = parsed.value();
+  }
+
+  options.capture_answer = print_answer;
+  auto run = closure.value()->Execute(algorithm, query, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  if (print_answer) {
+    for (const auto& [node, successors] : run.value().answer) {
+      std::printf("%d:", node);
+      for (const NodeId successor : successors) {
+        std::printf(" %d", successor);
+      }
+      std::printf("\n");
+    }
+  }
+  const RunMetrics& m = run.value().metrics;
+  std::fprintf(stderr, "[%s] %s\n", AlgorithmName(algorithm),
+               m.ToString().c_str());
+  std::fprintf(stderr, "[%s] est. I/O time at %.0fms/page: %.2fs\n",
+               AlgorithmName(algorithm), options.io_latency_s * 1000,
+               m.EstimatedIoSeconds(options.io_latency_s));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main(int argc, char** argv) { return tcdb::Run(argc, argv); }
