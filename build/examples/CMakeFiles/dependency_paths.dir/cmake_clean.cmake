@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_paths.dir/dependency_paths.cpp.o"
+  "CMakeFiles/dependency_paths.dir/dependency_paths.cpp.o.d"
+  "dependency_paths"
+  "dependency_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

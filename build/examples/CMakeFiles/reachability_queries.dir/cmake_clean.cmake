@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_queries.dir/reachability_queries.cpp.o"
+  "CMakeFiles/reachability_queries.dir/reachability_queries.cpp.o.d"
+  "reachability_queries"
+  "reachability_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/catalog.cc" "src/CMakeFiles/tcdb.dir/bench_support/catalog.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/bench_support/catalog.cc.o.d"
+  "/root/repo/src/bench_support/driver.cc" "src/CMakeFiles/tcdb.dir/bench_support/driver.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/bench_support/driver.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/tcdb.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/tcdb.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/cyclic.cc" "src/CMakeFiles/tcdb.dir/core/cyclic.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/cyclic.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/tcdb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/database.cc.o.d"
+  "/root/repo/src/core/generalized.cc" "src/CMakeFiles/tcdb.dir/core/generalized.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/generalized.cc.o.d"
+  "/root/repo/src/core/list_algorithms.cc" "src/CMakeFiles/tcdb.dir/core/list_algorithms.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/list_algorithms.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/tcdb.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/paths.cc" "src/CMakeFiles/tcdb.dir/core/paths.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/paths.cc.o.d"
+  "/root/repo/src/core/restructure.cc" "src/CMakeFiles/tcdb.dir/core/restructure.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/restructure.cc.o.d"
+  "/root/repo/src/core/run_context.cc" "src/CMakeFiles/tcdb.dir/core/run_context.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/run_context.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/tcdb.dir/core/session.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/session.cc.o.d"
+  "/root/repo/src/core/tree_algorithms.cc" "src/CMakeFiles/tcdb.dir/core/tree_algorithms.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/core/tree_algorithms.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/tcdb.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/analyzer.cc" "src/CMakeFiles/tcdb.dir/graph/analyzer.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/graph/analyzer.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/tcdb.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/CMakeFiles/tcdb.dir/graph/generator.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/graph/generator.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/tcdb.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/relation/graph_io.cc" "src/CMakeFiles/tcdb.dir/relation/graph_io.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/relation/graph_io.cc.o.d"
+  "/root/repo/src/relation/relation_file.cc" "src/CMakeFiles/tcdb.dir/relation/relation_file.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/relation/relation_file.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/tcdb.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/tcdb.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/tcdb.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/replacement_policy.cc" "src/CMakeFiles/tcdb.dir/storage/replacement_policy.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/storage/replacement_policy.cc.o.d"
+  "/root/repo/src/succ/successor_list_store.cc" "src/CMakeFiles/tcdb.dir/succ/successor_list_store.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/succ/successor_list_store.cc.o.d"
+  "/root/repo/src/succ/tree_codec.cc" "src/CMakeFiles/tcdb.dir/succ/tree_codec.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/succ/tree_codec.cc.o.d"
+  "/root/repo/src/util/bit_vector.cc" "src/CMakeFiles/tcdb.dir/util/bit_vector.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/bit_vector.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/tcdb.dir/util/check.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/check.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/tcdb.dir/util/env.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/env.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/tcdb.dir/util/random.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/tcdb.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tcdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/tcdb.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/tcdb.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/tcdb.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_correctness_test.dir/algorithm_correctness_test.cc.o"
+  "CMakeFiles/algorithm_correctness_test.dir/algorithm_correctness_test.cc.o.d"
+  "algorithm_correctness_test"
+  "algorithm_correctness_test.pdb"
+  "algorithm_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_model_test.dir/buffer_model_test.cc.o"
+  "CMakeFiles/buffer_model_test.dir/buffer_model_test.cc.o.d"
+  "buffer_model_test"
+  "buffer_model_test.pdb"
+  "buffer_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

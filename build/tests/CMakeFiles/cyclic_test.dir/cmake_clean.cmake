@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_test.dir/cyclic_test.cc.o"
+  "CMakeFiles/cyclic_test.dir/cyclic_test.cc.o.d"
+  "cyclic_test"
+  "cyclic_test.pdb"
+  "cyclic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

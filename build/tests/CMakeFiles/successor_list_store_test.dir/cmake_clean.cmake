@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/successor_list_store_test.dir/successor_list_store_test.cc.o"
+  "CMakeFiles/successor_list_store_test.dir/successor_list_store_test.cc.o.d"
+  "successor_list_store_test"
+  "successor_list_store_test.pdb"
+  "successor_list_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/successor_list_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_codec_test.dir/tree_codec_test.cc.o"
+  "CMakeFiles/tree_codec_test.dir/tree_codec_test.cc.o.d"
+  "tree_codec_test"
+  "tree_codec_test.pdb"
+  "tree_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/bplus_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/successor_list_store_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithm_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/restructure_test[1]_include.cmake")
+include("/root/repo/build/tests/cyclic_test[1]_include.cmake")
+include("/root/repo/build/tests/paths_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_support_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/generalized_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_model_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")

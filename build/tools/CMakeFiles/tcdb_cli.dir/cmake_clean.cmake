@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcdb_cli.dir/tcdb_cli.cc.o"
+  "CMakeFiles/tcdb_cli.dir/tcdb_cli.cc.o.d"
+  "tcdb_cli"
+  "tcdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcdb_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate_full "/root/repo/build/tools/tcdb_cli" "--generate" "100,3,20,1" "--algorithm" "btc" "--full")
+set_tests_properties(cli_generate_full PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/tcdb_cli" "--generate" "100,3,20,1" "--analyze")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_advise "/root/repo/build/tools/tcdb_cli" "--generate" "200,3,20,1" "--advise" "--random-sources" "4,2")
+set_tests_properties(cli_advise PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_answer_sources "/root/repo/build/tools/tcdb_cli" "--generate" "100,3,20,1" "--algorithm" "jkb2" "--sources" "0,5" "--answer")
+set_tests_properties(cli_answer_sources PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_aggregate "/root/repo/build/tools/tcdb_cli" "--generate" "100,3,20,1" "--aggregate" "path-count" "--sources" "0" "--answer")
+set_tests_properties(cli_aggregate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_policies "/root/repo/build/tools/tcdb_cli" "--generate" "100,3,20,1" "--algorithm" "hyb" "--buffer-pages" "8" "--ilimit" "0.3" "--page-policy" "clock" "--list-policy" "move-largest")
+set_tests_properties(cli_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/tcdb_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_flag "/root/repo/build/tools/tcdb_cli" "--bogus")
+set_tests_properties(cli_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_algorithm "/root/repo/build/tools/tcdb_cli" "--generate" "50,2,10,1" "--algorithm" "nope")
+set_tests_properties(cli_unknown_algorithm PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_input "/root/repo/build/tools/tcdb_cli" "--full")
+set_tests_properties(cli_missing_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
