@@ -27,6 +27,17 @@ Advice RecommendAlgorithm(const RectangleModel& model, NodeId num_nodes,
     advice.rationale =
         "very high selectivity: an independent search per source avoids "
         "expanding any non-source node";
+    if (config.index_point_queries &&
+        s <= static_cast<double>(config.search_source_limit)) {
+      // Below the absolute limit the workload is point lookups, not
+      // closure computation: a one-shot ReachIndex build answers most of
+      // them in O(1) and a ReachService amortizes the rest, so SRCH is
+      // only the fallback rung.
+      advice.use_reach_index = true;
+      advice.rationale +=
+          "; at this scale prefer ReachService point queries against a "
+          "prebuilt ReachIndex, with SRCH as the fallback rung";
+    }
     return advice;
   }
   if (s <= config.selective_fraction * n &&

@@ -27,10 +27,21 @@ struct AdvisorConfig {
   // Out-degree (|G| / n) below which the single-parent optimization has
   // enough reducible nodes to give BJ its edge (paper conclusion 2).
   double sparse_avg_degree = 4.0;
+  // When the source set is small enough for per-source searches
+  // (s <= search_source_limit), repeated point lookups are better served
+  // by a prebuilt reachability index (ReachService in src/reach/) than by
+  // re-running SRCH per query. Disable to keep recommendations confined
+  // to the paper's four algorithms.
+  bool index_point_queries = true;
 };
 
 struct Advice {
   Algorithm algorithm = Algorithm::kBtc;
+  // Set when the query is selective enough that building a ReachIndex and
+  // serving the sources as point queries (ReachService in src/reach/)
+  // should beat running `algorithm` from scratch each time. `algorithm`
+  // remains the right rung when no index is available.
+  bool use_reach_index = false;
   std::string rationale;
 };
 

@@ -1,0 +1,75 @@
+#ifndef TCDB_REACH_LRU_CACHE_H_
+#define TCDB_REACH_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+// Fixed-capacity LRU map from (src, dst) query pairs to boolean answers.
+// Both positive and negative answers are cached: a service fronting a
+// skewed query stream resolves repeats without touching even the O(1)
+// labels, and — more importantly — without re-running a fallback search.
+// Capacity 0 disables caching entirely.
+class ReachAnswerCache {
+ public:
+  explicit ReachAnswerCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+
+  // Returns true and fills *answer on a hit (refreshing recency).
+  bool Lookup(int32_t src, int32_t dst, bool* answer) {
+    if (capacity_ == 0) return false;
+    const auto it = map_.find(Key(src, dst));
+    if (it == map_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *answer = it->second->second;
+    return true;
+  }
+
+  // Inserts or refreshes an answer, evicting the least recently used entry
+  // when full.
+  void Insert(int32_t src, int32_t dst, bool answer) {
+    if (capacity_ == 0) return;
+    const uint64_t key = Key(src, dst);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = answer;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      TCDB_DCHECK(!order_.empty());
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, answer);
+    map_.emplace(key, order_.begin());
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  static uint64_t Key(int32_t src, int32_t dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  size_t capacity_;
+  // Most recent first; each entry is (key, answer).
+  std::list<std::pair<uint64_t, bool>> order_;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, bool>>::iterator>
+      map_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_REACH_LRU_CACHE_H_

@@ -1,0 +1,242 @@
+#include "reach/reach_service.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "graph/algorithms.h"
+#include "util/timer.h"
+
+namespace tcdb {
+
+Result<std::unique_ptr<ReachService>> ReachService::Build(
+    const ArcList& arcs, NodeId num_nodes,
+    const ReachServiceOptions& options) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  for (const Arc& arc : arcs) {
+    if (arc.src < 0 || arc.src >= num_nodes || arc.dst < 0 ||
+        arc.dst >= num_nodes) {
+      return Status::InvalidArgument(
+          "arc endpoint out of range: (" + std::to_string(arc.src) + ", " +
+          std::to_string(arc.dst) + ") with " + std::to_string(num_nodes) +
+          " nodes");
+    }
+  }
+  auto service = std::unique_ptr<ReachService>(new ReachService());
+  service->options_ = options;
+  service->num_input_nodes_ = num_nodes;
+
+  // Condense once; on an acyclic input this only renumbers the nodes.
+  Condensation condensation = Condense(Digraph(num_nodes, arcs));
+  service->dag_ = std::move(condensation.dag);
+  service->node_map_ = std::move(condensation.node_map);
+  service->scc_size_.assign(service->dag_.NumNodes(), 0);
+  for (const NodeId component : service->node_map_) {
+    ++service->scc_size_[component];
+  }
+
+  TCDB_ASSIGN_OR_RETURN(service->index_,
+                        ReachIndex::Build(service->dag_, options.index));
+  service->cache_ = ReachAnswerCache(options.cache_capacity);
+  return service;
+}
+
+ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
+                                               Answer* answer) {
+  bool cached = false;
+  if (cache_.Lookup(src, dst, &cached)) {
+    *answer = {cached, ReachStage::kCache};
+    return cached ? ReachIndex::Verdict::kYes : ReachIndex::Verdict::kNo;
+  }
+  const NodeId csrc = node_map_[src];
+  const NodeId cdst = node_map_[dst];
+  // src == dst (reflexivity) or one shared strongly connected component.
+  if (csrc == cdst) {
+    *answer = {true, ReachStage::kTrivial};
+    return ReachIndex::Verdict::kYes;
+  }
+  ReachStage stage = ReachStage::kTrivial;
+  ReachIndex::Verdict verdict = index_.TryDecide(csrc, cdst, &stage);
+  if (verdict == ReachIndex::Verdict::kUnknown) {
+    // Last cheap rung: a direct arc (binary search over the sorted CSR
+    // row). Covers the non-tree arcs the interval labels cannot witness.
+    const std::span<const NodeId> successors = dag_.Successors(csrc);
+    if (std::binary_search(successors.begin(), successors.end(), cdst)) {
+      verdict = ReachIndex::Verdict::kYes;
+      stage = ReachStage::kAdjacency;
+    }
+  }
+  if (verdict != ReachIndex::Verdict::kUnknown) {
+    *answer = {verdict == ReachIndex::Verdict::kYes, stage};
+    cache_.Insert(src, dst, answer->reachable);
+    ++stats_.cache_insertions;
+  }
+  return verdict;
+}
+
+Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
+  if (src < 0 || src >= num_input_nodes_ || dst < 0 ||
+      dst >= num_input_nodes_) {
+    return Status::InvalidArgument(
+        "query endpoint out of range: (" + std::to_string(src) + ", " +
+        std::to_string(dst) + ") with " + std::to_string(num_input_nodes_) +
+        " nodes");
+  }
+  WallTimer timer;
+  Answer answer;
+  if (TryServeFast(src, dst, &answer) != ReachIndex::Verdict::kUnknown) {
+    stats_.Record(answer.stage, answer.reachable, timer.ElapsedSeconds());
+    return answer;
+  }
+  TCDB_ASSIGN_OR_RETURN(answer,
+                        ServeFallback(node_map_[src], node_map_[dst]));
+  cache_.Insert(src, dst, answer.reachable);
+  ++stats_.cache_insertions;
+  stats_.Record(answer.stage, answer.reachable, timer.ElapsedSeconds());
+  return answer;
+}
+
+Result<ReachService::Answer> ReachService::ServeFallback(NodeId csrc,
+                                                         NodeId cdst) {
+  if (options_.bfs_budget > 0) {
+    int64_t expansions = 0;
+    const ReachIndex::Verdict verdict = index_.PrunedBfs(
+        dag_, csrc, cdst, options_.bfs_budget, &expansions);
+    stats_.bfs_expansions += expansions;
+    if (verdict != ReachIndex::Verdict::kUnknown) {
+      return Answer{verdict == ReachIndex::Verdict::kYes,
+                    ReachStage::kPrunedBfs};
+    }
+  }
+  if (options_.session_fallback) {
+    TCDB_ASSIGN_OR_RETURN(const std::vector<NodeId> successors,
+                          SessionSuccessors(csrc));
+    const bool reachable =
+        std::binary_search(successors.begin(), successors.end(), cdst);
+    return Answer{reachable, ReachStage::kSessionFallback};
+  }
+  // No session: finish the job with an unbounded pruned BFS.
+  int64_t expansions = 0;
+  const ReachIndex::Verdict verdict =
+      index_.PrunedBfs(dag_, csrc, cdst,
+                       std::numeric_limits<int64_t>::max(), &expansions);
+  stats_.bfs_expansions += expansions;
+  TCDB_CHECK(verdict != ReachIndex::Verdict::kUnknown);
+  return Answer{verdict == ReachIndex::Verdict::kYes,
+                ReachStage::kPrunedBfs};
+}
+
+Result<std::vector<NodeId>> ReachService::SessionSuccessors(NodeId csrc) {
+  if (session_ == nullptr) {
+    TcSession::SessionOptions session_options;
+    session_options.exec = options_.session_exec;
+    session_options.exec.capture_answer = true;
+    session_options.keep_cache_warm = true;
+    TCDB_ASSIGN_OR_RETURN(
+        session_, TcSession::Open(dag_.ToArcs(), dag_.NumNodes(),
+                                  session_options));
+  }
+  TCDB_ASSIGN_OR_RETURN(
+      RunResult run,
+      session_->Query(Algorithm::kSrch, QuerySpec::Partial({csrc})));
+  ++stats_.session_queries;
+  for (auto& [node, successors] : run.answer) {
+    if (node == csrc) return std::move(successors);
+  }
+  return std::vector<NodeId>{};
+}
+
+Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
+    std::span<const std::pair<NodeId, NodeId>> pairs) {
+  for (const auto& [src, dst] : pairs) {
+    if (src < 0 || src >= num_input_nodes_ || dst < 0 ||
+        dst >= num_input_nodes_) {
+      return Status::InvalidArgument(
+          "batch endpoint out of range: (" + std::to_string(src) + ", " +
+          std::to_string(dst) + ")");
+    }
+  }
+  ++stats_.batches;
+  std::vector<Answer> answers(pairs.size());
+
+  // Pass 1: cache + O(1) labels. The residue is grouped by condensed
+  // source so each fallback search serves all of that source's targets.
+  std::unordered_map<NodeId, std::vector<size_t>> residue;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    WallTimer timer;
+    if (TryServeFast(pairs[i].first, pairs[i].second, &answers[i]) !=
+        ReachIndex::Verdict::kUnknown) {
+      stats_.Record(answers[i].stage, answers[i].reachable,
+                    timer.ElapsedSeconds());
+      continue;
+    }
+    residue[node_map_[pairs[i].first]].push_back(i);
+  }
+
+  for (auto& [csrc, indices] : residue) {
+    WallTimer timer;
+    // Distinct condensed targets of this source (with their pair indices;
+    // duplicate queries resolve together).
+    std::vector<NodeId> targets;
+    std::vector<std::vector<size_t>> target_indices;
+    std::unordered_map<NodeId, size_t> target_slot;
+    for (const size_t i : indices) {
+      const NodeId cdst = node_map_[pairs[i].second];
+      const auto [it, inserted] =
+          target_slot.emplace(cdst, targets.size());
+      if (inserted) {
+        targets.push_back(cdst);
+        target_indices.emplace_back();
+      }
+      target_indices[it->second].push_back(i);
+    }
+
+    std::vector<bool> reached;
+    bool definitive = false;
+    ReachStage stage = ReachStage::kPrunedBfs;
+    if (options_.bfs_budget > 0) {
+      int64_t expansions = 0;
+      definitive = index_.PrunedMultiBfs(dag_, csrc, targets,
+                                         options_.bfs_budget, &reached,
+                                         &expansions);
+      stats_.bfs_expansions += expansions;
+    }
+    if (!definitive) {
+      if (options_.session_fallback) {
+        TCDB_ASSIGN_OR_RETURN(const std::vector<NodeId> successors,
+                              SessionSuccessors(csrc));
+        reached.assign(targets.size(), false);
+        for (size_t t = 0; t < targets.size(); ++t) {
+          reached[t] = std::binary_search(successors.begin(),
+                                          successors.end(), targets[t]);
+        }
+        stage = ReachStage::kSessionFallback;
+      } else {
+        int64_t expansions = 0;
+        definitive = index_.PrunedMultiBfs(
+            dag_, csrc, targets, std::numeric_limits<int64_t>::max(),
+            &reached, &expansions);
+        stats_.bfs_expansions += expansions;
+        TCDB_CHECK(definitive);
+      }
+    }
+
+    // The group's latency is shared evenly across its queries.
+    const double per_query_seconds =
+        timer.ElapsedSeconds() / static_cast<double>(indices.size());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      for (const size_t i : target_indices[t]) {
+        answers[i] = {reached[t], stage};
+        cache_.Insert(pairs[i].first, pairs[i].second, reached[t]);
+        ++stats_.cache_insertions;
+        stats_.Record(stage, reached[t], per_query_seconds);
+      }
+    }
+  }
+  return answers;
+}
+
+}  // namespace tcdb

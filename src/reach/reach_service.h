@@ -1,0 +1,108 @@
+#ifndef TCDB_REACH_REACH_SERVICE_H_
+#define TCDB_REACH_REACH_SERVICE_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/digraph.h"
+#include "reach/lru_cache.h"
+#include "reach/reach_index.h"
+#include "reach/reach_stats.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct ReachServiceOptions {
+  ReachIndexOptions index;
+  // Node-expansion budget of the pruned-BFS fallback (per query, or per
+  // batch source group). <= 0 skips straight to the next rung.
+  int64_t bfs_budget = 512;
+  // Use a TcSession SRCH query for the residue beyond the BFS budget.
+  // When disabled the BFS runs unbounded instead (a definite answer is
+  // always produced either way).
+  bool session_fallback = true;
+  // Execution parameters of the fallback session (buffer pool etc.).
+  ExecOptions session_exec;
+  // LRU answer-cache entries; 0 disables the cache.
+  size_t cache_capacity = 4096;
+};
+
+// The serving front end for online `reaches(src, dst)?` traffic. Sits on
+// top of the Digraph/TcSession machinery rather than inside it: a one-shot
+// ReachIndex build answers most queries in O(1), and the undecided residue
+// walks a ladder of increasingly expensive fallbacks —
+//
+//   answer cache -> O(1) labels -> bounded pruned BFS -> TcSession SRCH
+//
+// Cyclic inputs are handled by condensing once at build time; queries are
+// then served on the condensation (two nodes of one strongly connected
+// component reach each other by definition).
+//
+// Semantics: Reaches(u, v) is reflexive — every node reaches itself; for
+// u != v it is ordinary closure membership.
+//
+// Not thread-safe: the cache, statistics and fallback machinery mutate
+// shared state. Shard one service per thread for parallel serving.
+class ReachService {
+ public:
+  struct Answer {
+    bool reachable = false;
+    ReachStage stage = ReachStage::kTrivial;  // the rung that decided it
+  };
+
+  // `arcs` may be cyclic and unsorted; endpoints must lie in
+  // [0, num_nodes).
+  static Result<std::unique_ptr<ReachService>> Build(
+      const ArcList& arcs, NodeId num_nodes,
+      const ReachServiceOptions& options = {});
+
+  // Answers one query. InvalidArgument on out-of-range endpoints.
+  Result<Answer> Query(NodeId src, NodeId dst);
+
+  // Answers a batch. Beyond per-query caching, the fallback residue is
+  // grouped by source so one pruned BFS (or one SRCH run) serves every
+  // undecided destination of that source — the per-query cost of a miss
+  // amortizes across the batch.
+  Result<std::vector<Answer>> QueryBatch(
+      std::span<const std::pair<NodeId, NodeId>> pairs);
+
+  const ReachStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  NodeId num_nodes() const { return num_input_nodes_; }
+  const ReachIndex& index() const { return index_; }
+  // True when the input contained a cycle (queries run on the
+  // condensation).
+  bool condensed() const { return dag_.NumNodes() != num_input_nodes_; }
+
+ private:
+  ReachService() : cache_(0) {}
+
+  // Label-only attempt (cache, trivial, O(1) index rules) on original ids.
+  // Returns kUnknown for the fallback residue.
+  ReachIndex::Verdict TryServeFast(NodeId src, NodeId dst, Answer* answer);
+
+  // Definitive fallback for one condensed pair (BFS then session).
+  Result<Answer> ServeFallback(NodeId csrc, NodeId cdst);
+
+  // One SRCH run for `csrc`; returns its full condensed successor list
+  // (sorted). Opens the session lazily on first use.
+  Result<std::vector<NodeId>> SessionSuccessors(NodeId csrc);
+
+  ReachServiceOptions options_;
+  NodeId num_input_nodes_ = 0;
+  Digraph dag_;                    // condensation (== input when acyclic)
+  std::vector<NodeId> node_map_;   // input node -> condensation node
+  std::vector<int32_t> scc_size_;  // condensation node -> member count
+  ReachIndex index_;
+  ReachAnswerCache cache_;
+  std::unique_ptr<TcSession> session_;  // lazy; serves the last rung
+  ReachStats stats_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_REACH_REACH_SERVICE_H_

@@ -1,0 +1,40 @@
+#include "reach/reach_stats.h"
+
+#include <sstream>
+
+namespace tcdb {
+
+TablePrinter ReachStats::ToTable() const {
+  TablePrinter table({"stage", "decided", "share %", "total ms", "us/query"});
+  for (int s = 0; s < kNumReachStages; ++s) {
+    const int64_t count = decided[s];
+    if (count == 0) continue;
+    table.NewRow()
+        .AddCell(std::string(ReachStageName(static_cast<ReachStage>(s))))
+        .AddCell(count)
+        .AddCell(queries == 0 ? 0.0 : 100.0 * count / queries, 1)
+        .AddCell(seconds[s] * 1e3, 3)
+        .AddCell(seconds[s] * 1e6 / count, 3);
+  }
+  return table;
+}
+
+void ReachStats::Print(std::ostream& out) const {
+  ToTable().Print(out);
+  out << "queries " << queries << " (" << positive_answers
+      << " reachable), batches " << batches << ", decided without fallback "
+      << DecidedWithoutFallback();
+  if (queries > 0) {
+    out << " (" << 100.0 * DecidedWithoutFallback() / queries << "%)";
+  }
+  out << "\ncache insertions " << cache_insertions << ", BFS expansions "
+      << bfs_expansions << ", SRCH fallback runs " << session_queries << "\n";
+}
+
+std::string ReachStats::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,68 @@
+#ifndef TCDB_REACH_REACH_STATS_H_
+#define TCDB_REACH_REACH_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "reach/reach_index.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+
+// Per-service observability counters: how many queries each rung of the
+// serving ladder decided and how much wall time it consumed. The point is
+// not just "queries were fast" but *why* — benches and the CLI's --explain
+// print this block so regressions in index coverage show up as shifted
+// decision counts, not just as slower averages.
+struct ReachStats {
+  int64_t queries = 0;           // single queries + batch members
+  int64_t batches = 0;           // QueryBatch calls
+  int64_t positive_answers = 0;  // queries answered "reachable"
+
+  // decided[s]: queries whose final answer came from stage s.
+  // seconds[s]: cumulative wall time of those queries (a fallback query
+  // charges its whole latency, labels included, to the fallback stage).
+  int64_t decided[kNumReachStages] = {};
+  double seconds[kNumReachStages] = {};
+
+  int64_t cache_insertions = 0;
+  int64_t bfs_expansions = 0;    // total pruned-BFS node expansions
+  int64_t session_queries = 0;   // SRCH runs issued by the fallback
+
+  void Record(ReachStage stage, bool reachable, double elapsed_seconds) {
+    ++queries;
+    if (reachable) ++positive_answers;
+    decided[static_cast<int>(stage)] += 1;
+    seconds[static_cast<int>(stage)] += elapsed_seconds;
+  }
+
+  int64_t Decided(ReachStage stage) const {
+    return decided[static_cast<int>(stage)];
+  }
+
+  // Queries the O(1) labels (or the cache) answered — everything except
+  // the pruned-BFS and session rungs.
+  int64_t DecidedWithoutFallback() const {
+    return queries - Decided(ReachStage::kPrunedBfs) -
+           Decided(ReachStage::kSessionFallback);
+  }
+
+  double TotalSeconds() const {
+    double total = 0;
+    for (int s = 0; s < kNumReachStages; ++s) total += seconds[s];
+    return total;
+  }
+
+  // One row per stage: decided count, share of all queries, cumulative and
+  // mean latency.
+  TablePrinter ToTable() const;
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+  void Reset() { *this = ReachStats{}; }
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_REACH_REACH_STATS_H_

@@ -32,6 +32,41 @@ TEST(AdvisorRulesTest, TinySourceSetIsSearch) {
   EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
 }
 
+TEST(AdvisorRulesTest, TinySourceSetPrefersReachIndex) {
+  const Advice advice = RecommendAlgorithm(ModelWith(500, 50000), 1000,
+                                           QuerySpec::Partial({1, 2}));
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+  EXPECT_TRUE(advice.use_reach_index);
+  EXPECT_NE(advice.rationale.find("ReachService"), std::string::npos);
+}
+
+TEST(AdvisorRulesTest, IndexRecommendationCanBeDisabled) {
+  AdvisorConfig config;
+  config.index_point_queries = false;
+  const Advice advice = RecommendAlgorithm(
+      ModelWith(500, 50000), 1000, QuerySpec::Partial({1, 2}), config);
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+  EXPECT_FALSE(advice.use_reach_index);
+}
+
+TEST(AdvisorRulesTest, ScaledSearchWindowDoesNotTriggerIndex) {
+  // 15 sources on 2000 nodes is inside the scaled search window
+  // (search_fraction * n = 20) but above the absolute point-query limit,
+  // so SRCH is advised as a closure run, not as index fallback.
+  std::vector<NodeId> sources(15);
+  for (NodeId v = 0; v < 15; ++v) sources[v] = v;
+  const Advice advice = RecommendAlgorithm(ModelWith(40, 8000), 2000,
+                                           QuerySpec::Partial(sources));
+  EXPECT_EQ(advice.algorithm, Algorithm::kSrch);
+  EXPECT_FALSE(advice.use_reach_index);
+}
+
+TEST(AdvisorRulesTest, FullClosureNeverRecommendsIndex) {
+  const Advice advice =
+      RecommendAlgorithm(ModelWith(50, 5000), 1000, QuerySpec::Full());
+  EXPECT_FALSE(advice.use_reach_index);
+}
+
 TEST(AdvisorRulesTest, NarrowSelectiveIsJkb2) {
   // Beyond the search window (s > 1% of n) but still selective.
   std::vector<NodeId> sources(60);

@@ -20,6 +20,7 @@
 #include "core/generalized.h"
 #include "core/database.h"
 #include "graph/generator.h"
+#include "reach/reach_service.h"
 #include "relation/graph_io.h"
 
 namespace tcdb {
@@ -27,6 +28,7 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr, R"(usage: tcdb_cli [options]
+       tcdb_cli reach <graph> <src> <dst> [--explain]
 
 graph input (one of):
   --graph FILE             arc-list file ("src dst" lines, '# nodes N' header)
@@ -52,6 +54,13 @@ system parameters:
   --page-policy P          lru|mru|fifo|clock|random (default lru)
   --list-policy P          move-self|move-largest|move-newest
   --ilimit X               HYB diagonal-block fraction (default 0.2)
+
+reach subcommand (online point query via the src/reach/ index):
+  tcdb_cli reach <graph> <src> <dst> [--explain]
+    <graph>                arc-list file, or gen:N,F,L,SEED for a
+                           synthetic DAG
+    --explain              print the deciding index stage and the
+                           service's per-stage statistics table
 )");
 }
 
@@ -72,7 +81,78 @@ bool ParseCsvInts(const std::string& text, std::vector<int64_t>* out) {
   return !out->empty();
 }
 
+// `tcdb_cli reach <graph> <src> <dst> [--explain]`: builds a ReachIndex
+// over the input and answers one reaches(src, dst) point query, optionally
+// explaining which rung of the serving ladder decided it.
+int RunReach(int argc, char** argv) {
+  if (argc < 4) {
+    Usage();
+    return 2;
+  }
+  const std::string graph_spec = argv[1];
+  const NodeId src = static_cast<NodeId>(std::atoll(argv[2]));
+  const NodeId dst = static_cast<NodeId>(std::atoll(argv[3]));
+  bool explain = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::string(argv[i]) == "--explain") {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "unknown reach flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (graph_spec.rfind("gen:", 0) == 0) {
+    std::vector<int64_t> params;
+    if (!ParseCsvInts(graph_spec.substr(4), &params) || params.size() != 4) {
+      std::fprintf(stderr, "gen: expects gen:N,F,L,SEED\n");
+      return 2;
+    }
+    GeneratorParams generator;
+    generator.num_nodes = static_cast<NodeId>(params[0]);
+    generator.avg_out_degree = static_cast<int32_t>(params[1]);
+    generator.locality = static_cast<int32_t>(params[2]);
+    generator.seed = static_cast<uint64_t>(params[3]);
+    arcs = GenerateDag(generator);
+    num_nodes = generator.num_nodes;
+  } else {
+    auto loaded = ReadArcFile(graph_spec);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    arcs = std::move(loaded.value().arcs);
+    num_nodes = loaded.value().num_nodes;
+  }
+
+  auto service = ReachService::Build(arcs, num_nodes);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  if (service.value()->condensed()) {
+    std::printf("input is cyclic: serving on its condensation\n");
+  }
+  auto answer = service.value()->Query(src, dst);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%d -> %d: %s (decided by %s)\n", src, dst,
+              answer.value().reachable ? "reachable" : "unreachable",
+              ReachStageName(answer.value().stage));
+  if (explain) {
+    std::cout << service.value()->stats().ToString();
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
+    return RunReach(argc - 1, argv + 1);
+  }
   std::string graph_file;
   std::vector<int64_t> generate_params;
   std::vector<NodeId> sources;
