@@ -10,6 +10,7 @@
 #include "graph/analyzer.h"
 #include "graph/generator.h"
 #include "index/bplus_tree.h"
+#include "storage/page_guard.h"
 #include "succ/successor_list_store.h"
 #include "succ/tree_codec.h"
 #include "util/bit_vector.h"
@@ -23,9 +24,8 @@ void BM_BufferFetchHit(benchmark::State& state) {
   pager.AllocatePage(file);
   BufferManager buffers(&pager, 8, PagePolicy::kLru);
   for (auto _ : state) {
-    Page* page = buffers.FetchPage({file, 0}).value();
-    benchmark::DoNotOptimize(page);
-    buffers.Unpin({file, 0}, false);
+    PageGuard page = PageGuard::Fetch(&buffers, {file, 0}).value();
+    benchmark::DoNotOptimize(page.get());
   }
 }
 BENCHMARK(BM_BufferFetchHit);
@@ -37,9 +37,9 @@ void BM_BufferFetchMissEvict(benchmark::State& state) {
   BufferManager buffers(&pager, 8, PagePolicy::kLru);
   PageNumber next = 0;
   for (auto _ : state) {
-    Page* page = buffers.FetchPage({file, next}).value();
-    benchmark::DoNotOptimize(page);
-    buffers.Unpin({file, next}, false);
+    PageGuard page = PageGuard::Fetch(&buffers, {file, next}).value();
+    benchmark::DoNotOptimize(page.get());
+    page.Release();
     next = (next + 9) % 64;  // never hits with 8 frames
   }
 }

@@ -1,0 +1,235 @@
+#include "bench_support/stress.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+
+#include "core/database.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+#include "util/random.h"
+
+namespace tcdb {
+namespace {
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBtc,       Algorithm::kHyb,    Algorithm::kBj,
+    Algorithm::kSrch,      Algorithm::kSpn,    Algorithm::kJkb,
+    Algorithm::kJkb2,      Algorithm::kSeminaive,
+    Algorithm::kWarshall,  Algorithm::kWarren, Algorithm::kWarrenBlocked,
+};
+
+constexpr PagePolicy kAllPolicies[] = {
+    PagePolicy::kLru, PagePolicy::kMru, PagePolicy::kFifo,
+    PagePolicy::kClock, PagePolicy::kRandom,
+};
+
+// One fully specified run configuration drawn from a seed.
+struct DrawnConfig {
+  GeneratorParams graph;
+  size_t buffer_pages = 4;
+  bool full_closure = true;
+  std::vector<NodeId> sources;  // PTC only
+};
+
+template <typename T>
+const T& Pick(Rng* rng, const std::vector<T>& choices) {
+  TCDB_CHECK(!choices.empty());
+  return choices[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(choices.size()) - 1))];
+}
+
+DrawnConfig DrawConfig(const StressOptions& options, uint64_t seed) {
+  // Decorrelate the axis draws from the generator's own use of the seed.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  DrawnConfig config;
+  config.graph.num_nodes = Pick(&rng, options.node_counts);
+  config.graph.avg_out_degree = Pick(&rng, options.out_degrees);
+  config.graph.locality = Pick(&rng, options.localities);
+  config.graph.seed = seed;
+  config.buffer_pages = Pick(&rng, options.pool_sizes);
+  config.full_closure = rng.Bernoulli(0.5);
+  if (!config.full_closure) {
+    const int32_t count = static_cast<int32_t>(rng.Uniform(1, 5));
+    config.sources =
+        SampleSourceNodes(config.graph.num_nodes, count, seed * 13 + 7);
+  }
+  return config;
+}
+
+// Executes one (algorithm, policy) run of `config` and differentially
+// checks the captured answer against the in-memory reference closure.
+// The always-on end-of-run audits inside TcDatabase::Execute turn a pin
+// leak or a corrupt pool into an error status here.
+Status CheckOneRun(const DrawnConfig& config, Algorithm algorithm,
+                   PagePolicy policy) {
+  const ArcList arcs = GenerateDag(config.graph);
+  const Digraph graph(config.graph.num_nodes, arcs);
+  TCDB_ASSIGN_OR_RETURN(const std::unique_ptr<TcDatabase> db,
+                        TcDatabase::Create(arcs, config.graph.num_nodes));
+
+  std::vector<NodeId> sources = config.sources;
+  if (config.full_closure) {
+    sources.clear();
+    for (NodeId v = 0; v < config.graph.num_nodes; ++v) {
+      sources.push_back(v);
+    }
+  }
+  const QuerySpec query = config.full_closure
+                              ? QuerySpec::Full()
+                              : QuerySpec::Partial(config.sources);
+
+  ExecOptions exec;
+  exec.buffer_pages = config.buffer_pages;
+  exec.page_policy = policy;
+  exec.capture_answer = true;
+  exec.seed = config.graph.seed;
+  TCDB_ASSIGN_OR_RETURN(const RunResult run,
+                        db->Execute(algorithm, query, exec));
+
+  const std::vector<std::vector<NodeId>> expected =
+      ReferencePartialClosure(graph, sources);
+  if (run.answer.size() != sources.size()) {
+    return Status::Internal(
+        "answer covers " + std::to_string(run.answer.size()) +
+        " nodes, expected " + std::to_string(sources.size()));
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    const auto it = std::lower_bound(
+        run.answer.begin(), run.answer.end(), s,
+        [](const auto& entry, NodeId node) { return entry.first < node; });
+    if (it == run.answer.end() || it->first != s) {
+      return Status::Internal("answer is missing source " +
+                              std::to_string(s));
+    }
+    if (it->second != expected[i]) {
+      return Status::Internal(
+          "successor list of " + std::to_string(s) + " has " +
+          std::to_string(it->second.size()) + " entries, reference has " +
+          std::to_string(expected[i].size()));
+    }
+  }
+  return Status::Ok();
+}
+
+// Shrinks a failing configuration: halve the node count (re-sampling the
+// PTC sources so they stay in range) while the same (algorithm, policy)
+// run keeps failing. Returns the smallest failing variant.
+DrawnConfig Shrink(DrawnConfig config, Algorithm algorithm,
+                   PagePolicy policy, std::string* diagnostic) {
+  while (config.graph.num_nodes > 8) {
+    DrawnConfig smaller = config;
+    smaller.graph.num_nodes = config.graph.num_nodes / 2;
+    if (!smaller.full_closure) {
+      smaller.sources = SampleSourceNodes(
+          smaller.graph.num_nodes,
+          static_cast<int32_t>(smaller.sources.size()),
+          smaller.graph.seed * 13 + 7);
+    }
+    const Status status = CheckOneRun(smaller, algorithm, policy);
+    if (status.ok()) break;
+    config = smaller;
+    *diagnostic = status.ToString();
+  }
+  return config;
+}
+
+std::string DescribeConfig(const DrawnConfig& config) {
+  std::string text = "n=" + std::to_string(config.graph.num_nodes) +
+                     " F=" + std::to_string(config.graph.avg_out_degree) +
+                     " l=" + std::to_string(config.graph.locality) +
+                     " M=" + std::to_string(config.buffer_pages);
+  if (config.full_closure) {
+    text += " ctc";
+  } else {
+    text += " ptc sources=";
+    for (size_t i = 0; i < config.sources.size(); ++i) {
+      if (i > 0) text += ",";
+      text += std::to_string(config.sources[i]);
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string StressFailure::ToString() const {
+  std::string text = "seed " + std::to_string(seed) + ": n=" +
+                     std::to_string(num_nodes) + " F=" +
+                     std::to_string(avg_out_degree) + " l=" +
+                     std::to_string(locality) + " M=" +
+                     std::to_string(buffer_pages) + " algorithm=" +
+                     AlgorithmName(algorithm) + " policy=" +
+                     PagePolicyName(policy);
+  std::string source_list;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (i > 0) source_list += ",";
+    source_list += std::to_string(sources[i]);
+  }
+  text += full_closure ? " (full closure)" : " (sources " + source_list + ")";
+  text += " — " + diagnostic;
+  text += "\n  repro: tcdb_cli --generate " + std::to_string(num_nodes) +
+          "," + std::to_string(avg_out_degree) + "," +
+          std::to_string(locality) + "," + std::to_string(seed) +
+          " --algorithm " + AlgorithmName(algorithm) + " --buffer-pages " +
+          std::to_string(buffer_pages) + " --page-policy " +
+          PagePolicyName(policy);
+  if (!full_closure) text += " --sources " + source_list;
+  return text;
+}
+
+Status RunStorageStress(const StressOptions& options, StressReport* report,
+                        StressFailure* failure) {
+  if (options.num_seeds <= 0) {
+    return Status::InvalidArgument("num_seeds must be positive");
+  }
+  if (options.node_counts.empty() || options.out_degrees.empty() ||
+      options.localities.empty() || options.pool_sizes.empty()) {
+    return Status::InvalidArgument("every sampled axis needs a choice");
+  }
+  StressReport local;
+  StressReport* out = report != nullptr ? report : &local;
+  *out = StressReport{};
+
+  for (int32_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.base_seed + static_cast<uint64_t>(i);
+    const DrawnConfig config = DrawConfig(options, seed);
+    for (const Algorithm algorithm : kAllAlgorithms) {
+      for (const PagePolicy policy : kAllPolicies) {
+        const Status status = CheckOneRun(config, algorithm, policy);
+        ++out->runs;
+        if (status.ok()) continue;
+        ++out->failures;
+        std::string diagnostic = status.ToString();
+        const DrawnConfig shrunk =
+            Shrink(config, algorithm, policy, &diagnostic);
+        StressFailure found;
+        found.seed = seed;
+        found.num_nodes = shrunk.graph.num_nodes;
+        found.avg_out_degree = shrunk.graph.avg_out_degree;
+        found.locality = shrunk.graph.locality;
+        found.buffer_pages = shrunk.buffer_pages;
+        found.algorithm = algorithm;
+        found.policy = policy;
+        found.full_closure = shrunk.full_closure;
+        found.sources = shrunk.sources;
+        found.diagnostic = diagnostic;
+        if (failure != nullptr) *failure = found;
+        return Status::Internal("stress failure at " + found.ToString());
+      }
+    }
+    ++out->seeds;
+    if (options.log) {
+      options.log("seed " + std::to_string(seed) + ": " +
+                  DescribeConfig(config) + " — " +
+                  std::to_string(std::size(kAllAlgorithms) *
+                                 std::size(kAllPolicies)) +
+                  " runs clean");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcdb

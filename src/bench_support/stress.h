@@ -1,0 +1,69 @@
+#ifndef TCDB_BENCH_SUPPORT_STRESS_H_
+#define TCDB_BENCH_SUPPORT_STRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Configuration of one randomized differential stress run. Each seed draws
+// one graph family point (n, F, l), one buffer-pool size and one query,
+// then executes every algorithm under every replacement policy on it and
+// checks the captured answer against the in-memory reference closure. The
+// pool sizes are deliberately tiny: eviction pressure is what exposes pin
+// leaks, double unpins and policy bugs, and it is exactly the regime the
+// end-of-run audits (BufferManager::AuditNoPins et al.) were built for.
+struct StressOptions {
+  int32_t num_seeds = 50;
+  uint64_t base_seed = 1;
+  // Sampled axes of the graph family grid.
+  std::vector<int32_t> node_counts = {40, 80, 160};
+  std::vector<int32_t> out_degrees = {2, 5, 20};
+  std::vector<int32_t> localities = {10, 50, 200};
+  // Buffer pool sizes in pages (4 is the enforced minimum).
+  std::vector<size_t> pool_sizes = {4, 6, 10, 20};
+  // Progress sink, called once per seed; may be empty.
+  std::function<void(const std::string&)> log;
+};
+
+// The smallest failing configuration found (after shrinking), plus the
+// diagnostic of its failure.
+struct StressFailure {
+  uint64_t seed = 0;
+  int32_t num_nodes = 0;
+  int32_t avg_out_degree = 0;
+  int32_t locality = 0;
+  size_t buffer_pages = 0;
+  Algorithm algorithm = Algorithm::kBtc;
+  PagePolicy policy = PagePolicy::kLru;
+  bool full_closure = true;
+  std::vector<NodeId> sources;  // PTC only
+  std::string diagnostic;       // status text or answer mismatch detail
+
+  // Reproduction line for bug reports (a tcdb_cli invocation).
+  std::string ToString() const;
+};
+
+struct StressReport {
+  int64_t seeds = 0;     // seeds completed
+  int64_t runs = 0;      // algorithm x policy executions
+  int64_t failures = 0;  // failing runs before shrinking (0 or 1: the
+                         // harness stops at the first failure)
+};
+
+// Runs the randomized differential stress sweep. Returns Ok when every
+// run's answer matched the reference closure and every run passed the
+// buffer-pool audits; on the first failure, shrinks the graph (halving the
+// node count while the failure persists) and returns Internal carrying
+// `failure->ToString()`. `report` and `failure` may be null.
+Status RunStorageStress(const StressOptions& options, StressReport* report,
+                        StressFailure* failure);
+
+}  // namespace tcdb
+
+#endif  // TCDB_BENCH_SUPPORT_STRESS_H_

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "core/algorithms.h"
+#include "storage/page_guard.h"
 #include "util/bit_vector.h"
 #include "util/timer.h"
 
@@ -29,62 +30,53 @@ class PagedBitMatrix {
 
   // Loads row `row` into `out` (page access through the buffer pool).
   Status ReadRow(NodeId row, std::vector<uint8_t>* out) {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({file_, PageOf(row)}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, PageOf(row)},
+                                           "PagedBitMatrix::ReadRow"));
     const uint8_t* base =
         page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
     out->assign(base, base + row_bytes_);
-    buffers_->Unpin({file_, PageOf(row)}, /*dirty=*/false);
     return Status::Ok();
   }
 
   Status WriteRow(NodeId row, const std::vector<uint8_t>& bits) {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({file_, PageOf(row)}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, PageOf(row)},
+                                           "PagedBitMatrix::WriteRow"));
     uint8_t* base =
         page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
     std::copy(bits.begin(), bits.end(), base);
-    buffers_->Unpin({file_, PageOf(row)}, /*dirty=*/true);
+    page.MarkDirty();
     return Status::Ok();
   }
 
   // OR row `src` into the in-memory row `acc`.
   Status OrRowInto(NodeId src, std::vector<uint8_t>* acc) {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({file_, PageOf(src)}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, PageOf(src)},
+                                           "PagedBitMatrix::OrRowInto"));
     const uint8_t* base =
         page->data + (static_cast<size_t>(src) % rows_per_page_) * row_bytes_;
     for (size_t i = 0; i < row_bytes_; ++i) (*acc)[i] |= base[i];
-    buffers_->Unpin({file_, PageOf(src)}, /*dirty=*/false);
     return Status::Ok();
   }
 
-  // Pins the pages holding rows [lo, hi); returns the pinned page list so
-  // the caller can release them. Fails with kResourceExhausted when they
-  // do not fit.
-  Result<std::vector<PageNumber>> PinRows(NodeId lo, NodeId hi) {
-    std::vector<PageNumber> pinned;
+  // Pins the pages holding rows [lo, hi) for as long as the returned
+  // guards live. Fails with kResourceExhausted when they do not fit; the
+  // guards already taken release their pins on the way out.
+  Result<std::vector<PageGuard>> PinRows(NodeId lo, NodeId hi) {
+    std::vector<PageGuard> pinned;
     PageNumber last = kInvalidPageNumber;
     for (NodeId row = lo; row < hi; ++row) {
       const PageNumber page = PageOf(row);
       if (page == last) continue;
-      Result<Page*> fetched = buffers_->FetchPage({file_, page});
-      if (!fetched.ok()) {
-        for (const PageNumber p : pinned) {
-          buffers_->Unpin({file_, p}, /*dirty=*/false);
-        }
-        return fetched.status();
-      }
-      pinned.push_back(page);
+      TCDB_ASSIGN_OR_RETURN(PageGuard guard,
+                            PageGuard::Fetch(buffers_, {file_, page},
+                                             "PagedBitMatrix::PinRows"));
+      pinned.push_back(std::move(guard));
       last = page;
     }
     return pinned;
-  }
-
-  void UnpinPages(const std::vector<PageNumber>& pages) {
-    for (const PageNumber p : pages) {
-      buffers_->Unpin({file_, p}, /*dirty=*/false);
-    }
   }
 
   size_t row_bytes() const { return row_bytes_; }
@@ -117,7 +109,7 @@ void SetBit(std::vector<uint8_t>* row, NodeId j) {
 // in-memory duplicate elimination.
 Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
                     RunResult* result) {
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
@@ -176,7 +168,10 @@ Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
       const PageNumber pages = ctx->pager.FileSize(file);
       int64_t remaining = static_cast<int64_t>(delta.size());
       for (PageNumber p = 0; p < pages && remaining > 0; ++p) {
-        TCDB_ASSIGN_OR_RETURN(Page* page, ctx->buffers->FetchPage({file, p}));
+        TCDB_ASSIGN_OR_RETURN(
+            PageGuard page,
+            PageGuard::Fetch(ctx->buffers.get(), {file, p},
+                             "RunSeminaive delta scan"));
         const Arc* tuples = page->As<Arc>(0);
         const int64_t count =
             std::min<int64_t>(remaining, static_cast<int64_t>(kTuplesPerPage));
@@ -195,7 +190,6 @@ Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
           }
         }
         remaining -= count;
-        ctx->buffers->Unpin({file, p}, /*dirty=*/false);
       }
     }
     for (const Arc& arc : next_delta) {
@@ -241,7 +235,7 @@ Status RunSeminaive(RunContext* ctx, const QuerySpec& query,
 // [Ioannidis et al.] and they serve as ablation baselines here.
 Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
                         MatrixVariant variant, RunResult* result) {
-  ctx->pager.SetPhase(Phase::kRestructuring);
+  ctx->BeginPhase(Phase::kRestructuring);
   CpuTimer restructure_cpu;
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
@@ -271,7 +265,7 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
   }
   m.restructure_cpu_s = restructure_cpu.ElapsedSeconds();
 
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   std::vector<uint8_t> row(matrix.row_bytes());
   if (variant == MatrixVariant::kWarshall) {
@@ -307,9 +301,9 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
       while (strip_lo < n) {
         const NodeId strip_hi =
             block_rows == 0 ? n : std::min<NodeId>(strip_lo + block_rows, n);
-        std::vector<PageNumber> pinned;
+        std::vector<PageGuard> pinned;
         if (block_rows != 0) {
-          Result<std::vector<PageNumber>> pin =
+          Result<std::vector<PageGuard>> pin =
               matrix.PinRows(strip_lo, strip_hi);
           if (pin.ok()) {
             pinned = std::move(pin).value();
@@ -329,7 +323,7 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
           }
           if (changed) TCDB_RETURN_IF_ERROR(matrix.WriteRow(i, row));
         }
-        matrix.UnpinPages(pinned);
+        pinned.clear();  // release the strip's pins before advancing
         strip_lo = strip_hi;
       }
     }

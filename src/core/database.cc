@@ -120,7 +120,7 @@ Result<RunResult> TcDatabase::Execute(Algorithm algorithm,
 
   // --- Setup: materialize the input relation (and, for JKB2, the dual
   // representation) on the simulated disk. Not part of the measured query.
-  ctx.pager.SetPhase(Phase::kSetup);
+  ctx.BeginPhase(Phase::kSetup);
   TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
                                            ctx.rel_index, arcs_,
                                            &ctx.relation));
@@ -138,6 +138,11 @@ Result<RunResult> TcDatabase::Execute(Algorithm algorithm,
   WallTimer wall;
   TCDB_RETURN_IF_ERROR(DispatchAlgorithm(&ctx, algorithm, query, &result));
   ctx.metrics.wall_s = wall.ElapsedSeconds();
+  // End-of-run audit (always on, all build modes): a pin leaked by the
+  // algorithm would silently skew the I/O counts this run exists to
+  // measure, so fail the run instead of reporting corrupt statistics.
+  TCDB_RETURN_IF_ERROR(ctx.buffers->AuditNoPins());
+  TCDB_RETURN_IF_ERROR(ctx.buffers->AuditCachedCountConsistent());
   CollectRunStatistics(&ctx, &result);
   return result;
 }
@@ -168,7 +173,7 @@ Result<AggregateResult> TcDatabase::ExecuteAggregate(
   ctx.out_file = ctx.pager.CreateFile("output.dat");
   ctx.buffers = std::make_unique<BufferManager>(
       &ctx.pager, options.buffer_pages, options.page_policy, options.seed);
-  ctx.pager.SetPhase(Phase::kSetup);
+  ctx.BeginPhase(Phase::kSetup);
   TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
                                            ctx.rel_index, arcs_,
                                            &ctx.relation));
@@ -179,6 +184,8 @@ Result<AggregateResult> TcDatabase::ExecuteAggregate(
   WallTimer wall;
   TCDB_RETURN_IF_ERROR(RunAggregateClosure(&ctx, query, aggregate, &result));
   ctx.metrics.wall_s = wall.ElapsedSeconds();
+  TCDB_RETURN_IF_ERROR(ctx.buffers->AuditNoPins());
+  TCDB_RETURN_IF_ERROR(ctx.buffers->AuditCachedCountConsistent());
   RunResult shim;
   CollectRunStatistics(&ctx, &shim);
   result.metrics = shim.metrics;

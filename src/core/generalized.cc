@@ -64,7 +64,7 @@ Status RunAggregateClosure(RunContext* ctx, const QuerySpec& query,
                            PathAggregate aggregate, AggregateResult* result) {
   RestructureResult rs;
   {
-    ctx->pager.SetPhase(Phase::kRestructuring);
+    ctx->BeginPhase(Phase::kRestructuring);
     CpuTimer cpu;
     TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
     // Initial annotated lists: (child, 1) — one direct arc, length one,
@@ -85,7 +85,7 @@ Status RunAggregateClosure(RunContext* ctx, const QuerySpec& query,
     ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
   }
 
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
@@ -154,7 +154,7 @@ Status RunAggregateClosure(RunContext* ctx, const QuerySpec& query,
   ctx->succ->FinalizeKeepLists(keep);
 
   if (ctx->options.capture_answer) {
-    ctx->pager.SetPhase(Phase::kSetup);
+    ctx->BeginPhase(Phase::kSetup);
     for (size_t pos = 0; pos < rs.topo_order.size(); ++pos) {
       const NodeId x = rs.topo_order[pos];
       if (!query.full_closure && !rs.is_source[x]) continue;

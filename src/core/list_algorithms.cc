@@ -5,6 +5,7 @@
 #include "core/algorithms.h"
 #include "core/restructure.h"
 #include "graph/analyzer.h"
+#include "storage/page_guard.h"
 #include "util/bit_vector.h"
 #include "util/timer.h"
 
@@ -84,7 +85,7 @@ Status FinalizeFlat(RunContext* ctx, const QuerySpec& query,
   ctx->succ->FinalizeKeepLists(keep);
   if (ctx->options.capture_answer) {
     // Capture is not part of the measured run: attribute its I/O to setup.
-    ctx->pager.SetPhase(Phase::kSetup);
+    ctx->BeginPhase(Phase::kSetup);
     for (int32_t pos = 0; pos < num_lists; ++pos) {
       const NodeId x = rs.topo_order[pos];
       if (!query.full_closure && !rs.is_source[x]) continue;
@@ -102,14 +103,14 @@ Status RunBtcLike(RunContext* ctx, const QuerySpec& query, bool single_parent,
                   RunResult* result) {
   RestructureResult rs;
   {
-    ctx->pager.SetPhase(Phase::kRestructuring);
+    ctx->BeginPhase(Phase::kRestructuring);
     CpuTimer cpu;
     TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, single_parent, &rs));
     TCDB_RETURN_IF_ERROR(WriteInitialLists(ctx, rs));
     ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
   }
   {
-    ctx->pager.SetPhase(Phase::kComputation);
+    ctx->BeginPhase(Phase::kComputation);
     CpuTimer cpu;
     const NodeId n = ctx->num_nodes;
     EpochSet seen(static_cast<size_t>(n));
@@ -144,13 +145,13 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
   }
   RestructureResult rs;
   {
-    ctx->pager.SetPhase(Phase::kRestructuring);
+    ctx->BeginPhase(Phase::kRestructuring);
     CpuTimer cpu;
     TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
     TCDB_RETURN_IF_ERROR(WriteInitialLists(ctx, rs));
     ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
   }
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
@@ -178,7 +179,7 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
     // until the reserved share of the pool (ILIMIT * M) is used.
     std::set<PageNumber> block_pages;
     std::vector<int32_t> block;  // positions, descending
-    std::vector<PageNumber> pinned_pages;  // exact pins taken for the block
+    std::vector<PageGuard> pinned_pages;  // exact pins taken for the block
     bool unpinned_singleton = false;
     while (next >= 0) {
       const std::vector<PageNumber> pages = ctx->succ->ListPages(next);
@@ -188,19 +189,19 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
         break;
       }
       Status pin = Status::Ok();
-      std::vector<PageNumber> newly_pinned;
+      std::vector<PageGuard> newly_pinned;
       for (const PageNumber p : pages) {
-        Result<Page*> fetched = ctx->buffers->FetchPage({ctx->succ_file, p});
+        Result<PageGuard> fetched =
+            PageGuard::Fetch(ctx->buffers.get(), {ctx->succ_file, p},
+                             "RunHyb diagonal block");
         if (!fetched.ok()) {
           pin = fetched.status();
           break;
         }
-        newly_pinned.push_back(p);
+        newly_pinned.push_back(std::move(fetched).value());
       }
       if (!pin.ok()) {
-        for (const PageNumber p : newly_pinned) {
-          ctx->buffers->Unpin({ctx->succ_file, p}, /*dirty=*/false);
-        }
+        newly_pinned.clear();  // release this list's partial pins
         if (pin.code() != StatusCode::kResourceExhausted) return pin;
         // Dynamic reblocking: the pool cannot take this list's pages.
         if (block.empty()) {
@@ -213,8 +214,9 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
         break;
       }
       for (PageNumber p : pages) block_pages.insert(p);
-      pinned_pages.insert(pinned_pages.end(), newly_pinned.begin(),
-                          newly_pinned.end());
+      for (PageGuard& guard : newly_pinned) {
+        pinned_pages.push_back(std::move(guard));
+      }
       block.push_back(next);
       --next;
     }
@@ -324,9 +326,7 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
 
     // --- Release the block.
     (void)unpinned_singleton;
-    for (const PageNumber p : pinned_pages) {
-      ctx->buffers->Unpin({ctx->succ_file, p}, /*dirty=*/false);
-    }
+    pinned_pages.clear();
   }
 
   TCDB_RETURN_IF_ERROR(FinalizeFlat(ctx, query, rs, result));
@@ -337,7 +337,7 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
 Status RunSearch(RunContext* ctx, const QuerySpec& query, RunResult* result) {
   // The Search algorithm is implemented as an extension of the
   // preprocessing phase (paper Section 4.1); there is no computation phase.
-  ctx->pager.SetPhase(Phase::kRestructuring);
+  ctx->BeginPhase(Phase::kRestructuring);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
@@ -432,7 +432,7 @@ Status RunSearch(RunContext* ctx, const QuerySpec& query, RunResult* result) {
   ctx->succ->FinalizeKeepLists(keep);
 
   if (ctx->options.capture_answer) {
-    ctx->pager.SetPhase(Phase::kSetup);
+    ctx->BeginPhase(Phase::kSetup);
     for (size_t idx = 0; idx < sources.size(); ++idx) {
       std::vector<int32_t> content;
       TCDB_RETURN_IF_ERROR(

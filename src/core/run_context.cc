@@ -1,19 +1,35 @@
 #include "core/run_context.h"
 
+#include "storage/page_guard.h"
+
 namespace tcdb {
+
+void RunContext::BeginPhase(Phase phase) {
+  // A pin surviving a phase boundary would attribute its I/O to the wrong
+  // phase (and is a leak); the bookkeeping audit is equally cheap, so both
+  // run here in debug builds.
+  TCDB_DCHECK(buffers->AuditNoPins().ok())
+      << buffers->AuditNoPins().ToString();
+  TCDB_DCHECK(buffers->AuditCachedCountConsistent().ok())
+      << buffers->AuditCachedCountConsistent().ToString();
+  pager.SetPhase(phase);
+}
 
 Status TupleWriter::Append(const Arc& arc) {
   if (slot_ == kTuplesPerPage || current_page_ == kInvalidPageNumber) {
-    TCDB_ASSIGN_OR_RETURN(auto page, buffers_->NewPage(file_));
-    page.second->As<Arc>(0)[0] = arc;
-    buffers_->Unpin({file_, page.first}, /*dirty=*/true);
-    current_page_ = page.first;
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard page,
+        NewPageGuard::Alloc(buffers_, file_, "TupleWriter::Append"));
+    page->As<Arc>(0)[0] = arc;
+    current_page_ = page.page_no();
     slot_ = 1;
   } else {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({file_, current_page_}));
+    TCDB_ASSIGN_OR_RETURN(
+        PageGuard page,
+        PageGuard::Fetch(buffers_, {file_, current_page_},
+                         "TupleWriter::Append"));
     page->As<Arc>(0)[slot_++] = arc;
-    buffers_->Unpin({file_, current_page_}, /*dirty=*/true);
+    page.MarkDirty();
   }
   ++count_;
   return Status::Ok();

@@ -60,6 +60,11 @@ struct RunContext {
   // Algorithm-maintained logical counters; page I/O and buffer statistics
   // are collected from pager/buffers at the end of the run.
   RunMetrics metrics;
+
+  // Switches I/O attribution to `phase`. Phase boundaries are pin
+  // barriers: in debug builds this audits that no page is pinned and that
+  // the pool bookkeeping is consistent before switching.
+  void BeginPhase(Phase phase);
 };
 
 // Sequential tuple writer over a fresh file: packs Arcs 256 to a page

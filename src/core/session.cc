@@ -50,7 +50,7 @@ Result<std::unique_ptr<TcSession>> TcSession::Open(
                                                 options.exec.seed);
   // Materialize both representations once, up front (a session may mix
   // JKB2 with the other algorithms).
-  ctx.pager.SetPhase(Phase::kSetup);
+  ctx.BeginPhase(Phase::kSetup);
   TCDB_RETURN_IF_ERROR(RelationFile::Build(ctx.buffers.get(), ctx.rel_data,
                                            ctx.rel_index, arcs,
                                            &ctx.relation));
@@ -96,6 +96,10 @@ Result<RunResult> TcSession::Query(Algorithm algorithm,
   WallTimer wall;
   TCDB_RETURN_IF_ERROR(DispatchAlgorithm(&ctx_, algorithm, query, &result));
   ctx_.metrics.wall_s = wall.ElapsedSeconds();
+  // Sessions reuse one context across queries, so a pin leaked by one
+  // query would corrupt every later answer: audit before reporting.
+  TCDB_RETURN_IF_ERROR(ctx_.buffers->AuditNoPins());
+  TCDB_RETURN_IF_ERROR(ctx_.buffers->AuditCachedCountConsistent());
   CollectRunStatistics(&ctx_, &result);
   ++queries_run_;
   return result;

@@ -61,7 +61,7 @@ Status FinalizeTrees(RunContext* ctx, const QuerySpec& query,
   }
   ctx->succ->FinalizeKeepLists(keep);
   if (ctx->options.capture_answer || ctx->options.capture_trees) {
-    ctx->pager.SetPhase(Phase::kSetup);
+    ctx->BeginPhase(Phase::kSetup);
     std::vector<int32_t> scratch;
     for (int32_t pos = 0; pos < num_lists; ++pos) {
       const NodeId x = rs.topo_order[pos];
@@ -192,13 +192,13 @@ FlatTree PruneToSpecial(const FlatTree& tree,
 Status RunSpn(RunContext* ctx, const QuerySpec& query, RunResult* result) {
   RestructureResult rs;
   {
-    ctx->pager.SetPhase(Phase::kRestructuring);
+    ctx->BeginPhase(Phase::kRestructuring);
     CpuTimer cpu;
     TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
     TCDB_RETURN_IF_ERROR(WriteInitialTrees(ctx, rs));
     ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
   }
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
   EpochSet seen(static_cast<size_t>(ctx->num_nodes));
@@ -244,14 +244,14 @@ Status RunJkb(RunContext* ctx, const QuerySpec& query, bool dual,
   RestructureResult rs;
   std::vector<int32_t> pred_list_of;
   {
-    ctx->pager.SetPhase(Phase::kRestructuring);
+    ctx->BeginPhase(Phase::kRestructuring);
     CpuTimer cpu;
     TCDB_RETURN_IF_ERROR(DiscoverAndSort(ctx, query, false, &rs));
     TCDB_RETURN_IF_ERROR(
         BuildPredecessorLists(ctx, rs, dual, &pred_list_of));
     ctx->metrics.restructure_cpu_s = cpu.ElapsedSeconds();
   }
-  ctx->pager.SetPhase(Phase::kComputation);
+  ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
   RunMetrics& m = ctx->metrics;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/page_guard.h"
+
 namespace tcdb {
 namespace {
 
@@ -81,24 +83,28 @@ Status BPlusTree::BulkLoad(
   size_t pos = 0;
   while (pos < entries.size()) {
     const size_t take = std::min(kEntryCapacity, entries.size() - pos);
-    TCDB_ASSIGN_OR_RETURN(auto leaf, buffers_->NewPage(file_));
-    NodeHeader* header = Header(leaf.second);
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard leaf,
+        NewPageGuard::Alloc(buffers_, file_, "BPlusTree::BulkLoad leaf"));
+    NodeHeader* header = Header(leaf.get());
     header->type = kLeafType;
     header->count = static_cast<uint16_t>(take);
     header->link = kInvalidPageNumber;
-    Entry* out = Entries(leaf.second);
+    Entry* out = Entries(leaf.get());
     for (size_t i = 0; i < take; ++i) {
       out[i].key = entries[pos + i].first;
       out[i].child_or_value = entries[pos + i].second;
     }
     if (prev_leaf != kInvalidPageNumber) {
-      TCDB_ASSIGN_OR_RETURN(Page* prev, buffers_->FetchPage({file_, prev_leaf}));
-      Header(prev)->link = leaf.first;
-      buffers_->Unpin({file_, prev_leaf}, /*dirty=*/true);
+      TCDB_ASSIGN_OR_RETURN(
+          PageGuard prev,
+          PageGuard::Fetch(buffers_, {file_, prev_leaf},
+                           "BPlusTree::BulkLoad link"));
+      Header(prev.get())->link = leaf.page_no();
+      prev.MarkDirty();
     }
-    level.emplace_back(entries[pos].first, leaf.first);
-    buffers_->Unpin({file_, leaf.first}, /*dirty=*/true);
-    prev_leaf = leaf.first;
+    level.emplace_back(entries[pos].first, leaf.page_no());
+    prev_leaf = leaf.page_no();
     pos += take;
   }
   height_ = 1;
@@ -110,18 +116,20 @@ Status BPlusTree::BulkLoad(
     while (i < level.size()) {
       // One leftmost child plus up to kEntryCapacity keyed children.
       const size_t take = std::min(kEntryCapacity + 1, level.size() - i);
-      TCDB_ASSIGN_OR_RETURN(auto node, buffers_->NewPage(file_));
-      NodeHeader* header = Header(node.second);
+      TCDB_ASSIGN_OR_RETURN(
+          NewPageGuard node,
+          NewPageGuard::Alloc(buffers_, file_,
+                              "BPlusTree::BulkLoad internal"));
+      NodeHeader* header = Header(node.get());
       header->type = kInternalType;
       header->count = static_cast<uint16_t>(take - 1);
       header->link = level[i].second;
-      Entry* out = Entries(node.second);
+      Entry* out = Entries(node.get());
       for (size_t j = 1; j < take; ++j) {
         out[j - 1].key = level[i + j].first;
         out[j - 1].child_or_value = level[i + j].second;
       }
-      next_level.emplace_back(level[i].first, node.first);
-      buffers_->Unpin({file_, node.first}, /*dirty=*/true);
+      next_level.emplace_back(level[i].first, node.page_no());
       i += take;
     }
     level = std::move(next_level);
@@ -136,11 +144,11 @@ Result<PageNumber> BPlusTree::FindLeaf(uint32_t key) const {
   if (height_ == 0) return Status::NotFound("empty tree");
   PageNumber page_no = root_;
   for (uint32_t depth = 1; depth < height_; ++depth) {
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, page_no}));
-    TCDB_CHECK_EQ(Header(page)->type, kInternalType);
-    const PageNumber child = ChildFor(page, key);
-    buffers_->Unpin({file_, page_no}, /*dirty=*/false);
-    page_no = child;
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, page_no},
+                                           "BPlusTree::FindLeaf"));
+    TCDB_CHECK_EQ(Header(page.get())->type, kInternalType);
+    page_no = ChildFor(page.get(), key);
   }
   return page_no;
 }
@@ -148,21 +156,18 @@ Result<PageNumber> BPlusTree::FindLeaf(uint32_t key) const {
 Result<uint32_t> BPlusTree::Search(uint32_t key) const {
   Result<PageNumber> leaf_no = FindLeaf(key);
   if (!leaf_no.ok()) return Status::NotFound("key not found");
-  TCDB_ASSIGN_OR_RETURN(Page* page,
-                        buffers_->FetchPage({file_, leaf_no.value()}));
-  TCDB_CHECK_EQ(Header(page)->type, kLeafType);
-  const Entry* entries = Entries(page);
-  const uint16_t count = Header(page)->count;
+  TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                        PageGuard::Fetch(buffers_, {file_, leaf_no.value()},
+                                         "BPlusTree::Search"));
+  TCDB_CHECK_EQ(Header(page.get())->type, kLeafType);
+  const Entry* entries = Entries(page.get());
+  const uint16_t count = Header(page.get())->count;
   const Entry* end = entries + count;
   const Entry* it = std::lower_bound(
       entries, end, key,
       [](const Entry& e, uint32_t k) { return e.key < k; });
-  Result<uint32_t> result =
-      (it != end && it->key == key)
-          ? Result<uint32_t>(it->child_or_value)
-          : Result<uint32_t>(Status::NotFound("key not found"));
-  buffers_->Unpin({file_, leaf_no.value()}, /*dirty=*/false);
-  return result;
+  if (it != end && it->key == key) return it->child_or_value;
+  return Status::NotFound("key not found");
 }
 
 Result<std::optional<std::pair<uint32_t, uint32_t>>> BPlusTree::LowerBound(
@@ -171,21 +176,19 @@ Result<std::optional<std::pair<uint32_t, uint32_t>>> BPlusTree::LowerBound(
   if (height_ == 0) return Out(std::nullopt);
   TCDB_ASSIGN_OR_RETURN(PageNumber leaf_no, FindLeaf(key));
   while (leaf_no != kInvalidPageNumber) {
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, leaf_no}));
-    const Entry* entries = Entries(page);
-    const uint16_t count = Header(page)->count;
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, leaf_no},
+                                           "BPlusTree::LowerBound"));
+    const Entry* entries = Entries(page.get());
+    const uint16_t count = Header(page.get())->count;
     const Entry* end = entries + count;
     const Entry* it = std::lower_bound(
         entries, end, key,
         [](const Entry& e, uint32_t k) { return e.key < k; });
     if (it != end) {
-      Out out(std::make_pair(it->key, it->child_or_value));
-      buffers_->Unpin({file_, leaf_no}, /*dirty=*/false);
-      return out;
+      return Out(std::make_pair(it->key, it->child_or_value));
     }
-    const PageNumber next = Header(page)->link;
-    buffers_->Unpin({file_, leaf_no}, /*dirty=*/false);
-    leaf_no = next;
+    leaf_no = Header(page.get())->link;
   }
   return Out(std::nullopt);
 }
@@ -196,34 +199,35 @@ Status BPlusTree::ScanAll(
   // Find the leftmost leaf.
   PageNumber page_no = root_;
   for (uint32_t depth = 1; depth < height_; ++depth) {
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, page_no}));
-    const PageNumber child = Header(page)->link;
-    buffers_->Unpin({file_, page_no}, /*dirty=*/false);
-    page_no = child;
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, page_no},
+                                           "BPlusTree::ScanAll descend"));
+    page_no = Header(page.get())->link;
   }
   while (page_no != kInvalidPageNumber) {
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, page_no}));
-    const Entry* entries = Entries(page);
-    for (uint16_t i = 0; i < Header(page)->count; ++i) {
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, page_no},
+                                           "BPlusTree::ScanAll leaf"));
+    const Entry* entries = Entries(page.get());
+    for (uint16_t i = 0; i < Header(page.get())->count; ++i) {
       out->emplace_back(entries[i].key, entries[i].child_or_value);
     }
-    const PageNumber next = Header(page)->link;
-    buffers_->Unpin({file_, page_no}, /*dirty=*/false);
-    page_no = next;
+    page_no = Header(page.get())->link;
   }
   return Status::Ok();
 }
 
 Status BPlusTree::Insert(uint32_t key, uint32_t value) {
   if (height_ == 0) {
-    TCDB_ASSIGN_OR_RETURN(auto leaf, buffers_->NewPage(file_));
-    NodeHeader* header = Header(leaf.second);
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard leaf,
+        NewPageGuard::Alloc(buffers_, file_, "BPlusTree::Insert first leaf"));
+    NodeHeader* header = Header(leaf.get());
     header->type = kLeafType;
     header->count = 1;
     header->link = kInvalidPageNumber;
-    Entries(leaf.second)[0] = Entry{key, value};
-    buffers_->Unpin({file_, leaf.first}, /*dirty=*/true);
-    root_ = leaf.first;
+    Entries(leaf.get())[0] = Entry{key, value};
+    root_ = leaf.page_no();
     height_ = 1;
     size_ = 1;
     return Status::Ok();
@@ -232,14 +236,15 @@ Status BPlusTree::Insert(uint32_t key, uint32_t value) {
   TCDB_RETURN_IF_ERROR(InsertRecursive(root_, 1, key, value, &split));
   if (split.has_value()) {
     // Grow the tree with a new root.
-    TCDB_ASSIGN_OR_RETURN(auto node, buffers_->NewPage(file_));
-    NodeHeader* header = Header(node.second);
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard node,
+        NewPageGuard::Alloc(buffers_, file_, "BPlusTree::Insert new root"));
+    NodeHeader* header = Header(node.get());
     header->type = kInternalType;
     header->count = 1;
     header->link = root_;
-    Entries(node.second)[0] = Entry{split->first, split->second};
-    buffers_->Unpin({file_, node.first}, /*dirty=*/true);
-    root_ = node.first;
+    Entries(node.get())[0] = Entry{split->first, split->second};
+    root_ = node.page_no();
     ++height_;
   }
   ++size_;
@@ -254,10 +259,12 @@ Status BPlusTree::InsertRecursive(
   if (!is_leaf) {
     PageNumber child;
     {
-      TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, node}));
-      TCDB_CHECK_EQ(Header(page)->type, kInternalType);
-      child = ChildFor(page, key);
-      buffers_->Unpin({file_, node}, /*dirty=*/false);
+      TCDB_ASSIGN_OR_RETURN(
+          PageGuard page,
+          PageGuard::Fetch(buffers_, {file_, node},
+                           "BPlusTree::InsertRecursive descend"));
+      TCDB_CHECK_EQ(Header(page.get())->type, kInternalType);
+      child = ChildFor(page.get(), key);
     }
     std::optional<std::pair<uint32_t, PageNumber>> child_split;
     TCDB_RETURN_IF_ERROR(
@@ -265,9 +272,12 @@ Status BPlusTree::InsertRecursive(
     if (!child_split.has_value()) return Status::Ok();
 
     // Insert the separator produced by the child split.
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, node}));
-    NodeHeader* header = Header(page);
-    Entry* entries = Entries(page);
+    TCDB_ASSIGN_OR_RETURN(
+        PageGuard page,
+        PageGuard::Fetch(buffers_, {file_, node},
+                         "BPlusTree::InsertRecursive separator"));
+    NodeHeader* header = Header(page.get());
+    Entry* entries = Entries(page.get());
     if (header->count < kEntryCapacity) {
       uint16_t i = header->count;
       while (i > 0 && entries[i - 1].key > child_split->first) {
@@ -276,7 +286,7 @@ Status BPlusTree::InsertRecursive(
       }
       entries[i] = Entry{child_split->first, child_split->second};
       header->count++;
-      buffers_->Unpin({file_, node}, /*dirty=*/true);
+      page.MarkDirty();
       return Status::Ok();
     }
     // Split this internal node. Gather count+1 separators, keep the left
@@ -290,31 +300,35 @@ Status BPlusTree::InsertRecursive(
     const Entry median = all[mid];
     header->count = static_cast<uint16_t>(mid);
     std::copy(all.begin(), all.begin() + mid, entries);
-    buffers_->Unpin({file_, node}, /*dirty=*/true);
+    page.MarkDirty();
+    page.Release();  // keep pool pressure flat while allocating the sibling
 
-    TCDB_ASSIGN_OR_RETURN(auto right, buffers_->NewPage(file_));
-    NodeHeader* right_header = Header(right.second);
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard right,
+        NewPageGuard::Alloc(buffers_, file_,
+                            "BPlusTree::InsertRecursive internal split"));
+    NodeHeader* right_header = Header(right.get());
     right_header->type = kInternalType;
     right_header->count = static_cast<uint16_t>(all.size() - mid - 1);
     right_header->link = median.child_or_value;
-    std::copy(all.begin() + mid + 1, all.end(), Entries(right.second));
-    buffers_->Unpin({file_, right.first}, /*dirty=*/true);
-    *split = std::make_pair(median.key, right.first);
+    std::copy(all.begin() + mid + 1, all.end(), Entries(right.get()));
+    *split = std::make_pair(median.key, right.page_no());
     return Status::Ok();
   }
 
   // Leaf insert.
-  TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, node}));
-  NodeHeader* header = Header(page);
+  TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                        PageGuard::Fetch(buffers_, {file_, node},
+                                         "BPlusTree::InsertRecursive leaf"));
+  NodeHeader* header = Header(page.get());
   TCDB_CHECK_EQ(header->type, kLeafType);
-  Entry* entries = Entries(page);
+  Entry* entries = Entries(page.get());
   const Entry* const_entries = entries;
   const Entry* end = const_entries + header->count;
   const Entry* found =
       std::lower_bound(const_entries, end, key,
                        [](const Entry& e, uint32_t k) { return e.key < k; });
   if (found != end && found->key == key) {
-    buffers_->Unpin({file_, node}, /*dirty=*/false);
     return Status::InvalidArgument("duplicate key");
   }
   if (header->count < kEntryCapacity) {
@@ -325,29 +339,32 @@ Status BPlusTree::InsertRecursive(
     }
     entries[i] = Entry{key, value};
     header->count++;
-    buffers_->Unpin({file_, node}, /*dirty=*/true);
+    page.MarkDirty();
     return Status::Ok();
   }
-  // Split the leaf.
+  // Split the leaf. The new sibling is allocated while the leaf is still
+  // pinned: its header link feeds the sibling before the leaf is rewritten.
   std::vector<Entry> all(entries, entries + header->count);
   auto it = std::lower_bound(
       all.begin(), all.end(), key,
       [](const Entry& e, uint32_t k) { return e.key < k; });
   all.insert(it, Entry{key, value});
   const size_t mid = all.size() / 2;
-  TCDB_ASSIGN_OR_RETURN(auto right, buffers_->NewPage(file_));
-  NodeHeader* right_header = Header(right.second);
+  TCDB_ASSIGN_OR_RETURN(
+      NewPageGuard right,
+      NewPageGuard::Alloc(buffers_, file_,
+                          "BPlusTree::InsertRecursive leaf split"));
+  NodeHeader* right_header = Header(right.get());
   right_header->type = kLeafType;
   right_header->count = static_cast<uint16_t>(all.size() - mid);
   right_header->link = header->link;
-  std::copy(all.begin() + mid, all.end(), Entries(right.second));
-  buffers_->Unpin({file_, right.first}, /*dirty=*/true);
+  std::copy(all.begin() + mid, all.end(), Entries(right.get()));
 
   header->count = static_cast<uint16_t>(mid);
-  header->link = right.first;
+  header->link = right.page_no();
   std::copy(all.begin(), all.begin() + mid, entries);
-  buffers_->Unpin({file_, node}, /*dirty=*/true);
-  *split = std::make_pair(all[mid].key, right.first);
+  page.MarkDirty();
+  *split = std::make_pair(all[mid].key, right.page_no());
   return Status::Ok();
 }
 
@@ -365,11 +382,17 @@ Status BPlusTree::CheckInvariants() const {
 
     Status Walk(PageNumber node, uint32_t depth, uint32_t lower_incl,
                 bool has_lower, uint32_t upper_excl, bool has_upper) {
-      TCDB_ASSIGN_OR_RETURN(Page* page,
-                            tree->buffers_->FetchPage({tree->file_, node}));
-      const NodeHeader header = *Header(page);
-      std::vector<Entry> entries(Entries(page), Entries(page) + header.count);
-      tree->buffers_->Unpin({tree->file_, node}, /*dirty=*/false);
+      NodeHeader header;
+      std::vector<Entry> entries;
+      {
+        TCDB_ASSIGN_OR_RETURN(
+            PageGuard page,
+            PageGuard::Fetch(tree->buffers_, {tree->file_, node},
+                             "BPlusTree::CheckInvariants"));
+        header = *Header(page.get());
+        entries.assign(Entries(page.get()),
+                       Entries(page.get()) + header.count);
+      }
 
       for (size_t i = 0; i + 1 < entries.size(); ++i) {
         if (entries[i].key >= entries[i + 1].key) {

@@ -33,15 +33,17 @@ class ReachAnswerCache {
   }
 
   // Inserts or refreshes an answer, evicting the least recently used entry
-  // when full.
-  void Insert(int32_t src, int32_t dst, bool answer) {
-    if (capacity_ == 0) return;
+  // when full. Returns true only when a new entry was stored — false when
+  // caching is disabled or an existing entry was merely refreshed — so
+  // callers can count real insertions.
+  bool Insert(int32_t src, int32_t dst, bool answer) {
+    if (capacity_ == 0) return false;
     const uint64_t key = Key(src, dst);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = answer;
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return false;
     }
     if (map_.size() >= capacity_) {
       TCDB_DCHECK(!order_.empty());
@@ -50,6 +52,7 @@ class ReachAnswerCache {
     }
     order_.emplace_front(key, answer);
     map_.emplace(key, order_.begin());
+    return true;
   }
 
   void Clear() {

@@ -1,12 +1,12 @@
 #include "reach/reach_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
 
 #include "graph/algorithms.h"
-#include "util/timer.h"
 
 namespace tcdb {
 
@@ -71,10 +71,18 @@ ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
   }
   if (verdict != ReachIndex::Verdict::kUnknown) {
     *answer = {verdict == ReachIndex::Verdict::kYes, stage};
-    cache_.Insert(src, dst, answer->reachable);
-    ++stats_.cache_insertions;
+    if (cache_.Insert(src, dst, answer->reachable)) {
+      ++stats_.cache_insertions;
+    }
   }
   return verdict;
+}
+
+double ReachService::NowSeconds() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
@@ -85,17 +93,18 @@ Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
         std::to_string(dst) + ") with " + std::to_string(num_input_nodes_) +
         " nodes");
   }
-  WallTimer timer;
+  const double start = NowSeconds();
   Answer answer;
   if (TryServeFast(src, dst, &answer) != ReachIndex::Verdict::kUnknown) {
-    stats_.Record(answer.stage, answer.reachable, timer.ElapsedSeconds());
+    stats_.Record(answer.stage, answer.reachable, NowSeconds() - start);
     return answer;
   }
   TCDB_ASSIGN_OR_RETURN(answer,
                         ServeFallback(node_map_[src], node_map_[dst]));
-  cache_.Insert(src, dst, answer.reachable);
-  ++stats_.cache_insertions;
-  stats_.Record(answer.stage, answer.reachable, timer.ElapsedSeconds());
+  if (cache_.Insert(src, dst, answer.reachable)) {
+    ++stats_.cache_insertions;
+  }
+  stats_.Record(answer.stage, answer.reachable, NowSeconds() - start);
   return answer;
 }
 
@@ -143,10 +152,20 @@ Result<std::vector<NodeId>> ReachService::SessionSuccessors(NodeId csrc) {
       RunResult run,
       session_->Query(Algorithm::kSrch, QuerySpec::Partial({csrc})));
   ++stats_.session_queries;
+  return ExtractSessionSuccessors(std::move(run), csrc);
+}
+
+Result<std::vector<NodeId>> ExtractSessionSuccessors(RunResult run,
+                                                     NodeId csrc) {
   for (auto& [node, successors] : run.answer) {
     if (node == csrc) return std::move(successors);
   }
-  return std::vector<NodeId>{};
+  // A missing source means the session ran without capture_answer or the
+  // answer got filtered upstream. Surface the bug instead of serving
+  // "reaches nothing" for a node that may reach half the graph.
+  return Status::Internal("SRCH answer is missing queried source " +
+                          std::to_string(csrc) +
+                          "; refusing to treat it as an empty successor list");
 }
 
 Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
@@ -164,20 +183,25 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
 
   // Pass 1: cache + O(1) labels. The residue is grouped by condensed
   // source so each fallback search serves all of that source's targets.
+  // Time spent classifying a residue query here still belongs to that
+  // query's latency, so it is carried into its group's pass-2 share.
   std::unordered_map<NodeId, std::vector<size_t>> residue;
+  std::unordered_map<NodeId, double> residue_pass1_seconds;
   for (size_t i = 0; i < pairs.size(); ++i) {
-    WallTimer timer;
+    const double start = NowSeconds();
     if (TryServeFast(pairs[i].first, pairs[i].second, &answers[i]) !=
         ReachIndex::Verdict::kUnknown) {
       stats_.Record(answers[i].stage, answers[i].reachable,
-                    timer.ElapsedSeconds());
+                    NowSeconds() - start);
       continue;
     }
-    residue[node_map_[pairs[i].first]].push_back(i);
+    const NodeId csrc = node_map_[pairs[i].first];
+    residue[csrc].push_back(i);
+    residue_pass1_seconds[csrc] += NowSeconds() - start;
   }
 
   for (auto& [csrc, indices] : residue) {
-    WallTimer timer;
+    const double start = NowSeconds();
     // Distinct condensed targets of this source (with their pair indices;
     // duplicate queries resolve together).
     std::vector<NodeId> targets;
@@ -224,14 +248,18 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
       }
     }
 
-    // The group's latency is shared evenly across its queries.
+    // The group's latency — fallback work plus the pass-1 time its
+    // queries already spent — is shared evenly across its queries.
+    const double group_seconds =
+        (NowSeconds() - start) + residue_pass1_seconds[csrc];
     const double per_query_seconds =
-        timer.ElapsedSeconds() / static_cast<double>(indices.size());
+        group_seconds / static_cast<double>(indices.size());
     for (size_t t = 0; t < targets.size(); ++t) {
       for (const size_t i : target_indices[t]) {
         answers[i] = {reached[t], stage};
-        cache_.Insert(pairs[i].first, pairs[i].second, reached[t]);
-        ++stats_.cache_insertions;
+        if (cache_.Insert(pairs[i].first, pairs[i].second, reached[t])) {
+          ++stats_.cache_insertions;
+        }
         stats_.Record(stage, reached[t], per_query_seconds);
       }
     }

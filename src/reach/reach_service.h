@@ -1,6 +1,7 @@
 #ifndef TCDB_REACH_REACH_SERVICE_H_
 #define TCDB_REACH_REACH_SERVICE_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
@@ -72,6 +73,12 @@ class ReachService {
   const ReachStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Replaces the clock used for latency attribution (seconds, monotonic).
+  // Tests inject a tick clock to make recorded latencies deterministic.
+  void SetClockForTesting(std::function<double()> clock) {
+    clock_ = std::move(clock);
+  }
+
   NodeId num_nodes() const { return num_input_nodes_; }
   const ReachIndex& index() const { return index_; }
   // True when the input contained a cycle (queries run on the
@@ -92,6 +99,9 @@ class ReachService {
   // (sorted). Opens the session lazily on first use.
   Result<std::vector<NodeId>> SessionSuccessors(NodeId csrc);
 
+  // Current time in seconds from clock_ (steady_clock when not injected).
+  double NowSeconds() const;
+
   ReachServiceOptions options_;
   NodeId num_input_nodes_ = 0;
   Digraph dag_;                    // condensation (== input when acyclic)
@@ -101,7 +111,14 @@ class ReachService {
   ReachAnswerCache cache_;
   std::unique_ptr<TcSession> session_;  // lazy; serves the last rung
   ReachStats stats_;
+  std::function<double()> clock_;  // empty -> steady_clock
 };
+
+// Pulls the successor list of `csrc` out of a captured SRCH answer.
+// Internal error when the answer does not cover `csrc`: an empty list
+// would silently read as "reaches nothing".
+Result<std::vector<NodeId>> ExtractSessionSuccessors(RunResult run,
+                                                     NodeId csrc);
 
 }  // namespace tcdb
 

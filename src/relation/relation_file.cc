@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/page_guard.h"
+
 namespace tcdb {
 
 ArcList ReverseArcs(const ArcList& arcs) {
@@ -30,17 +32,19 @@ Status RelationFile::Build(BufferManager* buffers, FileId data_file,
   size_t pos = 0;
   while (pos < arcs.size()) {
     const size_t take = std::min(kTuplesPerPage, arcs.size() - pos);
-    TCDB_ASSIGN_OR_RETURN(auto page, buffers->NewPage(data_file));
-    Arc* tuples = page.second->As<Arc>(0);
+    TCDB_ASSIGN_OR_RETURN(
+        NewPageGuard page,
+        NewPageGuard::Alloc(buffers, data_file, "RelationFile::Build"));
+    Arc* tuples = page->As<Arc>(0);
     for (size_t i = 0; i < take; ++i) tuples[i] = arcs[pos + i];
     for (size_t i = 0; i < take; ++i) {
       const int32_t src = arcs[pos + i].src;
       if (index_entries.empty() ||
           index_entries.back().first != static_cast<uint32_t>(src)) {
-        index_entries.emplace_back(static_cast<uint32_t>(src), page.first);
+        index_entries.emplace_back(static_cast<uint32_t>(src),
+                                   page.page_no());
       }
     }
-    buffers->Unpin({data_file, page.first}, /*dirty=*/true);
     ++num_pages;
     pos += take;
   }
@@ -67,8 +71,9 @@ Status RelationFile::LookupSrc(int32_t src, std::vector<int32_t>* out) const {
   PageNumber page_no = first_page.value();
   bool done = false;
   while (!done && page_no < num_data_pages_) {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({data_file_, page_no}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {data_file_, page_no},
+                                           "RelationFile::LookupSrc"));
     const Arc* tuples = page->As<Arc>(0);
     const size_t count = PageTupleCount(page_no);
     // Binary search within the page for the first tuple with src >= key.
@@ -83,7 +88,6 @@ Status RelationFile::LookupSrc(int32_t src, std::vector<int32_t>* out) const {
       }
       out->push_back(it->dst);
     }
-    buffers_->Unpin({data_file_, page_no}, /*dirty=*/false);
     ++page_no;
   }
   return Status::Ok();
@@ -91,12 +95,12 @@ Status RelationFile::LookupSrc(int32_t src, std::vector<int32_t>* out) const {
 
 Status RelationFile::Scan(const std::function<void(const Arc&)>& fn) const {
   for (PageNumber page_no = 0; page_no < num_data_pages_; ++page_no) {
-    TCDB_ASSIGN_OR_RETURN(Page* page,
-                          buffers_->FetchPage({data_file_, page_no}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {data_file_, page_no},
+                                           "RelationFile::Scan"));
     const Arc* tuples = page->As<Arc>(0);
     const size_t count = PageTupleCount(page_no);
     for (size_t i = 0; i < count; ++i) fn(tuples[i]);
-    buffers_->Unpin({data_file_, page_no}, /*dirty=*/false);
   }
   return Status::Ok();
 }

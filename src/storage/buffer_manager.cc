@@ -45,12 +45,14 @@ size_t BufferManager::PinnedCount() const {
   return count;
 }
 
-Result<Page*> BufferManager::FetchPage(PageId id) {
+Result<Page*> BufferManager::FetchPage(PageId id, const char* tag) {
   const Phase phase = pager_->phase();
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     Frame& frame = frames_[it->second];
     frame.pin_count++;
+    frame.pin_tag = tag;
+    frame.pin_phase = phase;
     policy_->OnAccess(it->second);
     access_stats_.RecordHit(id.file, phase);
     return &frame.page;
@@ -64,13 +66,16 @@ Result<Page*> BufferManager::FetchPage(PageId id) {
   frame.pin_count = 1;
   frame.dirty = false;
   frame.valid = true;
+  frame.pin_tag = tag;
+  frame.pin_phase = phase;
   page_table_[id] = f;
   policy_->OnInsert(f);
   access_stats_.RecordMiss(id.file, phase);
   return &frame.page;
 }
 
-Result<std::pair<PageNumber, Page*>> BufferManager::NewPage(FileId file) {
+Result<std::pair<PageNumber, Page*>> BufferManager::NewPage(FileId file,
+                                                            const char* tag) {
   Result<size_t> frame_index = AcquireFrame();
   if (!frame_index.ok()) return frame_index.status();
   const size_t f = frame_index.value();
@@ -81,6 +86,8 @@ Result<std::pair<PageNumber, Page*>> BufferManager::NewPage(FileId file) {
   frame.pin_count = 1;
   frame.dirty = true;
   frame.valid = true;
+  frame.pin_tag = tag;
+  frame.pin_phase = pager_->phase();
   page_table_[frame.id] = f;
   policy_->OnInsert(f);
   return std::make_pair(page_no, &frame.page);
@@ -177,6 +184,71 @@ void BufferManager::DiscardFile(FileId file) {
     frame.dirty = false;
     free_frames_.push_back(f);
   }
+}
+
+Status BufferManager::AuditNoPins() const {
+  std::string report;
+  for (const Frame& frame : frames_) {
+    if (!frame.valid || frame.pin_count == 0) continue;
+    report += "\n  dangling pin: file '" + pager_->FileName(frame.id.file) +
+              "' page " + std::to_string(frame.id.page_no) + " pin_count " +
+              std::to_string(frame.pin_count) + " pinned by '" +
+              (frame.pin_tag != nullptr ? frame.pin_tag : "<untagged>") +
+              "' in phase " + PhaseName(frame.pin_phase);
+  }
+  if (!report.empty()) {
+    return Status::Internal("buffer pool pin leak:" + report);
+  }
+  return Status::Ok();
+}
+
+Status BufferManager::AuditCachedCountConsistent() const {
+  size_t valid_count = 0;
+  for (size_t f = 0; f < frames_.size(); ++f) {
+    const Frame& frame = frames_[f];
+    if (!frame.valid) continue;
+    ++valid_count;
+    auto it = page_table_.find(frame.id);
+    if (it == page_table_.end()) {
+      return Status::Internal("valid frame " + std::to_string(f) +
+                              " (file '" + pager_->FileName(frame.id.file) +
+                              "' page " + std::to_string(frame.id.page_no) +
+                              ") missing from page table");
+    }
+    if (it->second != f) {
+      return Status::Internal("page table maps file '" +
+                              pager_->FileName(frame.id.file) + "' page " +
+                              std::to_string(frame.id.page_no) +
+                              " to frame " + std::to_string(it->second) +
+                              " but the page lives in frame " +
+                              std::to_string(f));
+    }
+  }
+  if (page_table_.size() != valid_count) {
+    return Status::Internal(
+        "page table has " + std::to_string(page_table_.size()) +
+        " entries but only " + std::to_string(valid_count) +
+        " frames are valid");
+  }
+  std::vector<bool> is_free(frames_.size(), false);
+  for (const size_t f : free_frames_) {
+    if (f >= frames_.size() || is_free[f]) {
+      return Status::Internal("free list entry " + std::to_string(f) +
+                              " is out of range or duplicated");
+    }
+    is_free[f] = true;
+    if (frames_[f].valid) {
+      return Status::Internal("frame " + std::to_string(f) +
+                              " is on the free list but holds a valid page");
+    }
+  }
+  if (free_frames_.size() + valid_count != frames_.size()) {
+    return Status::Internal(
+        "frame accounting mismatch: " + std::to_string(free_frames_.size()) +
+        " free + " + std::to_string(valid_count) + " valid != " +
+        std::to_string(frames_.size()) + " frames");
+  }
+  return Status::Ok();
 }
 
 void BufferManager::DiscardAll() {

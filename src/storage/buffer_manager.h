@@ -62,6 +62,12 @@ class AccessStats {
 // successful call must be matched by exactly one Unpin. Pins nest. The pool
 // reports kResourceExhausted when a miss occurs while every frame is pinned
 // (the Hybrid algorithm uses this signal for dynamic reblocking).
+//
+// Outside the storage layer, pins are managed through PageGuard /
+// NewPageGuard (storage/page_guard.h) rather than raw Fetch/Unpin pairs.
+// The optional `tag` on FetchPage/NewPage (a string literal with static
+// lifetime) records pin provenance so AuditNoPins() can name the call site
+// that leaked a dangling pin.
 class BufferManager {
  public:
   BufferManager(Pager* pager, size_t num_frames, PagePolicy policy,
@@ -71,11 +77,12 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   // Returns the page pinned, reading it from disk on a miss.
-  Result<Page*> FetchPage(PageId id);
+  Result<Page*> FetchPage(PageId id, const char* tag = nullptr);
 
   // Allocates a fresh zeroed page in `file`, pinned and dirty. The new page
   // is born in the pool (no device read).
-  Result<std::pair<PageNumber, Page*>> NewPage(FileId file);
+  Result<std::pair<PageNumber, Page*>> NewPage(FileId file,
+                                               const char* tag = nullptr);
 
   // Releases one pin; `dirty` marks the frame as modified.
   void Unpin(PageId id, bool dirty);
@@ -109,6 +116,22 @@ class BufferManager {
   size_t PinnedCount() const;
   size_t CachedCount() const { return page_table_.size(); }
 
+  // Invariant audits. Both return OK when the pool is consistent and
+  // kInternal with a diagnostic report otherwise. They are cheap (linear in
+  // the frame count) and are asserted at phase boundaries and at end of run;
+  // the stress harness also calls them explicitly after every run.
+
+  // Verifies that no frame holds a pin. The failure report names each
+  // dangling pin's file, page number, pin count, pinning tag, and the phase
+  // it was pinned in.
+  Status AuditNoPins() const;
+
+  // Verifies the page-table / frame / free-list bookkeeping: every table
+  // entry maps to a valid frame with a matching id, every valid frame is in
+  // the table, free frames are invalid and not duplicated, and
+  // free + valid == num_frames.
+  Status AuditCachedCountConsistent() const;
+
   const AccessStats& access_stats() const { return access_stats_; }
   void ResetStats() { access_stats_.Reset(); }
 
@@ -120,6 +143,10 @@ class BufferManager {
     uint32_t pin_count = 0;
     bool dirty = false;
     bool valid = false;
+    // Pin provenance for the leak report: the tag and phase of the most
+    // recent pinning call (string literal; never owned).
+    const char* pin_tag = nullptr;
+    Phase pin_phase = Phase::kSetup;
     Page page;
   };
 

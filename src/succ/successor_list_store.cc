@@ -51,13 +51,14 @@ int32_t SuccessorListStore::FreeBlockCount(PageNumber page) const {
 }
 
 Status SuccessorListStore::NewListPage(PageNumber* out) {
-  TCDB_ASSIGN_OR_RETURN(auto page, buffers_->NewPage(file_));
-  buffers_->Unpin({file_, page.first}, /*dirty=*/true);
+  TCDB_ASSIGN_OR_RETURN(
+      NewPageGuard page,
+      NewPageGuard::Alloc(buffers_, file_, "SuccessorListStore::NewListPage"));
   PageOwners owners;
   owners.fill(-1);
   page_owners_.push_back(owners);
-  TCDB_CHECK_EQ(page_owners_.size(), static_cast<size_t>(page.first) + 1);
-  *out = page.first;
+  TCDB_CHECK_EQ(page_owners_.size(), static_cast<size_t>(page.page_no()) + 1);
+  *out = page.page_no();
   return Status::Ok();
 }
 
@@ -113,8 +114,14 @@ Status SuccessorListStore::RelocateListBlocksFrom(int32_t victim,
   ListMeta& meta = lists_[victim];
   PageNumber fresh;
   TCDB_RETURN_IF_ERROR(NewListPage(&fresh));
-  TCDB_ASSIGN_OR_RETURN(Page* src_page, buffers_->FetchPage({file_, page}));
-  TCDB_ASSIGN_OR_RETURN(Page* dst_page, buffers_->FetchPage({file_, fresh}));
+  TCDB_ASSIGN_OR_RETURN(
+      PageGuard src_page,
+      PageGuard::Fetch(buffers_, {file_, page},
+                       "SuccessorListStore::RelocateListBlocksFrom src"));
+  TCDB_ASSIGN_OR_RETURN(
+      PageGuard dst_page,
+      PageGuard::Fetch(buffers_, {file_, fresh},
+                       "SuccessorListStore::RelocateListBlocksFrom dst"));
   for (BlockAddr& addr : meta.blocks) {
     if (addr.page != page) continue;
     const BlockAddr fresh_addr = TakeFreeBlock(fresh, victim);
@@ -124,8 +131,8 @@ Status SuccessorListStore::RelocateListBlocksFrom(int32_t victim,
     page_owners_[page][addr.block] = -1;
     addr = fresh_addr;
   }
-  buffers_->Unpin({file_, fresh}, /*dirty=*/true);
-  buffers_->Unpin({file_, page}, /*dirty=*/true);
+  src_page.MarkDirty();
+  dst_page.MarkDirty();
   ++list_moves_;
   return Status::Ok();
 }
@@ -199,10 +206,13 @@ Status SuccessorListStore::AppendMany(int32_t list,
     const BlockAddr addr = meta.blocks.back();
     const size_t take = std::min(values.size() - pos,
                                  static_cast<size_t>(kEntriesPerBlock - slot));
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, addr.page}));
+    TCDB_ASSIGN_OR_RETURN(
+        PageGuard page,
+        PageGuard::Fetch(buffers_, {file_, addr.page},
+                         "SuccessorListStore::AppendMany"));
     std::memcpy(page->As<int32_t>(SlotOffset(addr.block, slot)),
                 values.data() + pos, take * sizeof(int32_t));
-    buffers_->Unpin({file_, addr.page}, /*dirty=*/true);
+    page.MarkDirty();
     meta.length += static_cast<int32_t>(take);
     pos += take;
   }
@@ -219,7 +229,9 @@ Status SuccessorListStore::Read(int32_t list, std::vector<int32_t>* out) const {
   while (remaining > 0) {
     // Group consecutive blocks on the same page into one fetch.
     const PageNumber page_no = meta.blocks[block_index].page;
-    TCDB_ASSIGN_OR_RETURN(Page* page, buffers_->FetchPage({file_, page_no}));
+    TCDB_ASSIGN_OR_RETURN(PageGuard page,
+                          PageGuard::Fetch(buffers_, {file_, page_no},
+                                           "SuccessorListStore::Read"));
     while (remaining > 0 && block_index < meta.blocks.size() &&
            meta.blocks[block_index].page == page_no) {
       const int32_t take =
@@ -230,7 +242,6 @@ Status SuccessorListStore::Read(int32_t list, std::vector<int32_t>* out) const {
       remaining -= take;
       ++block_index;
     }
-    buffers_->Unpin({file_, page_no}, /*dirty=*/false);
   }
   ++lists_read_;
   entries_read_ += meta.length;
@@ -250,24 +261,17 @@ std::vector<PageNumber> SuccessorListStore::ListPages(int32_t list) const {
   return pages;
 }
 
-Status SuccessorListStore::PinListPages(int32_t list) {
-  const std::vector<PageNumber> pages = ListPages(list);
-  for (size_t i = 0; i < pages.size(); ++i) {
-    Result<Page*> page = buffers_->FetchPage({file_, pages[i]});
-    if (!page.ok()) {
-      for (size_t j = 0; j < i; ++j) {
-        buffers_->Unpin({file_, pages[j]}, /*dirty=*/false);
-      }
-      return page.status();
-    }
+Result<std::vector<PageGuard>> SuccessorListStore::PinListPages(
+    int32_t list) {
+  std::vector<PageGuard> guards;
+  for (const PageNumber page : ListPages(list)) {
+    TCDB_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        PageGuard::Fetch(buffers_, {file_, page},
+                         "SuccessorListStore::PinListPages"));
+    guards.push_back(std::move(guard));
   }
-  return Status::Ok();
-}
-
-void SuccessorListStore::UnpinListPages(int32_t list) {
-  for (PageNumber page : ListPages(list)) {
-    buffers_->Unpin({file_, page}, /*dirty=*/false);
-  }
+  return guards;
 }
 
 void SuccessorListStore::FinalizeKeepLists(const std::vector<bool>& keep) {

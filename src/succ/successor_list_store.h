@@ -8,6 +8,7 @@
 
 #include "storage/buffer_manager.h"
 #include "storage/page.h"
+#include "storage/page_guard.h"
 #include "util/status.h"
 
 namespace tcdb {
@@ -89,12 +90,10 @@ class SuccessorListStore {
 
   // Pins every page of `list` in the buffer pool (used by the Hybrid
   // algorithm's diagonal block). Fails with kResourceExhausted if the pool
-  // cannot hold them; already-pinned pages from this call are released
-  // before returning the error.
-  Status PinListPages(int32_t list);
-
-  // Releases pins taken by PinListPages.
-  void UnpinListPages(int32_t list);
+  // cannot hold them; on error the guards already taken release their pins
+  // as they go out of scope. The pins live exactly as long as the returned
+  // guards.
+  Result<std::vector<PageGuard>> PinListPages(int32_t list);
 
   // Write-out step: flushes every page holding blocks of lists with
   // keep[list] == true and drops (without writing) pages holding only

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kCorruption,
+  kInternal,
 };
 
 // Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -111,7 +115,7 @@ class Result {
 
 // Evaluates `rexpr` (a Result<T>), propagating a non-OK status; otherwise
 // assigns the value to `lhs`, which may be a declaration
-// (e.g. TCDB_ASSIGN_OR_RETURN(Page* page, buffers->FetchPage(id));).
+// (e.g. TCDB_ASSIGN_OR_RETURN(PageGuard page, PageGuard::Fetch(buffers, id));).
 #define TCDB_CONCAT_INNER_(a, b) a##b
 #define TCDB_CONCAT_(a, b) TCDB_CONCAT_INNER_(a, b)
 #define TCDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \

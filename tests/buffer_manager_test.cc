@@ -177,6 +177,100 @@ TEST_F(BufferManagerTest, HitStatsAttributedToPhase) {
   EXPECT_EQ(buffers.access_stats().ForPhase(Phase::kSetup).requests(), 0u);
 }
 
+TEST_F(BufferManagerTest, NewPageExhaustsWhenAllPinned) {
+  // HYB's dynamic reblocking depends on this exact signal: allocation must
+  // fail with kResourceExhausted (not evict a pinned frame) when every
+  // frame is pinned, and succeed again once a pin is dropped.
+  BufferManager buffers(&pager_, 2, PagePolicy::kLru);
+  ASSERT_TRUE(buffers.FetchPage({file_, 0}).ok());
+  ASSERT_TRUE(buffers.FetchPage({file_, 1}).ok());
+  auto page = buffers.NewPage(file_);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kResourceExhausted);
+  // The failed allocation must not have leaked a frame or a pin.
+  EXPECT_EQ(buffers.PinnedCount(), 2u);
+  EXPECT_TRUE(buffers.AuditCachedCountConsistent().ok());
+  buffers.Unpin({file_, 1}, false);
+  auto retry = buffers.NewPage(file_);
+  ASSERT_TRUE(retry.ok());
+  buffers.Unpin({file_, retry.value().first}, false);
+  buffers.Unpin({file_, 0}, false);
+  EXPECT_TRUE(buffers.AuditNoPins().ok());
+}
+
+TEST_F(BufferManagerTest, DiscardedFramesAreReusedWithoutEviction) {
+  BufferManager buffers(&pager_, 2, PagePolicy::kLru);
+  for (PageNumber p = 0; p < 2; ++p) {
+    ASSERT_TRUE(buffers.FetchPage({file_, p}).ok());
+    buffers.Unpin({file_, p}, false);
+  }
+  // Discard one page: its frame goes back on the free list, so the next
+  // fetch must fill it directly — no eviction, no write-back.
+  buffers.DiscardPage({file_, 0});
+  EXPECT_EQ(buffers.CachedCount(), 1u);
+  ASSERT_TRUE(buffers.FetchPage({file_, 5}).ok());
+  buffers.Unpin({file_, 5}, false);
+  EXPECT_TRUE(buffers.IsCached({file_, 1}));  // nothing was evicted
+  EXPECT_EQ(pager_.stats().Total().writes, 0u);
+
+  // DiscardFile frees every frame of the file at once.
+  buffers.DiscardFile(file_);
+  EXPECT_EQ(buffers.CachedCount(), 0u);
+  EXPECT_TRUE(buffers.AuditCachedCountConsistent().ok());
+  for (PageNumber p = 8; p < 10; ++p) {
+    ASSERT_TRUE(buffers.FetchPage({file_, p}).ok());
+    buffers.Unpin({file_, p}, false);
+  }
+  EXPECT_EQ(pager_.stats().Total().writes, 0u);
+  EXPECT_TRUE(buffers.AuditNoPins().ok());
+}
+
+TEST_F(BufferManagerTest, ClockFallsBackOnSecondSweep) {
+  // Every unpinned frame has its reference bit set, so the first sweep
+  // only clears bits; the second sweep must still find a victim instead
+  // of reporting exhaustion.
+  BufferManager buffers(&pager_, 3, PagePolicy::kClock);
+  for (PageNumber p = 0; p < 3; ++p) {
+    ASSERT_TRUE(buffers.FetchPage({file_, p}).ok());
+    buffers.Unpin({file_, p}, false);
+  }
+  // Re-reference all three so no bit is clear at eviction time.
+  for (PageNumber p = 0; p < 3; ++p) {
+    ASSERT_TRUE(buffers.FetchPage({file_, p}).ok());
+    buffers.Unpin({file_, p}, false);
+  }
+  auto page = buffers.FetchPage({file_, 10});
+  ASSERT_TRUE(page.ok());
+  buffers.Unpin({file_, 10}, false);
+  EXPECT_EQ(buffers.CachedCount(), 3u);
+  // With one frame pinned and the rest referenced, the sweeps skip the
+  // pinned frame but still evict one of the others.
+  ASSERT_TRUE(buffers.FetchPage({file_, 10}).ok());
+  for (PageNumber p = 20; p < 22; ++p) {
+    ASSERT_TRUE(buffers.FetchPage({file_, p}).ok());
+    buffers.Unpin({file_, p}, false);
+  }
+  EXPECT_TRUE(buffers.IsCached({file_, 10}));
+  buffers.Unpin({file_, 10}, false);
+  EXPECT_TRUE(buffers.AuditNoPins().ok());
+}
+
+TEST_F(BufferManagerTest, AuditReportsDanglingPinWithProvenance) {
+  BufferManager buffers(&pager_, 4, PagePolicy::kLru);
+  EXPECT_TRUE(buffers.AuditNoPins().ok());
+  ASSERT_TRUE(buffers.FetchPage({file_, 3}, "LeakyCaller").ok());
+  const Status leak = buffers.AuditNoPins();
+  ASSERT_FALSE(leak.ok());
+  EXPECT_EQ(leak.code(), StatusCode::kInternal);
+  // The report names the file, the page and the pinning call site.
+  EXPECT_NE(leak.message().find("data"), std::string::npos);
+  EXPECT_NE(leak.message().find("page 3"), std::string::npos);
+  EXPECT_NE(leak.message().find("LeakyCaller"), std::string::npos);
+  buffers.Unpin({file_, 3}, false);
+  EXPECT_TRUE(buffers.AuditNoPins().ok());
+  EXPECT_TRUE(buffers.AuditCachedCountConsistent().ok());
+}
+
 // --- Policy behaviour -------------------------------------------------
 
 // Touch pages 0..n-1, then re-touch page 0, then overflow by one and check

@@ -267,6 +267,109 @@ TEST(ReachFallbackLadderTest, AllConfigurationsAgreeWithOracle) {
   EXPECT_GT(srch_service.value()->stats().session_queries, 0);
 }
 
+// Regression: cache_insertions used to count every Insert() call, even
+// when the cache was disabled (capacity 0) or the call merely refreshed an
+// existing entry — the counter could exceed the cache's lifetime content.
+TEST(ReachServiceTest, CacheInsertionsCountOnlyStoredEntries) {
+  const GeneratorParams params{250, 5, 100, 19};
+  const ArcList arcs = GenerateDag(params);
+
+  // Caching disabled: nothing can be stored, so nothing may be counted.
+  ReachServiceOptions no_cache;
+  no_cache.cache_capacity = 0;
+  auto disabled = ReachService::Build(arcs, params.num_nodes, no_cache);
+  ASSERT_TRUE(disabled.ok());
+  const auto queries = MakeQueries(arcs, params.num_nodes, 5);
+  for (const auto& [u, v] : queries) {
+    ASSERT_TRUE(disabled.value()->Query(u, v).ok());
+  }
+  ASSERT_TRUE(disabled.value()->QueryBatch(queries).ok());
+  EXPECT_GT(disabled.value()->stats().queries, 0);
+  EXPECT_EQ(disabled.value()->stats().cache_insertions, 0);
+
+  // A duplicated fallback pair in one batch resolves as one group; the
+  // second Insert refreshes the first and must not be counted.
+  ReachServiceOptions srch_only;
+  srch_only.bfs_budget = 0;
+  srch_only.index.num_supportive = 0;
+  auto probe = ReachService::Build(arcs, params.num_nodes, srch_only);
+  ASSERT_TRUE(probe.ok());
+  std::pair<NodeId, NodeId> fallback_pair{-1, -1};
+  for (const auto& [u, v] : queries) {
+    auto answer = probe.value()->Query(u, v);
+    ASSERT_TRUE(answer.ok());
+    if (answer.value().stage == ReachStage::kSessionFallback) {
+      fallback_pair = {u, v};
+      break;
+    }
+  }
+  ASSERT_GE(fallback_pair.first, 0) << "no query needed the session rung";
+
+  auto service = ReachService::Build(arcs, params.num_nodes, srch_only);
+  ASSERT_TRUE(service.ok());
+  const std::vector<std::pair<NodeId, NodeId>> twice = {fallback_pair,
+                                                        fallback_pair};
+  auto batch = service.value()->QueryBatch(twice);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(service.value()->stats().cache_insertions, 1);
+}
+
+// Regression: a SRCH answer that does not cover the queried source used to
+// be served as an empty successor list — i.e. "reaches nothing" — instead
+// of surfacing the internal inconsistency.
+TEST(ReachServiceTest, MissingSessionAnswerIsAnInternalError) {
+  RunResult run;
+  run.answer.emplace_back(3, std::vector<NodeId>{4, 5});
+
+  auto found = ExtractSessionSuccessors(run, 3);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), (std::vector<NodeId>{4, 5}));
+
+  auto missing = ExtractSessionSuccessors(std::move(run), 7);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInternal);
+}
+
+// Regression: QueryBatch timed each pass-1 classification but threw the
+// timer away for queries that fell through to the fallback pass, so their
+// recorded latency missed the label work. With a tick clock (+1s per
+// read), a single-fallback batch reads the clock twice in pass 1 and
+// twice in pass 2: the recorded total must be 2.0s, not the 1.0s of the
+// fallback interval alone.
+TEST(ReachServiceTest, BatchLatencyIncludesPassOneClassification) {
+  const GeneratorParams params{250, 5, 100, 19};
+  const ArcList arcs = GenerateDag(params);
+
+  ReachServiceOptions srch_only;
+  srch_only.bfs_budget = 0;
+  srch_only.index.num_supportive = 0;
+  srch_only.cache_capacity = 0;
+
+  auto probe = ReachService::Build(arcs, params.num_nodes, srch_only);
+  ASSERT_TRUE(probe.ok());
+  std::pair<NodeId, NodeId> fallback_pair{-1, -1};
+  for (const auto& [u, v] : MakeQueries(arcs, params.num_nodes, 5)) {
+    auto answer = probe.value()->Query(u, v);
+    ASSERT_TRUE(answer.ok());
+    if (answer.value().stage == ReachStage::kSessionFallback) {
+      fallback_pair = {u, v};
+      break;
+    }
+  }
+  ASSERT_GE(fallback_pair.first, 0) << "no query needed the session rung";
+
+  auto service = ReachService::Build(arcs, params.num_nodes, srch_only);
+  ASSERT_TRUE(service.ok());
+  double ticks = 0.0;
+  service.value()->SetClockForTesting([&ticks] { return ticks += 1.0; });
+
+  const std::vector<std::pair<NodeId, NodeId>> one = {fallback_pair};
+  auto batch = service.value()->QueryBatch(one);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value()[0].stage, ReachStage::kSessionFallback);
+  EXPECT_DOUBLE_EQ(service.value()->stats().TotalSeconds(), 2.0);
+}
+
 TEST(ReachServiceTest, ValidatesInputs) {
   const ArcList arcs = {{0, 1}, {1, 2}};
   auto service = ReachService::Build(arcs, 3);

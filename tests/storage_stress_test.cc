@@ -1,0 +1,74 @@
+// Randomized differential stress of the storage stack: every algorithm
+// under every replacement policy, on randomized (graph, tiny pool, query)
+// configurations, answers cross-checked against the reference closure with
+// the buffer-pool audits armed. The full 50-seed sweep runs in check.sh
+// under ASan/UBSan (`tcdb_cli stress`); this test keeps a reduced sweep in
+// the default suite.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_support/stress.h"
+
+namespace tcdb {
+namespace {
+
+TEST(StorageStressTest, ValidatesOptions) {
+  StressOptions options;
+  options.num_seeds = 0;
+  EXPECT_EQ(RunStorageStress(options, nullptr, nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  options = StressOptions{};
+  options.pool_sizes.clear();
+  EXPECT_EQ(RunStorageStress(options, nullptr, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StorageStressTest, ReducedSweepIsClean) {
+  StressOptions options;
+  options.num_seeds = 10;
+  options.base_seed = 1;
+  // Smaller graphs than the CLI defaults keep the 550-run sweep fast while
+  // preserving the eviction pressure (pools as small as the minimum 4).
+  options.node_counts = {30, 60, 90};
+  options.pool_sizes = {4, 6, 12};
+  std::vector<std::string> progress;
+  options.log = [&progress](const std::string& line) {
+    progress.push_back(line);
+  };
+
+  StressReport report;
+  StressFailure failure;
+  const Status status = RunStorageStress(options, &report, &failure);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(report.seeds, 10);
+  EXPECT_EQ(report.runs, 10 * 11 * 5);  // seeds x algorithms x policies
+  EXPECT_EQ(report.failures, 0);
+  EXPECT_EQ(progress.size(), 10u);
+}
+
+TEST(StorageStressTest, FailureFormatsAReproLine) {
+  StressFailure failure;
+  failure.seed = 7;
+  failure.num_nodes = 40;
+  failure.avg_out_degree = 5;
+  failure.locality = 10;
+  failure.buffer_pages = 4;
+  failure.algorithm = Algorithm::kHyb;
+  failure.policy = PagePolicy::kMru;
+  failure.full_closure = false;
+  failure.sources = {3, 17};
+  failure.diagnostic = "answer is missing source 3";
+  const std::string text = failure.ToString();
+  EXPECT_NE(text.find("--generate 40,5,10,7"), std::string::npos);
+  EXPECT_NE(text.find("--algorithm HYB"), std::string::npos);
+  EXPECT_NE(text.find("--page-policy mru"), std::string::npos);
+  EXPECT_NE(text.find("--sources 3,17"), std::string::npos);
+  EXPECT_NE(text.find("answer is missing source 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -135,10 +135,14 @@ TEST_F(SuccStoreTest, PinListPagesPreventsEviction) {
   auto store = MakeStore(1);
   std::vector<int32_t> values(450, 4);
   ASSERT_TRUE(store->AppendMany(0, values).ok());
-  ASSERT_TRUE(store->PinListPages(0).ok());
-  EXPECT_GE(buffers_.PinnedCount(), 1u);
-  store->UnpinListPages(0);
+  {
+    Result<std::vector<PageGuard>> guards = store->PinListPages(0);
+    ASSERT_TRUE(guards.ok());
+    EXPECT_GE(buffers_.PinnedCount(), 1u);
+  }
+  // Guards released their pins at scope exit.
   EXPECT_EQ(buffers_.PinnedCount(), 0u);
+  EXPECT_TRUE(buffers_.AuditNoPins().ok());
 }
 
 TEST_F(SuccStoreTest, PinFailureReleasesPartialPins) {
@@ -147,9 +151,10 @@ TEST_F(SuccStoreTest, PinFailureReleasesPartialPins) {
   store.Reset(1);
   std::vector<int32_t> values(450 * 6, 1);  // 6 pages > 4 frames
   ASSERT_TRUE(store.AppendMany(0, values).ok());
-  const Status status = store.PinListPages(0);
-  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  Result<std::vector<PageGuard>> guards = store.PinListPages(0);
+  EXPECT_EQ(guards.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(tiny.PinnedCount(), 0u);
+  EXPECT_TRUE(tiny.AuditNoPins().ok());
 }
 
 TEST_F(SuccStoreTest, FinalizeFlushesKeptAndDropsRest) {

@@ -1,9 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite.
+# Tier-1 verification: pin-discipline lint, configure, build, full test
+# suite, then the randomized storage stress harness under ASan+UBSan.
 # Usage: tools/check.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+
+# --- Pin-discipline lint: outside src/storage/ (and the tests, which
+# exercise the raw API on purpose), pages are pinned only through
+# PageGuard/NewPageGuard — a raw FetchPage/NewPage/Unpin call site is a
+# review error even when it happens to be balanced.
+raw_pins=$(grep -rnE '(->|\.)(FetchPage|NewPage|Unpin)\(' \
+    src bench examples tools --include='*.cc' --include='*.h' \
+    | grep -v '^src/storage/' || true)
+if [[ -n "${raw_pins}" ]]; then
+  echo "error: raw buffer-pin calls outside src/storage/ (use PageGuard):"
+  echo "${raw_pins}"
+  exit 1
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# --- Sanitized stress sweep: every algorithm x replacement policy on 50
+# randomized (graph, tiny pool, query) configurations, differentially
+# checked against the reference closure with the buffer-pool audits armed
+# (Debug keeps the TCDB_DCHECK phase-boundary audits on).
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DTCDB_SANITIZE=address,undefined
+cmake --build "$SAN_DIR" -j "$(nproc)" --target tcdb_cli
+"$SAN_DIR"/tools/tcdb_cli stress --seeds 50 --base-seed 1

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/stress.h"
 #include "core/advisor.h"
 #include "core/cyclic.h"
 #include "core/generalized.h"
@@ -29,6 +30,7 @@ namespace {
 void Usage() {
   std::fprintf(stderr, R"(usage: tcdb_cli [options]
        tcdb_cli reach <graph> <src> <dst> [--explain]
+       tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
 
 graph input (one of):
   --graph FILE             arc-list file ("src dst" lines, '# nodes N' header)
@@ -61,6 +63,12 @@ reach subcommand (online point query via the src/reach/ index):
                            synthetic DAG
     --explain              print the deciding index stage and the
                            service's per-stage statistics table
+
+stress subcommand (randomized differential storage stress):
+  tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
+    runs every algorithm x replacement policy on N randomized (graph,
+    pool, query) configurations against the reference closure, with the
+    buffer-pool audits armed; exits 1 with a shrunk repro on failure
 )");
 }
 
@@ -149,9 +157,59 @@ int RunReach(int argc, char** argv) {
   return 0;
 }
 
+// `tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]`: the
+// randomized differential storage stress sweep (bench_support/stress.h).
+int RunStress(int argc, char** argv) {
+  StressOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--seeds") {
+      options.num_seeds = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--base-seed") {
+      options.base_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown stress flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (verbose) {
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  StressReport report;
+  StressFailure failure;
+  const Status status = RunStorageStress(options, &report, &failure);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kInternal) {
+      std::fprintf(stderr, "FAIL %s\n", failure.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return 1;
+  }
+  std::printf("stress: %lld seeds, %lld runs, all clean\n",
+              static_cast<long long>(report.seeds),
+              static_cast<long long>(report.runs));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "stress") == 0) {
+    return RunStress(argc - 1, argv + 1);
   }
   std::string graph_file;
   std::vector<int64_t> generate_params;
