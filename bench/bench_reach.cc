@@ -81,19 +81,6 @@ std::vector<std::pair<NodeId, NodeId>> SkewedPairs(NodeId n, int count,
   return pairs;
 }
 
-void MergeStats(const ReachStats& from, ReachStats* into) {
-  into->queries += from.queries;
-  into->batches += from.batches;
-  into->positive_answers += from.positive_answers;
-  for (int s = 0; s < kNumReachStages; ++s) {
-    into->decided[s] += from.decided[s];
-    into->seconds[s] += from.seconds[s];
-  }
-  into->cache_insertions += from.cache_insertions;
-  into->bfs_expansions += from.bfs_expansions;
-  into->session_queries += from.session_queries;
-}
-
 int RunBench() {
   std::cout << "Online reachability serving: the 12 graph families x "
                "three query mixes ("
@@ -169,7 +156,7 @@ int RunBench() {
           .AddCell(100.0 * srch / q, 1)
           .AddCell(100.0 * cache / q, 1)
           .AddCell(stats.TotalSeconds() * 1e6 / q, 2);
-      MergeStats(stats, &aggregate);
+      aggregate.Merge(stats);
     }
   }
   table.Print(std::cout);

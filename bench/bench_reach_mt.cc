@@ -1,0 +1,109 @@
+// bench_reach_mt — Multi-threaded reach serving scalability on the
+// paper's center family G5 (n = 2000, F = 5, l = 200): one shared
+// immutable ReachCore, T shards with private caches/scratch/sessions, T
+// client threads firing MakeServingWorkload batches of 256, for
+// T in {1, 2, 4, 8, 16}. Reports queries/second, speedup over T = 1, and
+// the merged serving-latency histogram per point.
+//
+// The T = 1 row doubles as the apples-to-apples baseline: it is the same
+// queue/batch machinery with every cross-thread effect turned off (the
+// determinism suite pins that it serves bit-identically to a direct
+// ReachService). Speedup therefore isolates sharding, not harness
+// overhead. Expect near-linear scaling up to the machine's core count —
+// the hot path shares nothing — and a flat line beyond it (a 1-core
+// container will report ~1x everywhere).
+//
+// QUICK=1 shrinks the workload; REACH_MT_QUERIES overrides it outright.
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_support/catalog.h"
+#include "graph/digraph.h"
+#include "graph/generator.h"
+#include "reach/load_driver.h"
+#include "reach/reach_server.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+int RunBench() {
+  const GraphFamily& family = FamilyByName("G5");
+  const GeneratorParams params = CatalogParams(family, 0);
+  const ArcList arcs = GenerateDag(params);
+  const Digraph graph(params.num_nodes, arcs);
+
+  const int64_t default_queries = GetEnvBool("QUICK") ? 20000 : 200000;
+  const int64_t num_queries =
+      GetEnvInt("REACH_MT_QUERIES", default_queries);
+  const std::vector<std::pair<NodeId, NodeId>> workload =
+      MakeServingWorkload(graph, num_queries, /*seed=*/42);
+
+  std::cout << "Sharded reach serving scalability: " << family.name
+            << " (F=" << family.avg_out_degree
+            << ", l=" << family.locality << "), " << num_queries
+            << " queries per point, batches of 256\n\n";
+
+  TablePrinter table({"threads", "qps", "speedup", "mean_us", "p50_us",
+                      "p99_us", "fallback_pct", "max_depth"});
+  double baseline_qps = 0;
+  for (const int32_t threads : {1, 2, 4, 8, 16}) {
+    ReachServerOptions options;
+    options.num_shards = threads;
+    options.queue_capacity = 64;
+    auto server = ReachServer::Start(arcs, params.num_nodes, options);
+    if (!server.ok()) {
+      std::cerr << "server: " << server.status().ToString() << "\n";
+      return 1;
+    }
+    // Warm-up volley so index/cache effects do not tilt the first row.
+    auto warm = RunServingLoad(server.value().get(),
+                               std::span(workload).subspan(
+                                   0, std::min<size_t>(workload.size(),
+                                                       4096)),
+                               threads, /*batch_size=*/256);
+    if (!warm.ok()) {
+      std::cerr << "warm-up: " << warm.status().ToString() << "\n";
+      return 1;
+    }
+    auto report = RunServingLoad(server.value().get(), workload, threads,
+                                 /*batch_size=*/256);
+    if (!report.ok()) {
+      std::cerr << "load: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    const double qps = report.value().QueriesPerSecond();
+    if (threads == 1) baseline_qps = qps;
+
+    const ReachServerStats stats = server.value()->Snapshot();
+    const double fallback_pct =
+        stats.merged.queries == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(stats.merged.queries -
+                                      stats.merged.DecidedWithoutFallback()) /
+                  static_cast<double>(stats.merged.queries);
+    table.NewRow()
+        .AddCell(static_cast<int64_t>(threads))
+        .AddCell(qps, 0)
+        .AddCell(baseline_qps <= 0 ? 0.0 : qps / baseline_qps, 2)
+        .AddCell(stats.latency.MeanSeconds() * 1e6, 2)
+        .AddCell(stats.latency.QuantileSeconds(0.50) * 1e6, 2)
+        .AddCell(stats.latency.QuantileSeconds(0.99) * 1e6, 2)
+        .AddCell(fallback_pct, 2)
+        .AddCell(stats.max_queue_depth);
+    server.value()->Stop();
+  }
+  table.Print(std::cout);
+  table.WriteCsv("reach_mt_scaling");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() { return tcdb::RunBench(); }

@@ -202,9 +202,19 @@ Result<ReachIndex> ReachIndex::Build(const Digraph& dag,
     }
   }
 
-  index.visited_.Resize(static_cast<size_t>(n));
   return index;
 }
+
+namespace {
+
+// Sizes the scratch buffers for a graph of `n` nodes (no-op when already
+// sized, so the buffers amortize across a shard's queries).
+void PrepareScratch(ReachIndex::SearchScratch* scratch, size_t n) {
+  if (scratch->visited.capacity() != n) scratch->visited.Resize(n);
+  if (scratch->target_slot.size() != n) scratch->target_slot.assign(n, -1);
+}
+
+}  // namespace
 
 ReachIndex::Verdict ReachIndex::TryDecide(NodeId u, NodeId v,
                                           ReachStage* stage) const {
@@ -252,32 +262,36 @@ ReachIndex::Verdict ReachIndex::TryDecide(NodeId u, NodeId v,
 
 ReachIndex::Verdict ReachIndex::PrunedBfs(const Digraph& dag, NodeId u,
                                           NodeId v, int64_t budget,
+                                          SearchScratch* scratch,
                                           int64_t* expansions) const {
   TCDB_DCHECK(dag.NumNodes() == num_nodes());
   if (expansions != nullptr) *expansions = 0;
   if (u == v) return Verdict::kYes;
+  PrepareScratch(scratch, static_cast<size_t>(num_nodes()));
+  EpochSet& visited = scratch->visited;
+  std::vector<NodeId>& frontier = scratch->frontier;
   const int32_t pv = topo_pos_[v];
-  visited_.ClearAll();
-  frontier_.clear();
-  frontier_.push_back(u);
-  visited_.Insert(static_cast<size_t>(u));
+  visited.ClearAll();
+  frontier.clear();
+  frontier.push_back(u);
+  visited.Insert(static_cast<size_t>(u));
   int64_t expanded = 0;
   Verdict result = Verdict::kNo;  // An exhausted frontier proves "no".
-  while (!frontier_.empty()) {
+  while (!frontier.empty()) {
     if (expanded >= budget) {
       result = Verdict::kUnknown;
       break;
     }
-    const NodeId w = frontier_.back();
-    frontier_.pop_back();
+    const NodeId w = frontier.back();
+    frontier.pop_back();
     ++expanded;
     for (const NodeId s : dag.Successors(w)) {
       if (s == v) {
         if (expansions != nullptr) *expansions = expanded;
         return Verdict::kYes;
       }
-      if (visited_.Contains(static_cast<size_t>(s))) continue;
-      visited_.Insert(static_cast<size_t>(s));
+      if (visited.Contains(static_cast<size_t>(s))) continue;
+      visited.Insert(static_cast<size_t>(s));
       // Prune nodes whose labels prove they cannot lie on a u ~> v path,
       // and short-circuit when the labels prove s ~> v outright.
       const Verdict via_s = TryDecide(s, v);
@@ -287,7 +301,7 @@ ReachIndex::Verdict ReachIndex::PrunedBfs(const Digraph& dag, NodeId u,
       }
       if (via_s == Verdict::kNo) continue;
       TCDB_DCHECK(topo_pos_[s] < pv);
-      frontier_.push_back(s);
+      frontier.push_back(s);
     }
   }
   if (expansions != nullptr) *expansions = expanded;
@@ -297,55 +311,57 @@ ReachIndex::Verdict ReachIndex::PrunedBfs(const Digraph& dag, NodeId u,
 bool ReachIndex::PrunedMultiBfs(const Digraph& dag, NodeId u,
                                 std::span<const NodeId> targets,
                                 int64_t budget, std::vector<bool>* reached,
+                                SearchScratch* scratch,
                                 int64_t* expansions) const {
   TCDB_DCHECK(dag.NumNodes() == num_nodes());
   reached->assign(targets.size(), false);
   if (expansions != nullptr) *expansions = 0;
   if (targets.empty()) return true;
-  if (target_slot_.size() != topo_pos_.size()) {
-    target_slot_.assign(topo_pos_.size(), -1);
-  }
+  PrepareScratch(scratch, static_cast<size_t>(num_nodes()));
+  EpochSet& visited = scratch->visited;
+  std::vector<NodeId>& frontier = scratch->frontier;
+  std::vector<int32_t>& target_slot = scratch->target_slot;
   int32_t min_pv = topo_pos_[targets.front()];
   int32_t max_pv = min_pv;
   for (size_t i = 0; i < targets.size(); ++i) {
     const NodeId t = targets[i];
     TCDB_DCHECK(t != u);
-    TCDB_DCHECK(target_slot_[t] < 0);
-    target_slot_[t] = static_cast<int32_t>(i);
+    TCDB_DCHECK(target_slot[t] < 0);
+    target_slot[t] = static_cast<int32_t>(i);
     min_pv = std::min(min_pv, topo_pos_[t]);
     max_pv = std::max(max_pv, topo_pos_[t]);
   }
   size_t remaining = targets.size();
 
-  visited_.ClearAll();
-  frontier_.clear();
-  frontier_.push_back(u);
-  visited_.Insert(static_cast<size_t>(u));
+  visited.ClearAll();
+  frontier.clear();
+  frontier.push_back(u);
+  visited.Insert(static_cast<size_t>(u));
   int64_t expanded = 0;
   bool complete = true;
-  while (!frontier_.empty() && remaining > 0) {
+  while (!frontier.empty() && remaining > 0) {
     if (expanded >= budget) {
       complete = false;
       break;
     }
-    const NodeId w = frontier_.back();
-    frontier_.pop_back();
+    const NodeId w = frontier.back();
+    frontier.pop_back();
     ++expanded;
     for (const NodeId s : dag.Successors(w)) {
-      const int32_t slot = target_slot_[s];
+      const int32_t slot = target_slot[s];
       if (slot >= 0 && !(*reached)[slot]) {
         (*reached)[slot] = true;
         if (--remaining == 0) break;
       }
-      if (visited_.Contains(static_cast<size_t>(s))) continue;
-      visited_.Insert(static_cast<size_t>(s));
+      if (visited.Contains(static_cast<size_t>(s))) continue;
+      visited.Insert(static_cast<size_t>(s));
       // A node positioned after every target, or whose forward reach ends
       // before the first one, cannot lead to any remaining target.
       if (topo_pos_[s] > max_pv || max_reach_pos_[s] < min_pv) continue;
-      frontier_.push_back(s);
+      frontier.push_back(s);
     }
   }
-  for (const NodeId t : targets) target_slot_[t] = -1;
+  for (const NodeId t : targets) target_slot[t] = -1;
   if (expansions != nullptr) *expansions = expanded;
   return complete || remaining == 0;
 }

@@ -61,6 +61,11 @@ struct ReachIndexOptions {
 // The labels decide the vast majority of random queries; the undecided
 // residue goes to PrunedBfs() and, beyond a budget, to the caller's
 // closure-based fallback (see ReachService).
+//
+// Thread safety: a built index is immutable, so TryDecide and the label
+// accessors may run from any number of threads concurrently; the BFS
+// fallbacks mutate only the caller-provided SearchScratch. This is what
+// lets ReachServer share one index read-only across all of its shards.
 class ReachIndex {
  public:
   // Builds the labels. `dag` must be acyclic (condense cyclic inputs
@@ -71,6 +76,18 @@ class ReachIndex {
 
   enum class Verdict : uint8_t { kNo = 0, kYes = 1, kUnknown = 2 };
 
+  // Reusable buffers for PrunedBfs/PrunedMultiBfs. The index itself is
+  // immutable after Build() and safe to share across any number of
+  // threads; all per-search mutable state lives here, so each concurrent
+  // caller (one per ReachServer shard) owns its own SearchScratch and
+  // passes it in. Buffers are sized lazily on first use.
+  struct SearchScratch {
+    EpochSet visited;
+    std::vector<NodeId> frontier;
+    // node -> index into the current PrunedMultiBfs target list, or -1.
+    std::vector<int32_t> target_slot;
+  };
+
   // O(1): answers from the labels alone, or kUnknown for the residue.
   // When decided and `stage` is non-null, *stage names the deciding rule.
   Verdict TryDecide(NodeId u, NodeId v, ReachStage* stage = nullptr) const;
@@ -79,9 +96,10 @@ class ReachIndex {
   // the index was built from), pruning every node whose labels prove it
   // cannot lie on a u ~> v path and short-circuiting through the O(1)
   // rules. Returns a definite verdict if the search finishes within
-  // `budget` node expansions, kUnknown otherwise. Not thread-safe (reuses
-  // scratch buffers across calls).
+  // `budget` node expansions, kUnknown otherwise. Thread-safe as long as
+  // concurrent callers pass distinct `scratch` instances.
   Verdict PrunedBfs(const Digraph& dag, NodeId u, NodeId v, int64_t budget,
+                    SearchScratch* scratch,
                     int64_t* expansions = nullptr) const;
 
   // Multi-target variant for batched serving: one search resolves
@@ -93,6 +111,7 @@ class ReachIndex {
   bool PrunedMultiBfs(const Digraph& dag, NodeId u,
                       std::span<const NodeId> targets, int64_t budget,
                       std::vector<bool>* reached,
+                      SearchScratch* scratch,
                       int64_t* expansions = nullptr) const;
 
   NodeId num_nodes() const {
@@ -138,12 +157,6 @@ class ReachIndex {
   std::vector<NodeId> pivots_;
   std::vector<BitVector> fwd_;
   std::vector<BitVector> bwd_;
-
-  // PrunedBfs scratch (reused across calls; see the thread-safety note).
-  mutable EpochSet visited_;
-  mutable std::vector<NodeId> frontier_;
-  // node -> index into the current PrunedMultiBfs target list, or -1.
-  mutable std::vector<int32_t> target_slot_;
 };
 
 }  // namespace tcdb

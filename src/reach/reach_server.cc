@@ -1,0 +1,291 @@
+#include "reach/reach_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace tcdb {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64 finalizer: spreads consecutive source ids across shards while
+// keeping every query for one source on one shard.
+uint64_t MixSource(NodeId src) {
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(src));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReachServer>> ReachServer::Start(
+    const ArcList& arcs, NodeId num_nodes,
+    const ReachServerOptions& options) {
+  TCDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ReachCore> core,
+      ReachCore::Build(arcs, num_nodes, options.service.index));
+  return Start(std::move(core), options);
+}
+
+Result<std::unique_ptr<ReachServer>> ReachServer::Start(
+    std::shared_ptr<const ReachCore> core,
+    const ReachServerOptions& options) {
+  if (core == nullptr) {
+    return Status::InvalidArgument("null reach core");
+  }
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument(
+        "num_shards must be >= 1, got " +
+        std::to_string(options.num_shards));
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  auto server = std::unique_ptr<ReachServer>(new ReachServer());
+  server->core_ = std::move(core);
+  server->options_ = options;
+  server->shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int32_t i = 0; i < options.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->service = ReachService::Create(server->core_, options.service);
+    server->shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every shard exists: a worker never touches
+  // another shard, but Stop() joins them all.
+  for (auto& shard : server->shards_) {
+    Shard* raw = shard.get();
+    shard->worker = std::thread([server_ptr = server.get(), raw] {
+      server_ptr->WorkerLoop(raw);
+    });
+  }
+  return server;
+}
+
+ReachServer::~ReachServer() { Stop(); }
+
+int32_t ReachServer::ShardOf(NodeId src) const {
+  return static_cast<int32_t>(MixSource(src) %
+                              static_cast<uint64_t>(shards_.size()));
+}
+
+void ReachServer::SetClockForTesting(
+    const std::function<std::function<double()>()>& make_clock) {
+  for (auto& shard : shards_) {
+    shard->service->SetClockForTesting(make_clock());
+  }
+}
+
+Status ReachServer::ValidateEndpoints(
+    std::span<const std::pair<NodeId, NodeId>> pairs) const {
+  const NodeId n = core_->num_input_nodes;
+  for (const auto& [src, dst] : pairs) {
+    if (src < 0 || src >= n || dst < 0 || dst >= n) {
+      return Status::InvalidArgument(
+          "query endpoint out of range: (" + std::to_string(src) + ", " +
+          std::to_string(dst) + ") with " + std::to_string(n) + " nodes");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ReachServer::Answer> ReachServer::Query(NodeId src, NodeId dst) {
+  const std::pair<NodeId, NodeId> pair{src, dst};
+  TCDB_RETURN_IF_ERROR(ValidateEndpoints({&pair, 1}));
+  std::vector<Answer> answers(1);
+  auto batch = std::make_shared<Batch>();
+  batch->answers = &answers;
+  Task task;
+  task.pairs.push_back(pair);
+  task.positions.push_back(0);
+  task.single_query = true;
+  task.batch = batch;
+  std::vector<std::pair<int32_t, Task>> tasks;
+  tasks.emplace_back(ShardOf(src), std::move(task));
+  TCDB_RETURN_IF_ERROR(SubmitAndWait(std::move(tasks), batch));
+  return answers[0];
+}
+
+Result<std::vector<ReachServer::Answer>> ReachServer::QueryBatch(
+    std::span<const std::pair<NodeId, NodeId>> pairs) {
+  TCDB_RETURN_IF_ERROR(ValidateEndpoints(pairs));
+  std::vector<Answer> answers(pairs.size());
+  if (pairs.empty()) return answers;
+
+  // Route by source hash, preserving input order within each shard so a
+  // one-shard server replays the exact ReachService::QueryBatch call.
+  std::vector<std::vector<size_t>> routed(shards_.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    routed[static_cast<size_t>(ShardOf(pairs[i].first))].push_back(i);
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->answers = &answers;
+  std::vector<std::pair<int32_t, Task>> tasks;
+  for (size_t shard = 0; shard < routed.size(); ++shard) {
+    if (routed[shard].empty()) continue;
+    Task task;
+    task.positions = std::move(routed[shard]);
+    task.pairs.reserve(task.positions.size());
+    for (const size_t i : task.positions) task.pairs.push_back(pairs[i]);
+    task.batch = batch;
+    tasks.emplace_back(static_cast<int32_t>(shard), std::move(task));
+  }
+  TCDB_RETURN_IF_ERROR(SubmitAndWait(std::move(tasks), batch));
+  return answers;
+}
+
+Status ReachServer::Enqueue(int32_t shard_index, Task task) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.not_full.wait(lock, [&] {
+    return shard.stopping ||
+           shard.queue.size() < options_.queue_capacity;
+  });
+  if (shard.stopping) {
+    return Status::FailedPrecondition("reach server is stopped");
+  }
+  shard.queue.push_back(std::move(task));
+  shard.max_depth = std::max(shard.max_depth,
+                             static_cast<int64_t>(shard.queue.size()));
+  shard.not_empty.notify_one();
+  return Status::Ok();
+}
+
+Status ReachServer::SubmitAndWait(
+    std::vector<std::pair<int32_t, Task>> tasks,
+    const std::shared_ptr<Batch>& batch) {
+  {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->pending = tasks.size();
+  }
+  size_t enqueued = 0;
+  Status submit_status;
+  for (auto& [shard_index, task] : tasks) {
+    submit_status = Enqueue(shard_index, std::move(task));
+    if (!submit_status.ok()) break;
+    ++enqueued;
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  if (!submit_status.ok()) {
+    // The unsent tasks will never complete; account for them here, then
+    // still wait out the ones already queued (they reference `batch` and
+    // the caller's answer vector).
+    batch->pending -= tasks.size() - enqueued;
+    if (batch->status.ok()) batch->status = submit_status;
+  }
+  batch->done.wait(lock, [&] { return batch->pending == 0; });
+  return batch->status;
+}
+
+void ReachServer::WorkerLoop(Shard* shard) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->not_empty.wait(lock, [&] {
+        return shard->stopping || !shard->queue.empty();
+      });
+      if (shard->queue.empty()) return;  // stopping and fully drained
+      task = std::move(shard->queue.front());
+      shard->queue.pop_front();
+      shard->not_full.notify_one();
+    }
+    ExecuteTask(shard, &task);
+  }
+}
+
+void ReachServer::ExecuteTask(Shard* shard, Task* task) {
+  const double start = MonotonicSeconds();
+  Status status;
+  if (task->single_query) {
+    Result<Answer> answer =
+        shard->service->Query(task->pairs[0].first, task->pairs[0].second);
+    if (answer.ok()) {
+      (*task->batch->answers)[task->positions[0]] = answer.value();
+    } else {
+      status = answer.status();
+    }
+  } else {
+    Result<std::vector<Answer>> answers =
+        shard->service->QueryBatch(task->pairs);
+    if (answers.ok()) {
+      for (size_t i = 0; i < task->positions.size(); ++i) {
+        (*task->batch->answers)[task->positions[i]] = answers.value()[i];
+      }
+    } else {
+      status = answers.status();
+    }
+  }
+  const double elapsed = MonotonicSeconds() - start;
+
+  // Publish observability before signalling completion so a snapshot
+  // taken right after a batch returns already includes it.
+  {
+    std::lock_guard<std::mutex> lock(shard->stats_mu);
+    shard->published = shard->service->stats();
+    const double per_query =
+        elapsed / static_cast<double>(task->pairs.size());
+    for (size_t i = 0; i < task->pairs.size(); ++i) {
+      shard->latency.Record(per_query);
+    }
+    ++shard->tasks;
+  }
+
+  Batch& batch = *task->batch;
+  std::lock_guard<std::mutex> lock(batch.mu);
+  if (!status.ok() && batch.status.ok()) batch.status = status;
+  if (--batch.pending == 0) batch.done.notify_all();
+}
+
+void ReachServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stopping = true;
+    shard->not_empty.notify_all();
+    shard->not_full.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  stopped_ = true;
+}
+
+ReachServerStats ReachServer::Snapshot() const {
+  ReachServerStats snapshot;
+  snapshot.per_shard.reserve(shards_.size());
+  snapshot.per_shard_latency.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ReachStats stats;
+    LatencyHistogram latency;
+    int64_t tasks = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard->stats_mu);
+      stats = shard->published;
+      latency = shard->latency;
+      tasks = shard->tasks;
+    }
+    int64_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      depth = shard->max_depth;
+    }
+    snapshot.merged.Merge(stats);
+    snapshot.latency.Merge(latency);
+    snapshot.tasks_executed += tasks;
+    snapshot.max_queue_depth = std::max(snapshot.max_queue_depth, depth);
+    snapshot.per_shard.push_back(std::move(stats));
+    snapshot.per_shard_latency.push_back(std::move(latency));
+  }
+  return snapshot;
+}
+
+}  // namespace tcdb

@@ -10,9 +10,9 @@
 
 namespace tcdb {
 
-Result<std::unique_ptr<ReachService>> ReachService::Build(
+Result<std::shared_ptr<const ReachCore>> ReachCore::Build(
     const ArcList& arcs, NodeId num_nodes,
-    const ReachServiceOptions& options) {
+    const ReachIndexOptions& options) {
   if (num_nodes < 0) {
     return Status::InvalidArgument("negative node count");
   }
@@ -25,21 +25,37 @@ Result<std::unique_ptr<ReachService>> ReachService::Build(
           " nodes");
     }
   }
-  auto service = std::unique_ptr<ReachService>(new ReachService());
-  service->options_ = options;
-  service->num_input_nodes_ = num_nodes;
+  auto core = std::make_shared<ReachCore>();
+  core->num_input_nodes = num_nodes;
 
   // Condense once; on an acyclic input this only renumbers the nodes.
   Condensation condensation = Condense(Digraph(num_nodes, arcs));
-  service->dag_ = std::move(condensation.dag);
-  service->node_map_ = std::move(condensation.node_map);
-  service->scc_size_.assign(service->dag_.NumNodes(), 0);
-  for (const NodeId component : service->node_map_) {
-    ++service->scc_size_[component];
+  core->dag = std::move(condensation.dag);
+  core->node_map = std::move(condensation.node_map);
+  core->scc_size.assign(core->dag.NumNodes(), 0);
+  for (const NodeId component : core->node_map) {
+    ++core->scc_size[component];
   }
 
-  TCDB_ASSIGN_OR_RETURN(service->index_,
-                        ReachIndex::Build(service->dag_, options.index));
+  TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Build(core->dag, options));
+  return std::shared_ptr<const ReachCore>(std::move(core));
+}
+
+Result<std::unique_ptr<ReachService>> ReachService::Build(
+    const ArcList& arcs, NodeId num_nodes,
+    const ReachServiceOptions& options) {
+  TCDB_ASSIGN_OR_RETURN(std::shared_ptr<const ReachCore> core,
+                        ReachCore::Build(arcs, num_nodes, options.index));
+  return Create(std::move(core), options);
+}
+
+std::unique_ptr<ReachService> ReachService::Create(
+    std::shared_ptr<const ReachCore> core,
+    const ReachServiceOptions& options) {
+  TCDB_CHECK(core != nullptr);
+  auto service = std::unique_ptr<ReachService>(new ReachService());
+  service->core_ = std::move(core);
+  service->options_ = options;
   service->cache_ = ReachAnswerCache(options.cache_capacity);
   return service;
 }
@@ -51,19 +67,19 @@ ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
     *answer = {cached, ReachStage::kCache};
     return cached ? ReachIndex::Verdict::kYes : ReachIndex::Verdict::kNo;
   }
-  const NodeId csrc = node_map_[src];
-  const NodeId cdst = node_map_[dst];
+  const NodeId csrc = core_->node_map[src];
+  const NodeId cdst = core_->node_map[dst];
   // src == dst (reflexivity) or one shared strongly connected component.
   if (csrc == cdst) {
     *answer = {true, ReachStage::kTrivial};
     return ReachIndex::Verdict::kYes;
   }
   ReachStage stage = ReachStage::kTrivial;
-  ReachIndex::Verdict verdict = index_.TryDecide(csrc, cdst, &stage);
+  ReachIndex::Verdict verdict = core_->index.TryDecide(csrc, cdst, &stage);
   if (verdict == ReachIndex::Verdict::kUnknown) {
     // Last cheap rung: a direct arc (binary search over the sorted CSR
     // row). Covers the non-tree arcs the interval labels cannot witness.
-    const std::span<const NodeId> successors = dag_.Successors(csrc);
+    const std::span<const NodeId> successors = core_->dag.Successors(csrc);
     if (std::binary_search(successors.begin(), successors.end(), cdst)) {
       verdict = ReachIndex::Verdict::kYes;
       stage = ReachStage::kAdjacency;
@@ -86,11 +102,11 @@ double ReachService::NowSeconds() const {
 }
 
 Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
-  if (src < 0 || src >= num_input_nodes_ || dst < 0 ||
-      dst >= num_input_nodes_) {
+  if (src < 0 || src >= core_->num_input_nodes || dst < 0 ||
+      dst >= core_->num_input_nodes) {
     return Status::InvalidArgument(
         "query endpoint out of range: (" + std::to_string(src) + ", " +
-        std::to_string(dst) + ") with " + std::to_string(num_input_nodes_) +
+        std::to_string(dst) + ") with " + std::to_string(core_->num_input_nodes) +
         " nodes");
   }
   const double start = NowSeconds();
@@ -100,7 +116,7 @@ Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
     return answer;
   }
   TCDB_ASSIGN_OR_RETURN(answer,
-                        ServeFallback(node_map_[src], node_map_[dst]));
+                        ServeFallback(core_->node_map[src], core_->node_map[dst]));
   if (cache_.Insert(src, dst, answer.reachable)) {
     ++stats_.cache_insertions;
   }
@@ -112,8 +128,8 @@ Result<ReachService::Answer> ReachService::ServeFallback(NodeId csrc,
                                                          NodeId cdst) {
   if (options_.bfs_budget > 0) {
     int64_t expansions = 0;
-    const ReachIndex::Verdict verdict = index_.PrunedBfs(
-        dag_, csrc, cdst, options_.bfs_budget, &expansions);
+    const ReachIndex::Verdict verdict = core_->index.PrunedBfs(
+        core_->dag, csrc, cdst, options_.bfs_budget, &scratch_, &expansions);
     stats_.bfs_expansions += expansions;
     if (verdict != ReachIndex::Verdict::kUnknown) {
       return Answer{verdict == ReachIndex::Verdict::kYes,
@@ -129,9 +145,9 @@ Result<ReachService::Answer> ReachService::ServeFallback(NodeId csrc,
   }
   // No session: finish the job with an unbounded pruned BFS.
   int64_t expansions = 0;
-  const ReachIndex::Verdict verdict =
-      index_.PrunedBfs(dag_, csrc, cdst,
-                       std::numeric_limits<int64_t>::max(), &expansions);
+  const ReachIndex::Verdict verdict = core_->index.PrunedBfs(
+      core_->dag, csrc, cdst, std::numeric_limits<int64_t>::max(),
+      &scratch_, &expansions);
   stats_.bfs_expansions += expansions;
   TCDB_CHECK(verdict != ReachIndex::Verdict::kUnknown);
   return Answer{verdict == ReachIndex::Verdict::kYes,
@@ -145,7 +161,7 @@ Result<std::vector<NodeId>> ReachService::SessionSuccessors(NodeId csrc) {
     session_options.exec.capture_answer = true;
     session_options.keep_cache_warm = true;
     TCDB_ASSIGN_OR_RETURN(
-        session_, TcSession::Open(dag_.ToArcs(), dag_.NumNodes(),
+        session_, TcSession::Open(core_->dag.ToArcs(), core_->dag.NumNodes(),
                                   session_options));
   }
   TCDB_ASSIGN_OR_RETURN(
@@ -171,8 +187,8 @@ Result<std::vector<NodeId>> ExtractSessionSuccessors(RunResult run,
 Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
     std::span<const std::pair<NodeId, NodeId>> pairs) {
   for (const auto& [src, dst] : pairs) {
-    if (src < 0 || src >= num_input_nodes_ || dst < 0 ||
-        dst >= num_input_nodes_) {
+    if (src < 0 || src >= core_->num_input_nodes || dst < 0 ||
+        dst >= core_->num_input_nodes) {
       return Status::InvalidArgument(
           "batch endpoint out of range: (" + std::to_string(src) + ", " +
           std::to_string(dst) + ")");
@@ -195,7 +211,7 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
                     NowSeconds() - start);
       continue;
     }
-    const NodeId csrc = node_map_[pairs[i].first];
+    const NodeId csrc = core_->node_map[pairs[i].first];
     residue[csrc].push_back(i);
     residue_pass1_seconds[csrc] += NowSeconds() - start;
   }
@@ -208,7 +224,7 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
     std::vector<std::vector<size_t>> target_indices;
     std::unordered_map<NodeId, size_t> target_slot;
     for (const size_t i : indices) {
-      const NodeId cdst = node_map_[pairs[i].second];
+      const NodeId cdst = core_->node_map[pairs[i].second];
       const auto [it, inserted] =
           target_slot.emplace(cdst, targets.size());
       if (inserted) {
@@ -223,9 +239,9 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
     ReachStage stage = ReachStage::kPrunedBfs;
     if (options_.bfs_budget > 0) {
       int64_t expansions = 0;
-      definitive = index_.PrunedMultiBfs(dag_, csrc, targets,
-                                         options_.bfs_budget, &reached,
-                                         &expansions);
+      definitive = core_->index.PrunedMultiBfs(core_->dag, csrc, targets,
+                                               options_.bfs_budget, &reached,
+                                               &scratch_, &expansions);
       stats_.bfs_expansions += expansions;
     }
     if (!definitive) {
@@ -240,9 +256,9 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
         stage = ReachStage::kSessionFallback;
       } else {
         int64_t expansions = 0;
-        definitive = index_.PrunedMultiBfs(
-            dag_, csrc, targets, std::numeric_limits<int64_t>::max(),
-            &reached, &expansions);
+        definitive = core_->index.PrunedMultiBfs(
+            core_->dag, csrc, targets, std::numeric_limits<int64_t>::max(),
+            &reached, &scratch_, &expansions);
         stats_.bfs_expansions += expansions;
         TCDB_CHECK(definitive);
       }

@@ -31,6 +31,30 @@ struct ReachServiceOptions {
   size_t cache_capacity = 4096;
 };
 
+// The immutable half of a serving stack: the condensation of the input,
+// the node map back to original ids, SCC sizes, and the O(1) label index.
+// Built once and frozen; after Build() nothing mutates it, so one core is
+// safely shared read-only by any number of ReachService instances on any
+// number of threads (this is exactly what ReachServer does — one core,
+// N shards).
+struct ReachCore {
+  NodeId num_input_nodes = 0;
+  Digraph dag;                    // condensation (== input when acyclic)
+  std::vector<NodeId> node_map;   // input node -> condensation node
+  std::vector<int32_t> scc_size;  // condensation node -> member count
+  ReachIndex index;
+
+  // True when the input contained a cycle (queries run on the
+  // condensation).
+  bool condensed() const { return dag.NumNodes() != num_input_nodes; }
+
+  // `arcs` may be cyclic and unsorted; endpoints must lie in
+  // [0, num_nodes).
+  static Result<std::shared_ptr<const ReachCore>> Build(
+      const ArcList& arcs, NodeId num_nodes,
+      const ReachIndexOptions& options = {});
+};
+
 // The serving front end for online `reaches(src, dst)?` traffic. Sits on
 // top of the Digraph/TcSession machinery rather than inside it: a one-shot
 // ReachIndex build answers most queries in O(1), and the undecided residue
@@ -45,8 +69,14 @@ struct ReachServiceOptions {
 // Semantics: Reaches(u, v) is reflexive — every node reaches itself; for
 // u != v it is ordinary closure membership.
 //
-// Not thread-safe: the cache, statistics and fallback machinery mutate
-// shared state. Shard one service per thread for parallel serving.
+// Threading contract: everything a query *reads* (the ReachCore) is
+// shared and immutable; everything a query *mutates* (the answer cache,
+// the BFS scratch, the statistics, the lazily opened fallback session and
+// its private buffer pool) is owned by this instance. One instance must
+// therefore be driven by one thread at a time — parallel serving shards
+// the graph as N services over one shared core, each shard owned by one
+// worker (see ReachServer in reach/reach_server.h, which does exactly
+// that and routes queries to shards by source hash).
 class ReachService {
  public:
   struct Answer {
@@ -54,10 +84,17 @@ class ReachService {
     ReachStage stage = ReachStage::kTrivial;  // the rung that decided it
   };
 
-  // `arcs` may be cyclic and unsorted; endpoints must lie in
-  // [0, num_nodes).
+  // Convenience: builds a private core, then the service. `arcs` may be
+  // cyclic and unsorted; endpoints must lie in [0, num_nodes).
   static Result<std::unique_ptr<ReachService>> Build(
       const ArcList& arcs, NodeId num_nodes,
+      const ReachServiceOptions& options = {});
+
+  // A shard over an existing shared core. `options.index` is ignored (the
+  // core's labels are already built); the per-shard knobs (cache capacity,
+  // BFS budget, session parameters) all apply.
+  static std::unique_ptr<ReachService> Create(
+      std::shared_ptr<const ReachCore> core,
       const ReachServiceOptions& options = {});
 
   // Answers one query. InvalidArgument on out-of-range endpoints.
@@ -79,11 +116,12 @@ class ReachService {
     clock_ = std::move(clock);
   }
 
-  NodeId num_nodes() const { return num_input_nodes_; }
-  const ReachIndex& index() const { return index_; }
+  NodeId num_nodes() const { return core_->num_input_nodes; }
+  const ReachIndex& index() const { return core_->index; }
+  const ReachCore& core() const { return *core_; }
   // True when the input contained a cycle (queries run on the
   // condensation).
-  bool condensed() const { return dag_.NumNodes() != num_input_nodes_; }
+  bool condensed() const { return core_->condensed(); }
 
  private:
   ReachService() : cache_(0) {}
@@ -102,13 +140,13 @@ class ReachService {
   // Current time in seconds from clock_ (steady_clock when not injected).
   double NowSeconds() const;
 
+  // Shared, immutable (see the threading contract above).
+  std::shared_ptr<const ReachCore> core_;
+
+  // Private, mutable: one owner thread at a time.
   ReachServiceOptions options_;
-  NodeId num_input_nodes_ = 0;
-  Digraph dag_;                    // condensation (== input when acyclic)
-  std::vector<NodeId> node_map_;   // input node -> condensation node
-  std::vector<int32_t> scc_size_;  // condensation node -> member count
-  ReachIndex index_;
   ReachAnswerCache cache_;
+  ReachIndex::SearchScratch scratch_;   // pruned-BFS buffers
   std::unique_ptr<TcSession> session_;  // lazy; serves the last rung
   ReachStats stats_;
   std::function<double()> clock_;  // empty -> steady_clock

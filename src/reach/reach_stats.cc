@@ -37,4 +37,66 @@ std::string ReachStats::ToString() const {
   return out.str();
 }
 
+void ReachStats::Merge(const ReachStats& other) {
+  queries += other.queries;
+  batches += other.batches;
+  positive_answers += other.positive_answers;
+  for (int s = 0; s < kNumReachStages; ++s) {
+    decided[s] += other.decided[s];
+    seconds[s] += other.seconds[s];
+  }
+  cache_insertions += other.cache_insertions;
+  bfs_expansions += other.bfs_expansions;
+  session_queries += other.session_queries;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const double us = seconds * 1e6;
+  int bucket = 0;
+  // Smallest i with 2^i > us, i.e. us < 1 -> 0, [1, 2) -> 1, [2, 4) -> 2.
+  while (bucket < kNumBuckets - 1 &&
+         us >= static_cast<double>(int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  ++buckets_[bucket];
+  ++count_;
+  total_seconds_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile sample, 1-based; ceil without float error.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return static_cast<double>(int64_t{1} << i) * 1e-6;
+    }
+  }
+  return static_cast<double>(int64_t{1} << (kNumBuckets - 1)) * 1e-6;
+}
+
+std::string LatencyHistogram::Summary() const {
+  auto us = [](double seconds) {
+    return std::to_string(static_cast<int64_t>(seconds * 1e6));
+  };
+  std::ostringstream out;
+  out << "n=" << count_ << " mean=" << us(MeanSeconds())
+      << "us p50=" << us(QuantileSeconds(0.5))
+      << "us p99=" << us(QuantileSeconds(0.99)) << "us";
+  return out.str();
+}
+
 }  // namespace tcdb

@@ -60,7 +60,45 @@ struct ReachStats {
   void Print(std::ostream& out) const;
   std::string ToString() const;
 
+  // Adds `other`'s counters into this one. Cross-shard aggregation:
+  // ReachServer snapshots merge every shard's stats through this, and the
+  // benches merge per-family blocks the same way.
+  void Merge(const ReachStats& other);
+
   void Reset() { *this = ReachStats{}; }
+};
+
+// Fixed-bucket latency histogram with power-of-two microsecond buckets:
+// bucket 0 holds samples below 1 us, bucket i holds [2^(i-1), 2^i) us.
+// Small (a few hundred bytes), mergeable, and quantile-queryable — each
+// ReachServer shard keeps one so a stats snapshot can report per-shard and
+// aggregate p50/p99 without retaining per-query samples.
+class LatencyHistogram {
+ public:
+  // Covers up to ~2^26 us ≈ 67 s; slower samples clamp to the last bucket.
+  static constexpr int kNumBuckets = 28;
+
+  void Record(double seconds);
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  double MeanSeconds() const {
+    return count_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(count_);
+  }
+
+  // Upper bound (seconds) of the bucket containing the q-quantile sample,
+  // q in [0, 1]; 0 when empty. Bucket granularity makes this exact to
+  // within a factor of two, which is plenty for p50/p99 regression lines.
+  double QuantileSeconds(double q) const;
+
+  // "n=1234 mean=13us p50=8us p99=211us" (for logs and bench tables).
+  std::string Summary() const;
+
+ private:
+  int64_t buckets_[kNumBuckets] = {};
+  int64_t count_ = 0;
+  double total_seconds_ = 0;
 };
 
 }  // namespace tcdb

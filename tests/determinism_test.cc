@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <utility>
+#include <vector>
 
 #include "core/database.h"
 #include "graph/generator.h"
+#include "reach/reach_server.h"
+#include "util/random.h"
 
 namespace tcdb {
 namespace {
@@ -53,6 +57,71 @@ TEST_P(DeterminismTest, RepeatedRunsAreBitIdentical) {
     EXPECT_EQ(a.entries_written, b.entries_written);
     EXPECT_EQ(first.value().answer, second.value().answer);
   }
+}
+
+// A deterministic clock: each reading advances exactly one millisecond.
+// Injected into both serving stacks so latency attribution (the seconds[]
+// stats) is identical readings, not wall time.
+std::function<double()> MakeTickClock() {
+  return [t = 0.0]() mutable {
+    t += 0.001;
+    return t;
+  };
+}
+
+// A single-shard ReachServer is the sequential ReachService behind a
+// queue: same batched calls in the same order, so answers, stage
+// attribution, and the full ReachStats block (tick-clock seconds
+// included) must be bit-identical to driving the service directly.
+TEST(ReachServingDeterminismTest, SingleShardServerMatchesDirectService) {
+  const GeneratorParams params{400, 5, 100, 91};
+  const ArcList arcs = GenerateDag(params);
+
+  auto service = ReachService::Build(arcs, params.num_nodes);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  service.value()->SetClockForTesting(MakeTickClock());
+
+  ReachServerOptions options;
+  options.num_shards = 1;
+  auto server = ReachServer::Start(arcs, params.num_nodes, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server.value()->SetClockForTesting(MakeTickClock);
+
+  Rng rng(17);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<std::pair<NodeId, NodeId>> queries;
+    for (int i = 0; i < 40; ++i) {
+      queries.emplace_back(
+          static_cast<NodeId>(rng.Uniform(0, params.num_nodes - 1)),
+          static_cast<NodeId>(rng.Uniform(0, params.num_nodes - 1)));
+    }
+    auto direct = service.value()->QueryBatch(queries);
+    auto served = server.value()->QueryBatch(queries);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(direct.value().size(), served.value().size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(direct.value()[i].reachable, served.value()[i].reachable);
+      EXPECT_EQ(direct.value()[i].stage, served.value()[i].stage);
+    }
+  }
+
+  const ReachStats& direct_stats = service.value()->stats();
+  const ReachServerStats snapshot = server.value()->Snapshot();
+  const ReachStats& served_stats = snapshot.merged;
+  EXPECT_EQ(direct_stats.queries, served_stats.queries);
+  EXPECT_EQ(direct_stats.batches, served_stats.batches);
+  EXPECT_EQ(direct_stats.positive_answers, served_stats.positive_answers);
+  EXPECT_EQ(direct_stats.cache_insertions, served_stats.cache_insertions);
+  EXPECT_EQ(direct_stats.bfs_expansions, served_stats.bfs_expansions);
+  EXPECT_EQ(direct_stats.session_queries, served_stats.session_queries);
+  for (int s = 0; s < kNumReachStages; ++s) {
+    EXPECT_EQ(direct_stats.decided[s], served_stats.decided[s]) << s;
+    // Bit-identical, not approximately equal: both sides read the same
+    // injected tick sequence.
+    EXPECT_EQ(direct_stats.seconds[s], served_stats.seconds[s]) << s;
+  }
+  EXPECT_EQ(snapshot.latency.count(), served_stats.queries);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,84 @@
+// Golden-metrics regression suite: exact page-I/O and tuple counts for
+// one catalog family (G5: F=5, l=200, the paper's center point) across
+// three closure algorithms plus one partial query, pinned at the default
+// execution parameters (M=20, LRU). Every counter here is deterministic
+// by construction (see determinism_test.cc), so any drift — a changed
+// replacement decision, a lost marking, an extra restructuring pass — is
+// a behavior change that must be explained and re-pinned, not noise.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_support/catalog.h"
+#include "core/database.h"
+
+namespace tcdb {
+namespace {
+
+struct Golden {
+  const char* name;
+  Algorithm algorithm;
+  bool full_closure;
+  int64_t restructure_reads;
+  int64_t restructure_writes;
+  int64_t compute_reads;
+  int64_t compute_writes;
+  int64_t tuples_generated;
+  int64_t distinct_tuples;
+  int64_t selected_tuples;
+};
+
+// Values recorded from the seed implementation on G5 instance 0
+// (n=2000, F=5, l=200, generator seed per CatalogParams) at M=20/LRU.
+const Golden kGoldens[] = {
+    {"BTC", Algorithm::kBtc, true,
+     39, 41, 16059, 4490, 4945070, 1497673, 1497673},
+    {"JKB2", Algorithm::kJkb2, true,
+     78, 55, 21895, 23790, 4940471, 1497673, 1497673},
+    {"SRCH", Algorithm::kSrch, true,
+     37805, 4070, 0, 0, 7227219, 1497673, 1497673},
+    {"BTC_PTC_s10", Algorithm::kBtc, false,
+     43, 24, 8196, 2419, 2316952, 742122, 4812},
+};
+
+TEST(GoldenMetricsTest, G5CountersAreExactlyPinned) {
+  const GraphFamily& family = FamilyByName("G5");
+  auto db = MakeCatalogDatabase(family, 0);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  ExecOptions options;
+  options.buffer_pages = 20;
+
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.name);
+    const QuerySpec query =
+        golden.full_closure
+            ? QuerySpec::Full()
+            : QuerySpec::Partial(CatalogSources(family, 0, 0, 10));
+    auto run = db.value()->Execute(golden.algorithm, query, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    const RunMetrics& m = run.value().metrics;
+    EXPECT_EQ(m.restructure_reads, golden.restructure_reads);
+    EXPECT_EQ(m.restructure_writes, golden.restructure_writes);
+    EXPECT_EQ(m.compute_reads, golden.compute_reads);
+    EXPECT_EQ(m.compute_writes, golden.compute_writes);
+    EXPECT_EQ(m.tuples_generated, golden.tuples_generated);
+    EXPECT_EQ(m.distinct_tuples, golden.distinct_tuples);
+    EXPECT_EQ(m.selected_tuples, golden.selected_tuples);
+  }
+}
+
+// The three full-closure algorithms must agree on what the closure *is*
+// even while their I/O profiles differ — the distinct-tuple pin above is
+// shared, and this keeps the relationship explicit if one row is ever
+// re-pinned alone.
+TEST(GoldenMetricsTest, FullClosureRowsAgreeOnClosureSize) {
+  EXPECT_EQ(kGoldens[0].distinct_tuples, kGoldens[1].distinct_tuples);
+  EXPECT_EQ(kGoldens[0].distinct_tuples, kGoldens[2].distinct_tuples);
+  EXPECT_EQ(kGoldens[0].selected_tuples, kGoldens[0].distinct_tuples);
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -402,11 +402,12 @@ TEST(ReachIndexTest, LabelInvariantsOnASmallDag) {
   EXPECT_EQ(idx.TryDecide(0, 4, nullptr), ReachIndex::Verdict::kNo);
 
   // PrunedBfs is definitive given budget, and kUnknown without one.
-  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 2, 3, 100),
+  ReachIndex::SearchScratch scratch;
+  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 2, 3, 100, &scratch),
             ReachIndex::Verdict::kYes);
-  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 1, 2, 100),
+  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 1, 2, 100, &scratch),
             ReachIndex::Verdict::kNo);
-  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 0, 3, 0),
+  EXPECT_EQ(idx.PrunedBfs(Digraph(5, arcs), 0, 3, 0, &scratch),
             ReachIndex::Verdict::kUnknown);
 
   // Chains partition the nodes.

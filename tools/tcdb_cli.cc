@@ -20,7 +20,10 @@
 #include "core/cyclic.h"
 #include "core/generalized.h"
 #include "core/database.h"
+#include "graph/digraph.h"
 #include "graph/generator.h"
+#include "reach/load_driver.h"
+#include "reach/reach_server.h"
 #include "reach/reach_service.h"
 #include "relation/graph_io.h"
 
@@ -30,6 +33,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr, R"(usage: tcdb_cli [options]
        tcdb_cli reach <graph> <src> <dst> [--explain]
+       tcdb_cli serve-bench <graph> [--shards N] [--clients N]
+                [--queries N] [--batch N] [--queue N] [--seed S]
        tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
 
 graph input (one of):
@@ -64,6 +69,18 @@ reach subcommand (online point query via the src/reach/ index):
     --explain              print the deciding index stage and the
                            service's per-stage statistics table
 
+serve-bench subcommand (multi-threaded sharded serving throughput):
+  tcdb_cli serve-bench <graph> [flags]
+    <graph>                arc-list file, or gen:N,F,L,SEED
+    --shards N             server shards / worker threads (default 4)
+    --clients N            client threads firing batches (default =shards)
+    --queries N            workload size (default 100000)
+    --batch N              queries per QueryBatch call (default 256)
+    --queue N              per-shard queue capacity (default 64)
+    --seed S               workload seed (default 42)
+    prints queries/second, the merged per-stage decision table, the
+    serving-latency histogram, and the per-shard query split
+
 stress subcommand (randomized differential storage stress):
   tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
     runs every algorithm x replacement policy on N randomized (graph,
@@ -89,6 +106,36 @@ bool ParseCsvInts(const std::string& text, std::vector<int64_t>* out) {
   return !out->empty();
 }
 
+// Loads `<graph>` subcommand operands: an arc-list file, or
+// gen:N,F,L,SEED for a synthetic DAG. Returns 0 on success, else the
+// process exit code.
+int LoadGraphSpec(const std::string& graph_spec, ArcList* arcs,
+                  NodeId* num_nodes) {
+  if (graph_spec.rfind("gen:", 0) == 0) {
+    std::vector<int64_t> params;
+    if (!ParseCsvInts(graph_spec.substr(4), &params) || params.size() != 4) {
+      std::fprintf(stderr, "gen: expects gen:N,F,L,SEED\n");
+      return 2;
+    }
+    GeneratorParams generator;
+    generator.num_nodes = static_cast<NodeId>(params[0]);
+    generator.avg_out_degree = static_cast<int32_t>(params[1]);
+    generator.locality = static_cast<int32_t>(params[2]);
+    generator.seed = static_cast<uint64_t>(params[3]);
+    *arcs = GenerateDag(generator);
+    *num_nodes = generator.num_nodes;
+    return 0;
+  }
+  auto loaded = ReadArcFile(graph_spec);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  *arcs = std::move(loaded.value().arcs);
+  *num_nodes = loaded.value().num_nodes;
+  return 0;
+}
+
 // `tcdb_cli reach <graph> <src> <dst> [--explain]`: builds a ReachIndex
 // over the input and answers one reaches(src, dst) point query, optionally
 // explaining which rung of the serving ladder decided it.
@@ -112,27 +159,8 @@ int RunReach(int argc, char** argv) {
 
   ArcList arcs;
   NodeId num_nodes = 0;
-  if (graph_spec.rfind("gen:", 0) == 0) {
-    std::vector<int64_t> params;
-    if (!ParseCsvInts(graph_spec.substr(4), &params) || params.size() != 4) {
-      std::fprintf(stderr, "gen: expects gen:N,F,L,SEED\n");
-      return 2;
-    }
-    GeneratorParams generator;
-    generator.num_nodes = static_cast<NodeId>(params[0]);
-    generator.avg_out_degree = static_cast<int32_t>(params[1]);
-    generator.locality = static_cast<int32_t>(params[2]);
-    generator.seed = static_cast<uint64_t>(params[3]);
-    arcs = GenerateDag(generator);
-    num_nodes = generator.num_nodes;
-  } else {
-    auto loaded = ReadArcFile(graph_spec);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    arcs = std::move(loaded.value().arcs);
-    num_nodes = loaded.value().num_nodes;
+  if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes)) {
+    return code;
   }
 
   auto service = ReachService::Build(arcs, num_nodes);
@@ -154,6 +182,93 @@ int RunReach(int argc, char** argv) {
   if (explain) {
     std::cout << service.value()->stats().ToString();
   }
+  return 0;
+}
+
+// `tcdb_cli serve-bench <graph> [flags]`: stands up a sharded ReachServer
+// over the input, fires a reproducible mixed workload at it from client
+// threads, and prints throughput plus the merged serving statistics.
+int RunServeBench(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string graph_spec = argv[1];
+  ReachServerOptions options;
+  options.queue_capacity = 64;
+  int32_t clients = -1;  // default: one client per shard
+  int64_t num_queries = 100000;
+  size_t batch_size = 256;
+  uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--shards") {
+      options.num_shards = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--clients") {
+      clients = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--queries") {
+      num_queries = std::atoll(next());
+    } else if (flag == "--batch") {
+      batch_size = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--queue") {
+      options.queue_capacity = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown serve-bench flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (clients < 0) clients = options.num_shards;
+
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes)) {
+    return code;
+  }
+
+  auto server = ReachServer::Start(arcs, num_nodes, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (server.value()->condensed()) {
+    std::printf("input is cyclic: serving on its condensation\n");
+  }
+  const std::vector<std::pair<NodeId, NodeId>> workload =
+      MakeServingWorkload(Digraph(num_nodes, arcs), num_queries, seed);
+  auto report = RunServingLoad(server.value().get(), workload, clients,
+                               batch_size);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  server.value()->Stop();
+
+  const ReachServerStats stats = server.value()->Snapshot();
+  std::printf(
+      "served %lld queries in %.3fs from %d clients over %d shards: "
+      "%.0f q/s\n",
+      static_cast<long long>(report.value().queries),
+      report.value().seconds, clients, options.num_shards,
+      report.value().QueriesPerSecond());
+  std::printf("latency %s\n", stats.latency.Summary().c_str());
+  std::printf("queue high-water mark %lld (capacity %lld)\n",
+              static_cast<long long>(stats.max_queue_depth),
+              static_cast<long long>(options.queue_capacity));
+  for (size_t s = 0; s < stats.per_shard.size(); ++s) {
+    std::printf("shard %zu: %lld queries, latency %s\n", s,
+                static_cast<long long>(stats.per_shard[s].queries),
+                stats.per_shard_latency[s].Summary().c_str());
+  }
+  std::cout << stats.merged.ToString();
   return 0;
 }
 
@@ -207,6 +322,9 @@ int RunStress(int argc, char** argv) {
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
+    return RunServeBench(argc - 1, argv + 1);
   }
   if (argc >= 2 && std::strcmp(argv[1], "stress") == 0) {
     return RunStress(argc - 1, argv + 1);
