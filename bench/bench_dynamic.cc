@@ -1,0 +1,156 @@
+// bench_dynamic — Serving throughput of the fully dynamic stack as the
+// update ratio sweeps from read-only to update-heavy on a G5-style graph
+// (n = 2000, F = 5, l = 200). Each row replays one mixed trace through a
+// DynamicReachService with the background IndexRebuilder publishing
+// snapshots, and reports where the queries were decided: pure frozen
+// snapshot, overlay-patched, or escalated to a live BFS over the paged
+// adjacency.
+//
+// The interesting shape: at ratio 0 every query is an O(1) snapshot
+// answer; as updates appear, the overlay absorbs them until a deletion
+// lands in a query's cone, and the escalation share — the expensive live
+// searches the epoch-swap machinery exists to bound — tracks the delete
+// traffic between rebuilds.
+//
+// QUICK=1 shrinks the trace; DYNAMIC_OPS overrides it outright.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_reach_service.h"
+#include "dynamic/index_rebuilder.h"
+#include "dynamic/mutation_log.h"
+#include "graph/generator.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+constexpr NodeId kNodes = 2000;
+constexpr int32_t kRebuildEvery = 256;
+
+struct TraceResult {
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t queries = 0;
+  double seconds = 0.0;
+};
+
+int RunBench() {
+  const int64_t num_ops =
+      GetEnvInt("DYNAMIC_OPS", GetEnvBool("QUICK") ? 8000 : 60000);
+  const std::vector<double> update_ratios = {0.0, 0.001, 0.01, 0.05, 0.2};
+  constexpr double kDeleteShare = 0.3;
+
+  std::cout << "Dynamic reachability serving: G5-style graph (n = "
+            << kNodes << ", F = 5, l = 200), " << num_ops
+            << " ops per row, rebuild every " << kRebuildEvery
+            << " mutations\n\n";
+  TablePrinter table({"update ratio", "inserts", "deletes", "queries",
+                      "snapshot %", "patched %", "escalated %", "swaps",
+                      "ops/s", "us/query"});
+
+  for (const double ratio : update_ratios) {
+    const ArcList arcs = GenerateDag({kNodes, 5, 200, 42});
+    auto log = MutationLog::Open(arcs, kNodes);
+    if (!log.ok()) {
+      std::cerr << log.status().ToString() << "\n";
+      return 1;
+    }
+    auto service = DynamicReachService::Create(log.value().get());
+    if (!service.ok()) {
+      std::cerr << service.status().ToString() << "\n";
+      return 1;
+    }
+    DynamicReachService* serving = service.value().get();
+    IndexRebuilderOptions rebuild_options;
+    rebuild_options.mutations_per_rebuild = kRebuildEvery;
+    IndexRebuilder rebuilder(
+        log.value().get(),
+        [serving](std::shared_ptr<const ReachCore> core,
+                  MutationLog::Epoch epoch, double seconds) {
+          serving->PublishSnapshot(std::move(core), epoch, seconds);
+        },
+        rebuild_options);
+    rebuilder.Start();
+
+    std::vector<Arc> live = log.value()->SnapshotArcs().arcs;
+    Rng rng(7);
+    TraceResult result;
+    WallTimer timer;
+    for (int64_t op = 0; op < num_ops; ++op) {
+      bool handled = false;
+      if (rng.Bernoulli(ratio)) {
+        if (!live.empty() && rng.Bernoulli(kDeleteShare)) {
+          const size_t pick = static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+          const Arc victim = live[pick];
+          if (!serving->DeleteArc(victim.src, victim.dst).ok()) return 1;
+          live[pick] = live.back();
+          live.pop_back();
+          ++result.deletes;
+          handled = true;
+        } else {
+          for (int attempt = 0; attempt < 32 && !handled; ++attempt) {
+            const NodeId u =
+                static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
+            const NodeId v =
+                static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
+            if (u == v || log.value()->HasArc(u, v)) continue;
+            if (!serving->InsertArc(u, v).ok()) return 1;
+            live.push_back(Arc{u, v});
+            ++result.inserts;
+            handled = true;
+          }
+        }
+      }
+      if (!handled) {
+        const NodeId u = static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
+        const NodeId v = static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
+        if (!serving->Query(u, v).ok()) return 1;
+        ++result.queries;
+      }
+    }
+    result.seconds = timer.ElapsedSeconds();
+    rebuilder.Stop();
+
+    const DynamicStats& stats = serving->stats();
+    const double q =
+        std::max<double>(1.0, static_cast<double>(stats.queries));
+    const double query_seconds = serving->serving_stats().TotalSeconds();
+    table.NewRow()
+        .AddCell(ratio, 3)
+        .AddCell(result.inserts)
+        .AddCell(result.deletes)
+        .AddCell(result.queries)
+        .AddCell(100.0 * stats.snapshot_served / q, 1)
+        .AddCell(100.0 * stats.overlay_served / q, 1)
+        .AddCell(100.0 * stats.escalations / q, 1)
+        .AddCell(stats.snapshots_adopted)
+        .AddCell(static_cast<double>(num_ops) / result.seconds, 0)
+        .AddCell(query_seconds * 1e6 / q, 2);
+  }
+  table.Print(std::cout);
+  table.WriteCsv("dynamic_update_sweep");
+
+  std::cout
+      << "\nReading the table: \"snapshot %\" queries ran the pure frozen "
+         "index ladder (the overlay was empty when they arrived); "
+         "\"patched %\" were decided through the inserted-arc overlay "
+         "without touching the paged store; \"escalated %\" had a "
+         "deletion in their cone (or blew the probe budget) and paid for "
+         "a live BFS. Swaps count background rebuilds the serving thread "
+         "adopted mid-trace.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() { return tcdb::RunBench(); }

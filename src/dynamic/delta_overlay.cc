@@ -1,0 +1,63 @@
+#include "dynamic/delta_overlay.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+void DeltaOverlay::RecordInsert(NodeId src, NodeId dst) {
+  const auto tomb = deleted_.find(Key(src, dst));
+  if (tomb != deleted_.end()) {
+    // The arc is back; live and snapshot agree on it again.
+    deleted_.erase(tomb);
+    return;
+  }
+  std::vector<NodeId>& row = inserted_[src];
+  TCDB_DCHECK(std::find(row.begin(), row.end(), dst) == row.end())
+      << "duplicate overlay insert";
+  row.push_back(dst);
+  ++num_inserted_;
+}
+
+void DeltaOverlay::RecordDelete(NodeId src, NodeId dst) {
+  const auto it = inserted_.find(src);
+  if (it != inserted_.end()) {
+    const auto pos = std::find(it->second.begin(), it->second.end(), dst);
+    if (pos != it->second.end()) {
+      // The snapshot never saw this arc; its life ended inside the delta.
+      *pos = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) inserted_.erase(it);
+      --num_inserted_;
+      return;
+    }
+  }
+  const bool fresh = deleted_.insert(Key(src, dst)).second;
+  TCDB_DCHECK(fresh) << "duplicate overlay delete";
+}
+
+void DeltaOverlay::Clear() {
+  inserted_.clear();
+  num_inserted_ = 0;
+  deleted_.clear();
+}
+
+std::vector<NodeId> DeltaOverlay::InsertedSources() const {
+  std::vector<NodeId> sources;
+  sources.reserve(inserted_.size());
+  for (const auto& [src, row] : inserted_) sources.push_back(src);
+  return sources;
+}
+
+std::vector<Arc> DeltaOverlay::DeletedArcs() const {
+  std::vector<Arc> arcs;
+  arcs.reserve(deleted_.size());
+  for (const uint64_t key : deleted_) {
+    arcs.push_back(Arc{static_cast<int32_t>(key >> 32),
+                       static_cast<int32_t>(key & 0xffffffffu)});
+  }
+  return arcs;
+}
+
+}  // namespace tcdb

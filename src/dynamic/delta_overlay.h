@@ -1,0 +1,78 @@
+#ifndef TCDB_DYNAMIC_DELTA_OVERLAY_H_
+#define TCDB_DYNAMIC_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tcdb {
+
+// The net difference between the live graph and the frozen snapshot the
+// serving index was built from: inserted-arc adjacency plus deleted-arc
+// tombstones.
+//
+// "Net" is the load-bearing word. The overlay does not replay the mutation
+// history — it holds exactly the set difference in both directions:
+//   inserted = live \ snapshot      (arcs the snapshot has never seen)
+//   deleted  = snapshot \ live      (snapshot arcs that no longer exist)
+// An insert of a tombstoned arc therefore cancels the tombstone instead of
+// recording an insert, and a delete of an overlay-inserted arc erases the
+// insert instead of recording a tombstone. This is only correct because
+// the overlay is always interpreted relative to ONE snapshot; when the
+// serving snapshot advances, the owner rebuilds the overlay from the
+// mutation-log suffix past the new snapshot's epoch
+// (MutationLog::RebaseOverlay) rather than trying to prune it in place —
+// cancellation does not commute with moving the baseline.
+//
+// Thread safety: none. The overlay is owned by the mutation/query thread,
+// like every other mutable half of a serving stack.
+class DeltaOverlay {
+ public:
+  // Arc became live and is absent from the snapshot (or returns, closing
+  // an open tombstone).
+  void RecordInsert(NodeId src, NodeId dst);
+  // Arc stopped being live: tombstones a snapshot arc, or erases a
+  // not-yet-snapshotted insert.
+  void RecordDelete(NodeId src, NodeId dst);
+
+  void Clear();
+
+  bool IsDeleted(NodeId src, NodeId dst) const {
+    return deleted_.contains(Key(src, dst));
+  }
+
+  size_t num_inserted() const { return num_inserted_; }
+  size_t num_deleted() const { return deleted_.size(); }
+  bool empty() const { return num_inserted_ == 0 && deleted_.empty(); }
+  bool has_deletions() const { return !deleted_.empty(); }
+
+  // Inserted out-neighbours of `src` (unsorted; empty span when none).
+  std::span<const NodeId> InsertedSuccessors(NodeId src) const {
+    const auto it = inserted_.find(src);
+    if (it == inserted_.end()) return {};
+    return it->second;
+  }
+
+  // Distinct sources with at least one inserted arc, and all tombstoned
+  // arcs, for the patched-BFS / escalation-relevance walks.
+  std::vector<NodeId> InsertedSources() const;
+  std::vector<Arc> DeletedArcs() const;
+
+ private:
+  static uint64_t Key(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  std::unordered_map<NodeId, std::vector<NodeId>> inserted_;
+  size_t num_inserted_ = 0;
+  std::unordered_set<uint64_t> deleted_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_DELTA_OVERLAY_H_

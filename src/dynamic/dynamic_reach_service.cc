@@ -1,0 +1,298 @@
+#include "dynamic/dynamic_reach_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace tcdb {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DynamicReachService>> DynamicReachService::Create(
+    MutationLog* log, const DynamicReachOptions& options) {
+  TCDB_CHECK(log != nullptr);
+  auto service =
+      std::unique_ptr<DynamicReachService>(new DynamicReachService());
+  service->log_ = log;
+  service->options_ = options;
+  service->cache_ = ReachAnswerCache(options.cache_capacity);
+
+  const MutationLog::ArcSnapshot base = log->SnapshotArcs();
+  TCDB_ASSIGN_OR_RETURN(
+      service->snapshot_,
+      ReachCore::Build(base.arcs, log->num_nodes(), options.index));
+  service->snapshot_epoch_ = base.epoch;
+  service->stats_.snapshot_epoch = base.epoch;
+  service->stats_.epoch = log->current_epoch();
+  log->RebaseOverlay(base.epoch);
+  return service;
+}
+
+Result<DynamicReachService::Epoch> DynamicReachService::InsertArc(
+    NodeId src, NodeId dst) {
+  TCDB_ASSIGN_OR_RETURN(const Epoch epoch, log_->InsertArc(src, dst));
+  ++stats_.arcs_inserted;
+  stats_.epoch = epoch;
+  cache_.BumpGeneration();
+  return epoch;
+}
+
+Result<DynamicReachService::Epoch> DynamicReachService::DeleteArc(
+    NodeId src, NodeId dst) {
+  TCDB_ASSIGN_OR_RETURN(const Epoch epoch, log_->DeleteArc(src, dst));
+  ++stats_.arcs_deleted;
+  stats_.epoch = epoch;
+  cache_.BumpGeneration();
+  return epoch;
+}
+
+void DynamicReachService::PublishSnapshot(
+    std::shared_ptr<const ReachCore> core, Epoch epoch,
+    double rebuild_seconds) {
+  TCDB_CHECK(core != nullptr);
+  TCDB_CHECK_EQ(core->num_input_nodes, log_->num_nodes());
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  // Later publications supersede unadopted earlier ones; their rebuild
+  // cost is still accounted.
+  pending_core_ = std::move(core);
+  pending_epoch_ = epoch;
+  pending_seconds_sum_ += rebuild_seconds;
+  pending_seconds_last_ = rebuild_seconds;
+}
+
+bool DynamicReachService::AdoptPublishedSnapshot() {
+  std::shared_ptr<const ReachCore> core;
+  Epoch epoch = 0;
+  double seconds_sum = 0.0;
+  double seconds_last = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_core_ == nullptr) return false;
+    core = std::move(pending_core_);
+    pending_core_.reset();
+    epoch = pending_epoch_;
+    seconds_sum = pending_seconds_sum_;
+    seconds_last = pending_seconds_last_;
+    pending_seconds_sum_ = 0.0;
+  }
+  stats_.rebuild_seconds_total += seconds_sum;
+  stats_.last_rebuild_seconds = seconds_last;
+  // Epochs are monotone (the log only grows), so a pending core is never
+  // older than the serving one; equal means "rebuilt, nothing changed".
+  TCDB_CHECK(epoch >= snapshot_epoch_);
+  snapshot_ = std::move(core);
+  snapshot_epoch_ = epoch;
+  stats_.snapshot_epoch = epoch;
+  ++stats_.snapshots_adopted;
+  // The old snapshot is retired: answers computed against it must never
+  // surface again, and the overlay must now measure distance from the new
+  // baseline.
+  cache_.BumpGeneration();
+  probe_scratch_ = ReachIndex::SearchScratch();
+  log_->RebaseOverlay(epoch);
+  return true;
+}
+
+bool DynamicReachService::SnapshotReaches(NodeId cu, NodeId cv) {
+  ++stats_.overlay_probes;
+  if (cu == cv) return true;
+  const ReachCore& core = *snapshot_;
+  ReachStage stage;
+  ReachIndex::Verdict verdict = core.index.TryDecide(cu, cv, &stage);
+  if (verdict == ReachIndex::Verdict::kUnknown) {
+    const std::span<const NodeId> successors = core.dag.Successors(cu);
+    if (std::binary_search(successors.begin(), successors.end(), cv)) {
+      return true;
+    }
+    verdict = core.index.PrunedBfs(core.dag, cu, cv,
+                                   std::numeric_limits<int64_t>::max(),
+                                   &probe_scratch_);
+    TCDB_CHECK(verdict != ReachIndex::Verdict::kUnknown);
+  }
+  return verdict == ReachIndex::Verdict::kYes;
+}
+
+ReachIndex::Verdict DynamicReachService::PatchedDecide(NodeId u, NodeId v) {
+  const ReachCore& core = *snapshot_;
+  const std::vector<NodeId>& cmap = core.node_map;
+  const DeltaOverlay& overlay = log_->overlay();
+  const NodeId cv = cmap[static_cast<size_t>(v)];
+  const bool deletions = overlay.has_deletions();
+  int64_t budget = options_.overlay_probe_budget;
+  const int64_t probes_before = stats_.overlay_probes;
+  auto charge = [&]() -> bool {  // false: budget exhausted
+    return stats_.overlay_probes - probes_before < budget;
+  };
+
+  // BFS over the over-approximation O = snapshot + inserted arcs. The
+  // visited set holds "entry points" — condensed nodes where an O-path
+  // from u can (re)enter the snapshot: cu itself plus the head of every
+  // inserted arc whose tail some entry point snapshot-reaches. u's O-cone
+  // is then the union of the entry points' snapshot cones.
+  patched_visited_.Resize(static_cast<size_t>(core.dag.NumNodes()));
+  patched_visited_.ClearAll();
+  patched_entries_.clear();
+  auto push = [&](NodeId c) {
+    if (patched_visited_.Contains(static_cast<size_t>(c))) return;
+    patched_visited_.Insert(static_cast<size_t>(c));
+    patched_entries_.push_back(c);
+  };
+  push(cmap[static_cast<size_t>(u)]);
+
+  const std::vector<NodeId> sources = overlay.InsertedSources();
+  bool reached = false;
+  for (size_t head = 0; head < patched_entries_.size(); ++head) {
+    const NodeId x = patched_entries_[head];
+    if (!reached) {
+      if (!charge()) return ReachIndex::Verdict::kUnknown;
+      reached = SnapshotReaches(x, cv);
+      // Insert-only overlay: a YES in O is already a YES in L — no
+      // deleted arc can have broken the witness. Exit early; with
+      // deletions the BFS must run to exhaustion so the relevance scan
+      // below sees the complete cone.
+      if (reached && !deletions) return ReachIndex::Verdict::kYes;
+    }
+    for (const NodeId s : sources) {
+      if (!charge()) return ReachIndex::Verdict::kUnknown;
+      if (!SnapshotReaches(x, cmap[static_cast<size_t>(s)])) continue;
+      for (const NodeId t : overlay.InsertedSuccessors(s)) {
+        push(cmap[static_cast<size_t>(t)]);
+      }
+    }
+  }
+  // O under-reaches nothing: L ⊆ O, so "not reachable in O" is final.
+  if (!reached) return ReachIndex::Verdict::kNo;
+  // O said YES with deletions present. If no deleted arc's source lies in
+  // u's O-cone, no O-path from u uses a deleted arc, so every O-witness is
+  // live: YES. Otherwise the witness may be broken — escalate.
+  for (const Arc& dead : overlay.DeletedArcs()) {
+    const NodeId ca = cmap[static_cast<size_t>(dead.src)];
+    for (const NodeId x : patched_entries_) {
+      if (!charge()) return ReachIndex::Verdict::kUnknown;
+      if (SnapshotReaches(x, ca)) return ReachIndex::Verdict::kUnknown;
+    }
+  }
+  return ReachIndex::Verdict::kYes;
+}
+
+Result<bool> DynamicReachService::LiveReaches(NodeId u, NodeId v) {
+  if (u == v) return true;
+  const ReachCore& core = *snapshot_;
+  const std::vector<NodeId>& cmap = core.node_map;
+  const NodeId cv = cmap[static_cast<size_t>(v)];
+  // With no inserted arcs the live graph is a subgraph of the snapshot,
+  // so the snapshot's definite-NO labels prune the live search. (With
+  // inserts they prove nothing: a live path may detour through an
+  // inserted arc the snapshot has never seen.) Deletions may have split
+  // snapshot SCCs, which is exactly why this search runs on original ids
+  // over the paged live adjacency, not on the stale condensation.
+  const bool can_prune = log_->overlay().num_inserted() == 0;
+  live_visited_.Resize(static_cast<size_t>(log_->num_nodes()));
+  live_visited_.ClearAll();
+  live_frontier_.clear();
+  live_visited_.Insert(static_cast<size_t>(u));
+  live_frontier_.push_back(u);
+  for (size_t head = 0; head < live_frontier_.size(); ++head) {
+    const NodeId x = live_frontier_[head];
+    live_row_.clear();
+    TCDB_RETURN_IF_ERROR(log_->ReadSuccessors(x, &live_row_));
+    for (const NodeId y : live_row_) {
+      if (y == v) return true;
+      if (live_visited_.Contains(static_cast<size_t>(y))) continue;
+      live_visited_.Insert(static_cast<size_t>(y));
+      if (can_prune) {
+        const NodeId cy = cmap[static_cast<size_t>(y)];
+        if (cy != cv &&
+            core.index.TryDecide(cy, cv) == ReachIndex::Verdict::kNo) {
+          continue;  // provably dead end even in the (larger) snapshot
+        }
+      }
+      live_frontier_.push_back(y);
+    }
+  }
+  return false;
+}
+
+Result<DynamicReachService::Answer> DynamicReachService::Query(NodeId src,
+                                                               NodeId dst) {
+  const NodeId n = log_->num_nodes();
+  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+    return Status::InvalidArgument(
+        "query endpoint out of range: (" + std::to_string(src) + ", " +
+        std::to_string(dst) + ") with " + std::to_string(n) + " nodes");
+  }
+  AdoptPublishedSnapshot();
+  const double start = MonotonicSeconds();
+  ++stats_.queries;
+  stats_.epoch = log_->current_epoch();
+
+  Answer answer;
+  bool cached = false;
+  if (cache_.Lookup(src, dst, &cached)) {
+    answer = {cached, ReachStage::kCache};
+    serving_stats_.Record(answer.stage, answer.reachable,
+                          MonotonicSeconds() - start);
+    return answer;
+  }
+  const DeltaOverlay& overlay = log_->overlay();
+  if (src == dst) {
+    // Reflexive regardless of snapshot or overlay.
+    answer = {true, ReachStage::kTrivial};
+  } else if (overlay.empty()) {
+    // The snapshot IS the live graph: the ordinary frozen ladder.
+    ++stats_.snapshot_served;
+    const ReachCore& core = *snapshot_;
+    const NodeId cu = core.node_map[static_cast<size_t>(src)];
+    const NodeId cdst = core.node_map[static_cast<size_t>(dst)];
+    if (cu == cdst) {
+      answer = {true, ReachStage::kTrivial};
+    } else {
+      ReachStage stage = ReachStage::kTrivial;
+      ReachIndex::Verdict verdict = core.index.TryDecide(cu, cdst, &stage);
+      if (verdict == ReachIndex::Verdict::kUnknown) {
+        const std::span<const NodeId> successors = core.dag.Successors(cu);
+        if (std::binary_search(successors.begin(), successors.end(),
+                               cdst)) {
+          verdict = ReachIndex::Verdict::kYes;
+          stage = ReachStage::kAdjacency;
+        } else {
+          verdict = core.index.PrunedBfs(
+              core.dag, cu, cdst, std::numeric_limits<int64_t>::max(),
+              &probe_scratch_);
+          TCDB_CHECK(verdict != ReachIndex::Verdict::kUnknown);
+          stage = ReachStage::kPrunedBfs;
+        }
+      }
+      answer = {verdict == ReachIndex::Verdict::kYes, stage};
+    }
+  } else {
+    const ReachIndex::Verdict verdict = PatchedDecide(src, dst);
+    if (verdict != ReachIndex::Verdict::kUnknown) {
+      ++stats_.overlay_served;
+      answer = {verdict == ReachIndex::Verdict::kYes,
+                ReachStage::kOverlayPatched};
+    } else {
+      ++stats_.escalations;
+      TCDB_ASSIGN_OR_RETURN(const bool reachable, LiveReaches(src, dst));
+      answer = {reachable, ReachStage::kLiveBfs};
+    }
+  }
+  cache_.Insert(src, dst, answer.reachable);
+  stats_.overlay_inserted = static_cast<int64_t>(overlay.num_inserted());
+  stats_.overlay_deleted = static_cast<int64_t>(overlay.num_deleted());
+  serving_stats_.Record(answer.stage, answer.reachable,
+                        MonotonicSeconds() - start);
+  return answer;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,141 @@
+#ifndef TCDB_DYNAMIC_DYNAMIC_REACH_SERVICE_H_
+#define TCDB_DYNAMIC_DYNAMIC_REACH_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dynamic/dynamic_stats.h"
+#include "dynamic/mutation_log.h"
+#include "reach/lru_cache.h"
+#include "reach/reach_service.h"
+#include "reach/reach_stats.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct DynamicReachOptions {
+  // Label build of the (periodically rebuilt) frozen snapshot.
+  ReachIndexOptions index;
+  // Definite snapshot-reachability probes the patched query path may
+  // spend per query (over-approximation BFS plus deletion-relevance
+  // checks) before giving up and escalating to the live graph. <= 0
+  // escalates every query that finds a non-empty overlay.
+  int64_t overlay_probe_budget = 4096;
+  // LRU answer-cache entries; 0 disables. Entries are invalidated (via a
+  // generation bump) by every mutation and every snapshot adoption.
+  size_t cache_capacity = 4096;
+};
+
+// Fully dynamic reachability serving over a MutationLog: a frozen
+// ReachCore snapshot answers the bulk of each query in O(1), and the
+// distance between the snapshot and the live graph — the DeltaOverlay —
+// is patched in at query time.
+//
+// Serving rule (DESIGN.md §11). Let S be the snapshot graph and L the
+// live graph, so L = S + inserted − deleted with (inserted, deleted) the
+// overlay. The patched path computes reachability in the
+// over-approximation O = S + inserted by a BFS whose nodes are "entry
+// points" (the query source plus heads of inserted arcs) and whose edges
+// are definite snapshot-reach probes into the tails of inserted arcs:
+//   - O says NO  ⇒ L says NO (L is a subgraph of O): definite.
+//   - O says YES and no deleted arc's source lies in u's O-cone ⇒ no
+//     u-path of O uses a deleted arc, so the witness survives in L:
+//     definite YES.
+//   - otherwise (a deletion touches the cone, or the probe budget ran
+//     out): escalate to a BFS over the live paged adjacency, pruned by
+//     the snapshot's negative labels when the overlay holds no inserts.
+// With an insert-only overlay the YES case needs no cone scan, which is
+// the classic incremental special case.
+//
+// Threading: mutations and queries belong to one owner thread (they
+// touch the log's buffer pool, the overlay, the cache and the stats).
+// PublishSnapshot is the one cross-thread entry point — the background
+// IndexRebuilder hands rebuilt cores to it; the owner adopts the newest
+// pending core at its next query (or via AdoptPublishedSnapshot), which
+// bumps the cache generation and rebases the overlay in the same step,
+// so no answer computed against a retired snapshot is ever served.
+class DynamicReachService {
+ public:
+  using Answer = ReachService::Answer;
+  using Epoch = MutationLog::Epoch;
+
+  // Builds the initial snapshot from the log's current state. The log
+  // must outlive the service; the service becomes the owner-thread user
+  // of the log's overlay and paged store.
+  static Result<std::unique_ptr<DynamicReachService>> Create(
+      MutationLog* log, const DynamicReachOptions& options = {});
+
+  // Mutations: forwarded to the log (same preconditions), then the
+  // answer cache is invalidated. Return the new epoch.
+  Result<Epoch> InsertArc(NodeId src, NodeId dst);
+  Result<Epoch> DeleteArc(NodeId src, NodeId dst);
+
+  // Answers reaches(src, dst) on the live graph at the current epoch.
+  // Adopts any pending snapshot first. InvalidArgument on out-of-range
+  // endpoints.
+  Result<Answer> Query(NodeId src, NodeId dst);
+
+  // Rebuilder-facing publication slot (thread-safe). `epoch` is the log
+  // epoch `core` was built from; `rebuild_seconds` is attributed to the
+  // stats when the owner adopts. The core must cover the log's node
+  // universe.
+  void PublishSnapshot(std::shared_ptr<const ReachCore> core, Epoch epoch,
+                       double rebuild_seconds);
+
+  // Owner thread: installs the newest pending snapshot, if any. Returns
+  // true when a snapshot was adopted (cache generation bumped, overlay
+  // rebased to the new epoch).
+  bool AdoptPublishedSnapshot();
+
+  const DynamicStats& stats() const { return stats_; }
+  // Per-stage serving breakdown; the dynamic paths record under
+  // ReachStage::kOverlayPatched / kLiveBfs.
+  const ReachStats& serving_stats() const { return serving_stats_; }
+  Epoch snapshot_epoch() const { return snapshot_epoch_; }
+  const ReachCore& snapshot() const { return *snapshot_; }
+  MutationLog* log() { return log_; }
+  NodeId num_nodes() const { return log_->num_nodes(); }
+
+ private:
+  DynamicReachService() : cache_(0) {}
+
+  // Definite snapshot reachability between condensed ids (labels, then
+  // adjacency, then unbounded pruned BFS). Charges one overlay probe.
+  bool SnapshotReaches(NodeId cu, NodeId cv);
+
+  // The patched path described above. kUnknown means "escalate".
+  ReachIndex::Verdict PatchedDecide(NodeId u, NodeId v);
+
+  // Escalation: BFS over the live paged adjacency, original node ids.
+  Result<bool> LiveReaches(NodeId u, NodeId v);
+
+  MutationLog* log_ = nullptr;
+  DynamicReachOptions options_;
+
+  std::shared_ptr<const ReachCore> snapshot_;
+  Epoch snapshot_epoch_ = 0;
+
+  ReachAnswerCache cache_;
+  ReachIndex::SearchScratch probe_scratch_;  // snapshot-probe BFS buffers
+  EpochSet patched_visited_;                 // condensed entry-point set
+  std::vector<NodeId> patched_entries_;      // visit order of the above
+  EpochSet live_visited_;                    // original-id BFS set
+  std::vector<NodeId> live_frontier_;
+  std::vector<NodeId> live_row_;             // ReadSuccessors buffer
+
+  DynamicStats stats_;
+  ReachStats serving_stats_;
+
+  // Publication slot (the only cross-thread state).
+  std::mutex pending_mu_;
+  std::shared_ptr<const ReachCore> pending_core_;
+  Epoch pending_epoch_ = 0;
+  double pending_seconds_sum_ = 0.0;
+  double pending_seconds_last_ = 0.0;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_DYNAMIC_REACH_SERVICE_H_

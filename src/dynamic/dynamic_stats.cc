@@ -1,0 +1,21 @@
+#include "dynamic/dynamic_stats.h"
+
+#include <sstream>
+
+namespace tcdb {
+
+std::string DynamicStats::ToString() const {
+  std::ostringstream out;
+  out << "epoch " << epoch << " (snapshot " << snapshot_epoch << "), "
+      << arcs_inserted << " inserts / " << arcs_deleted << " deletes, "
+      << "overlay +" << overlay_inserted << " -" << overlay_deleted << ", "
+      << queries << " queries (" << snapshot_served << " snapshot, "
+      << overlay_served << " patched, " << escalations << " escalated, "
+      << "rate " << EscalationRate() << "), " << overlay_probes
+      << " probes, " << snapshots_adopted << " swaps, rebuilds "
+      << rebuild_seconds_total << "s total / " << last_rebuild_seconds
+      << "s last\n";
+  return out.str();
+}
+
+}  // namespace tcdb

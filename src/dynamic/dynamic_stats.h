@@ -1,0 +1,59 @@
+#ifndef TCDB_DYNAMIC_DYNAMIC_STATS_H_
+#define TCDB_DYNAMIC_DYNAMIC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcdb {
+
+// Per-service observability of the dynamic layer: how mutations
+// accumulate, how often queries are served from the patched snapshot
+// versus escalated to the live graph, and what the rebuild/swap cadence
+// looks like. Complements ReachStats (which attributes each answer to its
+// serving-ladder rung — kOverlayPatched and kLiveBfs are the dynamic
+// rungs); this struct carries the dynamic-only aggregates a stage
+// breakdown cannot express. Owner-thread mutable, like ReachStats.
+struct DynamicStats {
+  // Mutation traffic accepted by the log through this service.
+  int64_t arcs_inserted = 0;
+  int64_t arcs_deleted = 0;
+
+  // Query traffic by path. snapshot_served: the overlay was empty and the
+  // pure frozen-snapshot ladder answered. overlay_served: the patched
+  // over-approximation BFS decided (either polarity). escalations: a
+  // deletion touched the query's cone (or the patch budget ran out) and
+  // the live graph was searched.
+  int64_t queries = 0;
+  int64_t snapshot_served = 0;
+  int64_t overlay_served = 0;
+  int64_t escalations = 0;
+
+  // Definite snapshot-reachability probes spent inside patched BFS and
+  // escalation-relevance checks (the unit the patch budget bounds).
+  int64_t overlay_probes = 0;
+
+  // Rebuild/swap cadence: snapshots adopted by the query owner, rebuild
+  // wall-clock totals as reported by the publisher.
+  int64_t snapshots_adopted = 0;
+  double rebuild_seconds_total = 0.0;
+  double last_rebuild_seconds = 0.0;
+
+  // Current positions (refreshed on every mutation/query/adoption).
+  int64_t epoch = 0;
+  int64_t snapshot_epoch = 0;
+  int64_t overlay_inserted = 0;
+  int64_t overlay_deleted = 0;
+
+  double EscalationRate() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(escalations) /
+                     static_cast<double>(queries);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_DYNAMIC_STATS_H_

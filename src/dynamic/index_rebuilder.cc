@@ -1,0 +1,97 @@
+#include "dynamic/index_rebuilder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcdb {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+IndexRebuilder::IndexRebuilder(MutationLog* log, Publish publish,
+                               IndexRebuilderOptions options)
+    : log_(log), publish_(std::move(publish)), options_(options) {
+  TCDB_CHECK(log_ != nullptr);
+  TCDB_CHECK(publish_ != nullptr);
+  TCDB_CHECK_GE(options_.mutations_per_rebuild, 1);
+}
+
+IndexRebuilder::~IndexRebuilder() { Stop(); }
+
+void IndexRebuilder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { ThreadLoop(); });
+}
+
+void IndexRebuilder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    wake_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+Status IndexRebuilder::RebuildNow() { return MaybeRebuild(/*force=*/true); }
+
+int64_t IndexRebuilder::rebuilds_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_published_;
+}
+
+Status IndexRebuilder::MaybeRebuild(bool force) {
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  MutationLog::Epoch last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = last_published_epoch_;
+  }
+  const MutationLog::Epoch now = log_->current_epoch();
+  if (now <= last) return Status::Ok();  // nothing new since the last build
+  if (!force && now - last < options_.mutations_per_rebuild) {
+    return Status::Ok();
+  }
+  const MutationLog::ArcSnapshot snap = log_->SnapshotArcs();
+  const double start = MonotonicSeconds();
+  TCDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ReachCore> core,
+      ReachCore::Build(snap.arcs, log_->num_nodes(), options_.index));
+  const double seconds = MonotonicSeconds() - start;
+  publish_(std::move(core), snap.epoch, seconds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_published_epoch_ = std::max(last_published_epoch_, snap.epoch);
+    ++rebuilds_published_;
+  }
+  return Status::Ok();
+}
+
+void IndexRebuilder::ThreadLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock, options_.poll_interval,
+                     [&] { return stopping_; });
+      if (stopping_) return;
+    }
+    const Status status = MaybeRebuild(/*force=*/false);
+    // Build inputs come straight from the log, which validated them; a
+    // failure here is a programming error, not an operational one.
+    TCDB_CHECK(status.ok()) << status.ToString();
+  }
+}
+
+}  // namespace tcdb

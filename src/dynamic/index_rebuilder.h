@@ -1,0 +1,99 @@
+#ifndef TCDB_DYNAMIC_INDEX_REBUILDER_H_
+#define TCDB_DYNAMIC_INDEX_REBUILDER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "dynamic/mutation_log.h"
+#include "reach/reach_service.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct IndexRebuilderOptions {
+  // Rebuild once this many mutations have accumulated since the last
+  // published build.
+  int64_t mutations_per_rebuild = 256;
+  // How often the background thread re-checks the trigger.
+  std::chrono::milliseconds poll_interval{2};
+  ReachIndexOptions index;
+};
+
+// Background index maintenance: watches a MutationLog and, once enough
+// mutations have accumulated past the last rebuild, snapshots the live
+// arc set, builds a fresh ReachCore off-thread, and hands it to the
+// publish callback — DynamicReachService::PublishSnapshot for the
+// single-threaded stack, ReachServer::SwapCore for the sharded one. The
+// serving side never blocks: the build runs entirely on this thread, and
+// publication is a pointer hand-off.
+//
+// The rebuild trigger is the epoch delta (log position now vs. the last
+// published build), not the overlay size: the log position is safe to
+// read from this thread, monotone, and independent of how much of the
+// delta happens to cancel out.
+class IndexRebuilder {
+ public:
+  using Options = IndexRebuilderOptions;
+
+  // `publish(core, epoch, rebuild_seconds)` receives every finished
+  // build; it runs on the rebuilder thread and must be thread-safe
+  // against the serving side (both provided publishers are).
+  using Publish = std::function<void(std::shared_ptr<const ReachCore>,
+                                     MutationLog::Epoch, double)>;
+
+  // The log and the publish target must outlive the rebuilder.
+  IndexRebuilder(MutationLog* log, Publish publish,
+                 IndexRebuilderOptions options = {});
+  ~IndexRebuilder();  // Stop()
+
+  IndexRebuilder(const IndexRebuilder&) = delete;
+  IndexRebuilder& operator=(const IndexRebuilder&) = delete;
+
+  // Starts the background thread. Idempotent.
+  void Start();
+  // Stops and joins it. Idempotent; a build in flight completes (and
+  // publishes) first.
+  void Stop();
+
+  // Synchronous rebuild at the log's current epoch, regardless of the
+  // trigger — the deterministic path tests and the stress harness drive.
+  // Skips (Ok, no publish) when the epoch already matches the last
+  // published build. Callable with or without the thread running (builds
+  // serialize on an internal mutex).
+  Status RebuildNow();
+
+  // Builds published so far.
+  int64_t rebuilds_published() const;
+
+ private:
+  // Builds + publishes at the log's current epoch if it moved past
+  // `last_published_epoch_`. Returns the build status.
+  Status MaybeRebuild(bool force);
+
+  void ThreadLoop();
+
+  MutationLog* log_;
+  Publish publish_;
+  Options options_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable wake_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+  // The serving side builds its own snapshot when it opens, so epoch 0
+  // (the base graph) counts as already published.
+  MutationLog::Epoch last_published_epoch_ = 0;
+  int64_t rebuilds_published_ = 0;
+
+  std::mutex build_mu_;  // serializes RebuildNow vs. the thread's builds
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_INDEX_REBUILDER_H_

@@ -1,0 +1,152 @@
+#include "dynamic/mutation_log.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace tcdb {
+
+Result<std::unique_ptr<MutationLog>> MutationLog::Open(
+    const ArcList& base_arcs, NodeId num_nodes,
+    const MutationLogOptions& options) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  if (options.buffer_pages < 4) {
+    return Status::InvalidArgument("mutation log needs >= 4 buffer pages");
+  }
+  auto log = std::unique_ptr<MutationLog>(new MutationLog());
+  log->num_nodes_ = num_nodes;
+  log->pager_ = std::make_unique<Pager>();
+  const FileId file = log->pager_->CreateFile("dynamic-succ");
+  log->buffers_ = std::make_unique<BufferManager>(
+      log->pager_.get(), options.buffer_pages, options.page_policy);
+  log->store_ = std::make_unique<SuccessorListStore>(log->buffers_.get(),
+                                                     file);
+  log->store_->Reset(num_nodes);
+
+  // Collapse duplicates, validate, and bulk-load the mirror in node order
+  // (one AppendMany per non-empty list keeps the initial clustering).
+  std::vector<std::vector<NodeId>> adjacency(
+      static_cast<size_t>(num_nodes));
+  for (const Arc& arc : base_arcs) {
+    TCDB_RETURN_IF_ERROR(log->ValidateEndpoints(arc.src, arc.dst));
+    if (log->live_.insert(Key(arc.src, arc.dst)).second) {
+      adjacency[static_cast<size_t>(arc.src)].push_back(arc.dst);
+    }
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::vector<NodeId>& row = adjacency[static_cast<size_t>(v)];
+    if (row.empty()) continue;
+    std::sort(row.begin(), row.end());
+    TCDB_RETURN_IF_ERROR(log->store_->AppendMany(v, row));
+  }
+  return log;
+}
+
+Status MutationLog::ValidateEndpoints(NodeId src, NodeId dst) const {
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return Status::InvalidArgument(
+        "arc endpoint out of range: (" + std::to_string(src) + ", " +
+        std::to_string(dst) + ") with " + std::to_string(num_nodes_) +
+        " nodes");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop arc (" + std::to_string(src) +
+                                   ", " + std::to_string(dst) + ")");
+  }
+  return Status::Ok();
+}
+
+Result<MutationLog::Epoch> MutationLog::InsertArc(NodeId src, NodeId dst) {
+  TCDB_RETURN_IF_ERROR(ValidateEndpoints(src, dst));
+  // The paged store is touched outside mu_ — mutations are owner-thread
+  // only; mu_ exists for the cross-thread readers of live_/entries_.
+  Epoch epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!live_.insert(Key(src, dst)).second) {
+      return Status::FailedPrecondition(
+          "arc (" + std::to_string(src) + ", " + std::to_string(dst) +
+          ") is already live");
+    }
+    entries_.push_back(Entry{Arc{src, dst}, /*insert=*/true});
+    epoch = static_cast<Epoch>(entries_.size());
+  }
+  TCDB_RETURN_IF_ERROR(store_->Append(src, dst));
+  overlay_.RecordInsert(src, dst);
+  return epoch;
+}
+
+Result<MutationLog::Epoch> MutationLog::DeleteArc(NodeId src, NodeId dst) {
+  TCDB_RETURN_IF_ERROR(ValidateEndpoints(src, dst));
+  Epoch epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (live_.erase(Key(src, dst)) == 0) {
+      return Status::NotFound("arc (" + std::to_string(src) + ", " +
+                              std::to_string(dst) + ") is not live");
+    }
+    entries_.push_back(Entry{Arc{src, dst}, /*insert=*/false});
+    epoch = static_cast<Epoch>(entries_.size());
+  }
+  TCDB_RETURN_IF_ERROR(store_->Remove(src, dst));
+  overlay_.RecordDelete(src, dst);
+  return epoch;
+}
+
+bool MutationLog::HasArc(NodeId src, NodeId dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.contains(Key(src, dst));
+}
+
+MutationLog::Epoch MutationLog::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<Epoch>(entries_.size());
+}
+
+int64_t MutationLog::num_live_arcs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(live_.size());
+}
+
+MutationLog::ArcSnapshot MutationLog::SnapshotArcs() const {
+  ArcSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.arcs.reserve(live_.size());
+    for (const uint64_t key : live_) {
+      snapshot.arcs.push_back(
+          Arc{static_cast<int32_t>(key >> 32),
+              static_cast<int32_t>(key & 0xffffffffu)});
+    }
+    snapshot.epoch = static_cast<Epoch>(entries_.size());
+  }
+  // Hash order is not deterministic; rebuild inputs must be.
+  std::sort(snapshot.arcs.begin(), snapshot.arcs.end());
+  return snapshot;
+}
+
+Status MutationLog::ReadSuccessors(NodeId src,
+                                   std::vector<NodeId>* out) const {
+  TCDB_CHECK(src >= 0 && src < num_nodes_);
+  return store_->Read(src, out);
+}
+
+void MutationLog::RebaseOverlay(Epoch snapshot_epoch) {
+  overlay_.Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  TCDB_CHECK(snapshot_epoch >= 0 &&
+             snapshot_epoch <= static_cast<Epoch>(entries_.size()));
+  for (size_t i = static_cast<size_t>(snapshot_epoch); i < entries_.size();
+       ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.insert) {
+      overlay_.RecordInsert(entry.arc.src, entry.arc.dst);
+    } else {
+      overlay_.RecordDelete(entry.arc.src, entry.arc.dst);
+    }
+  }
+}
+
+}  // namespace tcdb

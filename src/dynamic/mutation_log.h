@@ -1,0 +1,125 @@
+#ifndef TCDB_DYNAMIC_MUTATION_LOG_H_
+#define TCDB_DYNAMIC_MUTATION_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "dynamic/delta_overlay.h"
+#include "graph/digraph.h"
+#include "storage/buffer_manager.h"
+#include "storage/pager.h"
+#include "succ/successor_list_store.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct MutationLogOptions {
+  // Buffer-pool frames backing the successor-list mirror.
+  size_t buffer_pages = 64;
+  PagePolicy page_policy = PagePolicy::kLru;
+};
+
+// The single source of truth for a fully dynamic graph: an append-only
+// sequence of InsertArc/DeleteArc mutations over a base arc set, each
+// stamped with a monotonically increasing epoch (epoch e is the state
+// after the first e mutations; epoch 0 is the base graph).
+//
+// Every accepted mutation is applied in three places at once:
+//   1. the in-memory live arc set (cross-thread readable: HasArc,
+//      SnapshotArcs for the index rebuilder),
+//   2. the paged successor-list mirror (SuccessorListStore through the
+//      PageGuard pin discipline — the I/O-accounted adjacency that
+//      escalated live searches traverse),
+//   3. the DeltaOverlay (the net live-vs-snapshot difference the patched
+//      query path consults).
+// so the store and the overlay never drift from the log.
+//
+// Thread safety: mutations, ReadSuccessors, overlay access and
+// RebaseOverlay belong to the owner thread (they touch the buffer pool
+// and the overlay). HasArc / current_epoch / SnapshotArcs are safe from
+// any thread — that is the surface the background IndexRebuilder reads.
+class MutationLog {
+ public:
+  using Epoch = int64_t;
+  using Options = MutationLogOptions;
+
+  struct Entry {
+    Arc arc;
+    bool insert = true;  // false: delete
+  };
+
+  struct ArcSnapshot {
+    ArcList arcs;  // sorted by (src, dst) — deterministic rebuild input
+    Epoch epoch = 0;
+  };
+
+  // `base_arcs` may be cyclic and unsorted; duplicates collapse. Endpoint
+  // range is validated. The paged mirror is populated here (one list per
+  // node).
+  static Result<std::unique_ptr<MutationLog>> Open(
+      const ArcList& base_arcs, NodeId num_nodes,
+      const MutationLogOptions& options = {});
+
+  // Appends one mutation and applies it everywhere. InsertArc fails with
+  // FailedPrecondition when the arc is already live and InvalidArgument on
+  // a self-loop or out-of-range endpoint; DeleteArc fails with NotFound
+  // when the arc is not live. On success returns the new epoch.
+  Result<Epoch> InsertArc(NodeId src, NodeId dst);
+  Result<Epoch> DeleteArc(NodeId src, NodeId dst);
+
+  bool HasArc(NodeId src, NodeId dst) const;
+  Epoch current_epoch() const;
+  NodeId num_nodes() const { return num_nodes_; }
+  int64_t num_live_arcs() const;
+
+  // Consistent (arc set, epoch) copy for an index rebuild. Safe from any
+  // thread; never blocks mutations for longer than the copy.
+  ArcSnapshot SnapshotArcs() const;
+
+  // Live out-neighbours of `src` through the paged mirror (appended to
+  // `out`, unsorted). Owner thread; every page touched is I/O-accounted.
+  Status ReadSuccessors(NodeId src, std::vector<NodeId>* out) const;
+
+  // Re-derives the overlay for a new serving snapshot: clears it and
+  // replays exactly the log suffix with epoch > `snapshot_epoch`. Called
+  // by the query owner when it adopts a rebuilt index. (Pruning the
+  // existing overlay in place would be wrong: insert-then-absorbed-by-
+  // snapshot-then-deleted must become a tombstone, which cancellation
+  // against the stale baseline would erase.)
+  void RebaseOverlay(Epoch snapshot_epoch);
+
+  const DeltaOverlay& overlay() const { return overlay_; }
+  const SuccessorListStore& store() const { return *store_; }
+  BufferManager* buffers() { return buffers_.get(); }
+
+ private:
+  MutationLog() = default;
+
+  static uint64_t Key(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  Status ValidateEndpoints(NodeId src, NodeId dst) const;
+
+  NodeId num_nodes_ = 0;
+
+  // Paged live-adjacency mirror (owner thread).
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<SuccessorListStore> store_;
+
+  DeltaOverlay overlay_;  // owner thread
+
+  // Cross-thread state: the live arc set, the entry log, the epoch.
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> live_;
+  std::vector<Entry> entries_;  // entries_[i] produced epoch i + 1
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_MUTATION_LOG_H_

@@ -1,0 +1,281 @@
+#include "dynamic/mutation_stress.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dynamic/dynamic_reach_service.h"
+#include "dynamic/index_rebuilder.h"
+#include "dynamic/mutation_log.h"
+#include "graph/generator.h"
+#include "util/random.h"
+
+namespace tcdb {
+namespace {
+
+uint64_t ArcKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+// In-memory mirror of the live graph: the reference the dynamic stack is
+// differentially checked against. Supports O(1) arc membership, uniform
+// sampling of a live arc, and plain-BFS reachability.
+class ReferenceGraph {
+ public:
+  explicit ReferenceGraph(NodeId num_nodes)
+      : adjacency_(static_cast<size_t>(num_nodes)) {}
+
+  bool HasArc(NodeId src, NodeId dst) const {
+    return positions_.contains(ArcKey(src, dst));
+  }
+
+  void Insert(NodeId src, NodeId dst) {
+    positions_.emplace(ArcKey(src, dst), arcs_.size());
+    arcs_.push_back(Arc{src, dst});
+    adjacency_[static_cast<size_t>(src)].insert(dst);
+  }
+
+  void Delete(NodeId src, NodeId dst) {
+    const auto it = positions_.find(ArcKey(src, dst));
+    const size_t hole = it->second;
+    positions_.erase(it);
+    const Arc last = arcs_.back();
+    arcs_.pop_back();
+    if (hole < arcs_.size()) {
+      arcs_[hole] = last;
+      positions_[ArcKey(last.src, last.dst)] = hole;
+    }
+    adjacency_[static_cast<size_t>(src)].erase(dst);
+  }
+
+  size_t num_arcs() const { return arcs_.size(); }
+  const Arc& arc(size_t i) const { return arcs_[i]; }
+
+  bool Reaches(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    std::vector<NodeId> frontier{u};
+    std::unordered_set<NodeId> visited{u};
+    while (!frontier.empty()) {
+      const NodeId x = frontier.back();
+      frontier.pop_back();
+      for (const NodeId y : adjacency_[static_cast<size_t>(x)]) {
+        if (y == v) return true;
+        if (visited.insert(y).second) frontier.push_back(y);
+      }
+    }
+    return false;
+  }
+
+  std::vector<NodeId> SortedSuccessors(NodeId src) const {
+    const auto& row = adjacency_[static_cast<size_t>(src)];
+    std::vector<NodeId> sorted(row.begin(), row.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+ private:
+  std::vector<std::unordered_set<NodeId>> adjacency_;
+  std::vector<Arc> arcs_;  // for uniform live-arc sampling
+  std::unordered_map<uint64_t, size_t> positions_;
+};
+
+// One seed's trace. Returns Ok or the diagnostic of the first divergence
+// (with *op_index set to the failing op, or -1 for setup/final checks).
+Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
+                  const GeneratorParams& params, int32_t num_back_arcs,
+                  MutationStressReport* report, int64_t* op_index) {
+  *op_index = -1;
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 17);
+  const NodeId n = params.num_nodes;
+  const ArcList base =
+      num_back_arcs > 0 ? GenerateCyclicDigraph(params, num_back_arcs)
+                        : GenerateDag(params);
+
+  MutationLog::Options log_options;
+  log_options.buffer_pages =
+      static_cast<size_t>(rng.Uniform(4, 24));  // eviction pressure
+  TCDB_ASSIGN_OR_RETURN(std::unique_ptr<MutationLog> log,
+                        MutationLog::Open(base, n, log_options));
+
+  DynamicReachOptions service_options;
+  // Small budgets force the escalation path to run often.
+  service_options.overlay_probe_budget = rng.Uniform(64, 4096);
+  service_options.cache_capacity = static_cast<size_t>(rng.Uniform(0, 256));
+  TCDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<DynamicReachService> service,
+      DynamicReachService::Create(log.get(), service_options));
+
+  IndexRebuilder::Options rebuild_options;
+  rebuild_options.index = service_options.index;
+  DynamicReachService* service_ptr = service.get();
+  IndexRebuilder rebuilder(
+      log.get(),
+      [service_ptr](std::shared_ptr<const ReachCore> core,
+                    MutationLog::Epoch epoch, double seconds) {
+        service_ptr->PublishSnapshot(std::move(core), epoch, seconds);
+      },
+      rebuild_options);
+
+  ReferenceGraph reference(n);
+  for (const Arc& arc : base) {
+    if (!reference.HasArc(arc.src, arc.dst)) {
+      reference.Insert(arc.src, arc.dst);
+    }
+  }
+
+  for (int64_t op = 0; op < options.ops_per_seed; ++op) {
+    *op_index = op;
+    const double roll = static_cast<double>(rng.Uniform(0, 1'000'000)) /
+                        1'000'000.0;
+    if (roll < options.insert_share) {
+      // Draw a non-live, non-loop arc (give up after a few tries on
+      // dense graphs and fall through to a query).
+      NodeId src = -1;
+      NodeId dst = -1;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const NodeId s = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        const NodeId d = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        if (s == d || reference.HasArc(s, d)) continue;
+        src = s;
+        dst = d;
+        break;
+      }
+      if (src >= 0) {
+        const Result<MutationLog::Epoch> epoch =
+            service->InsertArc(src, dst);
+        if (!epoch.ok()) {
+          return Status::Internal("InsertArc(" + std::to_string(src) +
+                                  ", " + std::to_string(dst) +
+                                  ") failed: " + epoch.status().ToString());
+        }
+        reference.Insert(src, dst);
+        ++report->inserts;
+        continue;
+      }
+    } else if (roll < options.insert_share + options.delete_share &&
+               reference.num_arcs() > 0) {
+      const size_t pick = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(reference.num_arcs()) - 1));
+      const Arc arc = reference.arc(pick);
+      const Result<MutationLog::Epoch> epoch =
+          service->DeleteArc(arc.src, arc.dst);
+      if (!epoch.ok()) {
+        return Status::Internal("DeleteArc(" + std::to_string(arc.src) +
+                                ", " + std::to_string(arc.dst) +
+                                ") failed: " + epoch.status().ToString());
+      }
+      reference.Delete(arc.src, arc.dst);
+      ++report->deletes;
+      continue;
+    }
+    // Query op (also the fallthrough when a draw found nothing to do).
+    const NodeId u = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    TCDB_ASSIGN_OR_RETURN(const DynamicReachService::Answer answer,
+                          service->Query(u, v));
+    const bool expected = reference.Reaches(u, v);
+    if (answer.reachable != expected) {
+      return Status::Internal(
+          "reaches(" + std::to_string(u) + ", " + std::to_string(v) +
+          ") = " + (answer.reachable ? "true" : "false") + " via " +
+          ReachStageName(answer.stage) + ", reference says " +
+          (expected ? "true" : "false") + " at epoch " +
+          std::to_string(log->current_epoch()));
+    }
+    ++report->queries;
+
+    if (options.rebuild_every > 0 &&
+        (op + 1) % options.rebuild_every == 0) {
+      TCDB_RETURN_IF_ERROR(rebuilder.RebuildNow());
+    }
+  }
+
+  // Final structural checks: the paged mirror must agree with the
+  // reference arc-for-arc (this is what exercises Remove's hole-filling
+  // and page release), and the pool must hold no dangling pins.
+  *op_index = -1;
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> stored;
+    TCDB_RETURN_IF_ERROR(log->ReadSuccessors(v, &stored));
+    std::sort(stored.begin(), stored.end());
+    if (stored != reference.SortedSuccessors(v)) {
+      return Status::Internal("paged successor list of node " +
+                              std::to_string(v) +
+                              " diverged from the reference after the "
+                              "trace (store length " +
+                              std::to_string(stored.size()) + ")");
+    }
+  }
+  const auto audit = log->buffers()->AuditNoPins();
+  if (!audit.ok()) return Status::Internal(audit.message());
+
+  const DynamicStats& stats = service->stats();
+  report->snapshot_served += stats.snapshot_served;
+  report->overlay_served += stats.overlay_served;
+  report->escalations += stats.escalations;
+  report->snapshots_adopted += stats.snapshots_adopted;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string MutationStressFailure::ToString() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " n=" << num_nodes << " F=" << avg_out_degree
+      << " l=" << locality << " back=" << num_back_arcs;
+  if (op_index >= 0) out << " op=" << op_index;
+  out << ": " << diagnostic;
+  return out.str();
+}
+
+Status RunMutationStress(const MutationStressOptions& options,
+                         MutationStressReport* report,
+                         MutationStressFailure* failure) {
+  MutationStressReport local_report;
+  if (report == nullptr) report = &local_report;
+  for (int32_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.base_seed + static_cast<uint64_t>(i);
+    Rng rng(seed);
+    GeneratorParams params;
+    params.num_nodes = options.node_counts[static_cast<size_t>(rng.Uniform(
+        0, static_cast<int64_t>(options.node_counts.size()) - 1))];
+    params.avg_out_degree =
+        options.out_degrees[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(options.out_degrees.size()) - 1))];
+    params.locality = options.localities[static_cast<size_t>(rng.Uniform(
+        0, static_cast<int64_t>(options.localities.size()) - 1))];
+    params.seed = seed;
+    const int32_t num_back_arcs = static_cast<int32_t>(
+        rng.Bernoulli(0.5) ? rng.Uniform(1, params.num_nodes / 10) : 0);
+
+    int64_t op_index = -1;
+    const Status status =
+        RunOneSeed(options, seed, params, num_back_arcs, report, &op_index);
+    if (!status.ok()) {
+      MutationStressFailure local_failure;
+      if (failure == nullptr) failure = &local_failure;
+      failure->seed = seed;
+      failure->num_nodes = params.num_nodes;
+      failure->avg_out_degree = params.avg_out_degree;
+      failure->locality = params.locality;
+      failure->num_back_arcs = num_back_arcs;
+      failure->op_index = op_index;
+      failure->diagnostic = status.ToString();
+      return Status::Internal(failure->ToString());
+    }
+    ++report->seeds;
+    if (options.log) {
+      std::ostringstream line;
+      line << "seed " << seed << ": n=" << params.num_nodes
+           << " F=" << params.avg_out_degree << " l=" << params.locality
+           << " back=" << num_back_arcs << " ok";
+      options.log(line.str());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcdb

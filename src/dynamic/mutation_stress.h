@@ -1,0 +1,72 @@
+#ifndef TCDB_DYNAMIC_MUTATION_STRESS_H_
+#define TCDB_DYNAMIC_MUTATION_STRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcdb {
+
+// Configuration of one randomized mutation differential run. Each seed
+// draws a graph family point (n, F, l, back-arc count), then replays a
+// mixed insert/delete/query trace through the full dynamic stack
+// (MutationLog -> DynamicReachService with a periodically re-published
+// IndexRebuilder snapshot) while an in-memory adjacency mirror answers
+// every query by plain BFS. Any divergence — an answer, a mutation
+// status, or the final paged-store contents — fails the run. This is the
+// harness check.sh runs 50-seed under ASan/UBSan.
+struct MutationStressOptions {
+  int32_t num_seeds = 50;
+  uint64_t base_seed = 1;
+  int32_t ops_per_seed = 400;
+  // Sampled axes of the graph family grid.
+  std::vector<int32_t> node_counts = {60, 120, 240};
+  std::vector<int32_t> out_degrees = {2, 5, 20};
+  std::vector<int32_t> localities = {10, 50, 200};
+  // Per-op probability of an insert / a delete; the rest are queries.
+  double insert_share = 0.35;
+  double delete_share = 0.20;
+  // Ops between synchronous RebuildNow calls (0 = never rebuild, pure
+  // overlay growth).
+  int32_t rebuild_every = 64;
+  // Progress sink, called once per seed; may be empty.
+  std::function<void(const std::string&)> log;
+};
+
+// The failing configuration, plus the diagnostic of its failure.
+struct MutationStressFailure {
+  uint64_t seed = 0;
+  int32_t num_nodes = 0;
+  int32_t avg_out_degree = 0;
+  int32_t locality = 0;
+  int32_t num_back_arcs = 0;
+  int64_t op_index = -1;  // -1: failed outside the trace (setup/final)
+  std::string diagnostic;
+
+  std::string ToString() const;
+};
+
+struct MutationStressReport {
+  int64_t seeds = 0;
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t queries = 0;
+  int64_t snapshot_served = 0;
+  int64_t overlay_served = 0;
+  int64_t escalations = 0;
+  int64_t snapshots_adopted = 0;
+};
+
+// Runs the sweep. Ok when every seed's trace matched the reference mirror
+// end to end; Internal carrying `failure->ToString()` on the first
+// divergence. `report` and `failure` may be null.
+Status RunMutationStress(const MutationStressOptions& options,
+                         MutationStressReport* report,
+                         MutationStressFailure* failure);
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_MUTATION_STRESS_H_

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
-#include <utility>
 
 #include "util/check.h"
 
@@ -15,42 +14,63 @@ namespace tcdb {
 // skewed query stream resolves repeats without touching even the O(1)
 // labels, and — more importantly — without re-running a fallback search.
 // Capacity 0 disables caching entirely.
+//
+// Staleness guard: every entry is stamped with the cache's generation at
+// insertion time. When the world the answers were computed against changes
+// (a snapshot swap, a graph mutation), the owner calls BumpGeneration();
+// entries stamped with an older generation are treated as misses — and
+// eagerly erased — on Lookup, so an answer cached before a swap can never
+// be served after it, even though the entries themselves are not scanned
+// at bump time (the bump is O(1), the reclamation is lazy).
 class ReachAnswerCache {
  public:
   explicit ReachAnswerCache(size_t capacity) : capacity_(capacity) {}
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
+  uint64_t generation() const { return generation_; }
 
-  // Returns true and fills *answer on a hit (refreshing recency).
+  // Invalidates every currently cached entry in O(1): subsequent Lookups
+  // of pre-bump entries miss (and drop the stale entry).
+  void BumpGeneration() { ++generation_; }
+
+  // Returns true and fills *answer on a hit (refreshing recency). Entries
+  // from an older generation are misses; the stale entry is dropped.
   bool Lookup(int32_t src, int32_t dst, bool* answer) {
     if (capacity_ == 0) return false;
     const auto it = map_.find(Key(src, dst));
     if (it == map_.end()) return false;
+    if (it->second->generation != generation_) {
+      order_.erase(it->second);
+      map_.erase(it);
+      return false;
+    }
     order_.splice(order_.begin(), order_, it->second);
-    *answer = it->second->second;
+    *answer = it->second->answer;
     return true;
   }
 
   // Inserts or refreshes an answer, evicting the least recently used entry
   // when full. Returns true only when a new entry was stored — false when
   // caching is disabled or an existing entry was merely refreshed — so
-  // callers can count real insertions.
+  // callers can count real insertions. Refreshing also restamps the entry
+  // with the current generation (the caller just recomputed the answer).
   bool Insert(int32_t src, int32_t dst, bool answer) {
     if (capacity_ == 0) return false;
     const uint64_t key = Key(src, dst);
     const auto it = map_.find(key);
     if (it != map_.end()) {
-      it->second->second = answer;
+      it->second->answer = answer;
+      it->second->generation = generation_;
       order_.splice(order_.begin(), order_, it->second);
       return false;
     }
     if (map_.size() >= capacity_) {
       TCDB_DCHECK(!order_.empty());
-      map_.erase(order_.back().first);
+      map_.erase(order_.back().key);
       order_.pop_back();
     }
-    order_.emplace_front(key, answer);
+    order_.push_front(Entry{key, generation_, answer});
     map_.emplace(key, order_.begin());
     return true;
   }
@@ -61,16 +81,22 @@ class ReachAnswerCache {
   }
 
  private:
+  struct Entry {
+    uint64_t key;
+    uint64_t generation;
+    bool answer;
+  };
+
   static uint64_t Key(int32_t src, int32_t dst) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
            static_cast<uint32_t>(dst);
   }
 
   size_t capacity_;
-  // Most recent first; each entry is (key, answer).
-  std::list<std::pair<uint64_t, bool>> order_;
-  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, bool>>::iterator>
-      map_;
+  uint64_t generation_ = 0;
+  // Most recent first.
+  std::list<Entry> order_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
 };
 
 }  // namespace tcdb

@@ -29,6 +29,10 @@ const char* ReachStageName(ReachStage stage) {
       return "pruned-bfs";
     case ReachStage::kSessionFallback:
       return "session-srch";
+    case ReachStage::kOverlayPatched:
+      return "overlay-patched";
+    case ReachStage::kLiveBfs:
+      return "live-bfs";
   }
   return "?";
 }

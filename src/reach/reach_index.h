@@ -27,9 +27,12 @@ enum class ReachStage {
                         // (O(log out-degree) via the sorted CSR row)
   kPrunedBfs,           // bounded interval-pruned BFS fallback
   kSessionFallback,     // TcSession SRCH query (the closure machinery)
+  kOverlayPatched,      // dynamic: snapshot answer patched through the
+                        // inserted-arc overlay (DynamicReachService)
+  kLiveBfs,             // dynamic: escalated search on the live graph
 };
 inline constexpr int kNumReachStages =
-    static_cast<int>(ReachStage::kSessionFallback) + 1;
+    static_cast<int>(ReachStage::kLiveBfs) + 1;
 
 // Short stable name, e.g. "topo-negative" (used by --explain and the stats
 // table).

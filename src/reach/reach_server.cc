@@ -184,6 +184,52 @@ Status ReachServer::SubmitAndWait(
   return batch->status;
 }
 
+Status ReachServer::SwapCore(std::shared_ptr<const ReachCore> core,
+                             int64_t epoch) {
+  if (core == nullptr) {
+    return Status::InvalidArgument("SwapCore: null core");
+  }
+  if (core->num_input_nodes != core_->num_input_nodes) {
+    return Status::InvalidArgument(
+        "SwapCore: node universe mismatch (" +
+        std::to_string(core->num_input_nodes) + " vs " +
+        std::to_string(core_->num_input_nodes) + ")");
+  }
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  if (epoch < published_epoch_) {
+    return Status::InvalidArgument(
+        "SwapCore: epoch moved backwards (" + std::to_string(epoch) +
+        " < " + std::to_string(published_epoch_) + ")");
+  }
+  published_core_ = std::move(core);
+  published_epoch_ = epoch;
+  // Release-publish after the slot is written: a worker that observes the
+  // new generation is guaranteed to read this core (or a newer one).
+  swap_generation_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+int64_t ReachServer::published_epoch() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return published_epoch_;
+}
+
+void ReachServer::MaybeAdoptCore(Shard* shard) {
+  const uint64_t current =
+      swap_generation_.load(std::memory_order_acquire);
+  if (current == shard->adopted_generation) return;
+  std::shared_ptr<const ReachCore> core;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    core = published_core_;
+    generation = swap_generation_.load(std::memory_order_relaxed);
+  }
+  // SwapCore validated the universe, so adoption cannot fail.
+  TCDB_CHECK(shard->service->AdoptCore(std::move(core)).ok());
+  shard->adopted_generation = generation;
+}
+
 void ReachServer::WorkerLoop(Shard* shard) {
   for (;;) {
     Task task;
@@ -197,6 +243,11 @@ void ReachServer::WorkerLoop(Shard* shard) {
       shard->queue.pop_front();
       shard->not_full.notify_one();
     }
+    // Task boundary: catch up with the latest published core before
+    // serving, so no query runs against a retired snapshot once its shard
+    // has seen the swap (and the cache generation bump inside AdoptCore
+    // retires the old answers atomically with the adoption).
+    MaybeAdoptCore(shard);
     ExecuteTask(shard, &task);
   }
 }
@@ -284,6 +335,12 @@ ReachServerStats ReachServer::Snapshot() const {
     snapshot.max_queue_depth = std::max(snapshot.max_queue_depth, depth);
     snapshot.per_shard.push_back(std::move(stats));
     snapshot.per_shard_latency.push_back(std::move(latency));
+  }
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    snapshot.core_swaps = static_cast<int64_t>(
+        swap_generation_.load(std::memory_order_relaxed));
+    snapshot.published_epoch = published_epoch_;
   }
   return snapshot;
 }

@@ -1,6 +1,7 @@
 #ifndef TCDB_REACH_REACH_SERVER_H_
 #define TCDB_REACH_REACH_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,10 @@ struct ReachServerStats {
   // Queue high-water mark over all shards since Start (backpressure
   // check: never exceeds ReachServerOptions::queue_capacity).
   int64_t max_queue_depth = 0;
+  // Number of SwapCore publications since Start, and the epoch of the
+  // latest one (0 until the first swap).
+  int64_t core_swaps = 0;
+  int64_t published_epoch = 0;
 };
 
 // Multi-threaded serving layer over one shared reachability index.
@@ -103,6 +108,21 @@ class ReachServer {
   // pairs in input order — the determinism tests pin that equivalence.
   Result<std::vector<Answer>> QueryBatch(
       std::span<const std::pair<NodeId, NodeId>> pairs);
+
+  // Publishes a rebuilt core (the dynamic-update hot-swap path). Queries
+  // never block on the swap: each worker adopts the newest published core
+  // at its next task boundary — in-flight tasks finish against the core
+  // they started with; the per-shard answer caches are invalidated at
+  // adoption (generation bump), so no answer computed against a retired
+  // epoch is ever served after its shard swaps. `epoch` labels the
+  // mutation-log position the core was built from and must not decrease
+  // across swaps. The new core must cover the same input-node universe as
+  // the one the server started with; InvalidArgument otherwise.
+  // Thread-safe; callable concurrently with traffic.
+  Status SwapCore(std::shared_ptr<const ReachCore> core, int64_t epoch);
+
+  // Epoch of the latest SwapCore publication (0 before the first).
+  int64_t published_epoch() const;
 
   // Stops accepting work, drains all queued/in-flight tasks, joins the
   // workers. Idempotent; concurrent callers all block until shutdown
@@ -168,6 +188,10 @@ class ReachServer {
     LatencyHistogram latency;
     int64_t tasks = 0;
 
+    // Swap generation this shard's service last adopted (worker-thread
+    // only; compared against swap_generation_ at task boundaries).
+    uint64_t adopted_generation = 0;
+
     std::thread worker;
   };
 
@@ -187,9 +211,25 @@ class ReachServer {
   void WorkerLoop(Shard* shard);
   void ExecuteTask(Shard* shard, Task* task);
 
+  // Adopts the newest published core into the shard's service if the
+  // shard is behind. Runs on the shard's worker thread only.
+  void MaybeAdoptCore(Shard* shard);
+
+  // The core the server started with. Never reassigned (endpoint
+  // validation and num_nodes() read it from submitter threads); swapped
+  // cores are published through published_core_ instead and must share
+  // its input-node universe.
   std::shared_ptr<const ReachCore> core_;
   ReachServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Swap publication slot. swap_generation_ is the lock-free "is there
+  // anything new?" check on the worker hot path; the pointer itself is
+  // copied under swap_mu_.
+  mutable std::mutex swap_mu_;
+  std::shared_ptr<const ReachCore> published_core_;
+  int64_t published_epoch_ = 0;
+  std::atomic<uint64_t> swap_generation_{0};
 
   std::mutex stop_mu_;  // serializes Stop(); shard flags gate submission
   bool stopped_ = false;

@@ -60,6 +60,26 @@ std::unique_ptr<ReachService> ReachService::Create(
   return service;
 }
 
+Status ReachService::AdoptCore(std::shared_ptr<const ReachCore> core) {
+  if (core == nullptr) {
+    return Status::InvalidArgument("AdoptCore: null core");
+  }
+  if (core->num_input_nodes != core_->num_input_nodes) {
+    return Status::InvalidArgument(
+        "AdoptCore: node universe mismatch (" +
+        std::to_string(core->num_input_nodes) + " vs " +
+        std::to_string(core_->num_input_nodes) + ")");
+  }
+  core_ = std::move(core);
+  // Cached answers, BFS scratch sizing, and the fallback session's private
+  // closure state were all derived from the old core; none may leak into
+  // queries against the new one.
+  cache_.BumpGeneration();
+  scratch_ = ReachIndex::SearchScratch();
+  session_.reset();
+  return Status::Ok();
+}
+
 ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
                                                Answer* answer) {
   bool cached = false;

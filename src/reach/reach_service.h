@@ -100,6 +100,15 @@ class ReachService {
   // Answers one query. InvalidArgument on out-of-range endpoints.
   Result<Answer> Query(NodeId src, NodeId dst);
 
+  // Hot-swaps the shared core under this service (the dynamic rebuild
+  // path). The new core must cover the same input-node universe;
+  // InvalidArgument otherwise. Invalidates the answer cache (generation
+  // bump — entries computed against the old core can never be served
+  // again), drops the pruned-BFS scratch and the lazily opened fallback
+  // session (both are sized/derived from the old core). Owner-thread only,
+  // like every other mutating call.
+  Status AdoptCore(std::shared_ptr<const ReachCore> core);
+
   // Answers a batch. Beyond per-query caching, the fallback residue is
   // grouped by source so one pruned BFS (or one SRCH run) serves every
   // undecided destination of that source — the per-query cost of a miss

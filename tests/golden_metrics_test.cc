@@ -1,6 +1,7 @@
 // Golden-metrics regression suite: exact page-I/O and tuple counts for
-// one catalog family (G5: F=5, l=200, the paper's center point) across
-// three closure algorithms plus one partial query, pinned at the default
+// three catalog families — G5 (F=5, l=200, the paper's center point),
+// sparse G2 (F=2, l=200) and dense G11 (F=50, l=200) — across closure
+// algorithms plus one partial query each, pinned at the default
 // execution parameters (M=20, LRU). Every counter here is deterministic
 // by construction (see determinism_test.cc), so any drift — a changed
 // replacement decision, a lost marking, an extra restructuring pass — is
@@ -9,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench_support/catalog.h"
@@ -43,16 +46,40 @@ const Golden kGoldens[] = {
      43, 24, 8196, 2419, 2316952, 742122, 4812},
 };
 
-TEST(GoldenMetricsTest, G5CountersAreExactlyPinned) {
-  const GraphFamily& family = FamilyByName("G5");
+// Recorded from the seed implementation on G2 instance 0 (n=2000, F=2,
+// l=200) at M=20/LRU — the sparse end of the locality-200 column.
+const Golden kGoldensG2[] = {
+    {"BTC", Algorithm::kBtc, true,
+     16, 34, 4602, 2405, 1214529, 706694, 706694},
+    {"JKB2", Algorithm::kJkb2, true,
+     32, 42, 6919, 8677, 1304789, 706694, 706694},
+    {"BTC_PTC_s10", Algorithm::kBtc, false,
+     21, 6, 1183, 776, 232024, 147804, 3106},
+};
+
+// Recorded from the seed implementation on G11 instance 0 (n=2000, F=50,
+// l=200) at M=20/LRU — the dense end, where restructuring dominates the
+// I/O profile.
+const Golden kGoldensG11[] = {
+    {"BTC", Algorithm::kBtc, true,
+     322, 325, 9216, 5403, 4410654, 1950170, 1950170},
+    {"JKB2", Algorithm::kJkb2, true,
+     644, 333, 16263, 23199, 4302338, 1950170, 1950170},
+    {"BTC_PTC_s10", Algorithm::kBtc, false,
+     282, 257, 5921, 3690, 2913268, 1268040, 8730},
+};
+
+void CheckGoldens(const char* family_name,
+                  std::span<const Golden> goldens) {
+  const GraphFamily& family = FamilyByName(family_name);
   auto db = MakeCatalogDatabase(family, 0);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
 
   ExecOptions options;
   options.buffer_pages = 20;
 
-  for (const Golden& golden : kGoldens) {
-    SCOPED_TRACE(golden.name);
+  for (const Golden& golden : goldens) {
+    SCOPED_TRACE(std::string(family_name) + "/" + golden.name);
     const QuerySpec query =
         golden.full_closure
             ? QuerySpec::Full()
@@ -68,6 +95,18 @@ TEST(GoldenMetricsTest, G5CountersAreExactlyPinned) {
     EXPECT_EQ(m.distinct_tuples, golden.distinct_tuples);
     EXPECT_EQ(m.selected_tuples, golden.selected_tuples);
   }
+}
+
+TEST(GoldenMetricsTest, G5CountersAreExactlyPinned) {
+  CheckGoldens("G5", kGoldens);
+}
+
+TEST(GoldenMetricsTest, G2CountersAreExactlyPinned) {
+  CheckGoldens("G2", kGoldensG2);
+}
+
+TEST(GoldenMetricsTest, G11CountersAreExactlyPinned) {
+  CheckGoldens("G11", kGoldensG11);
 }
 
 // The three full-closure algorithms must agree on what the closure *is*

@@ -33,11 +33,18 @@ cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build "$SAN_DIR" -j "$(nproc)" --target tcdb_cli
 "$SAN_DIR"/tools/tcdb_cli stress --seeds 50 --base-seed 1
 
+# --- Sanitized mutation differential: 50 randomized mixed
+# insert/delete/query traces through the full dynamic stack
+# (MutationLog -> DynamicReachService -> IndexRebuilder), every answer
+# checked against a reference closure at that epoch.
+"$SAN_DIR"/tools/tcdb_cli mutate-stress --seeds 50 --base-seed 1
+
 # --- Concurrency tier under ThreadSanitizer: the multi-threaded
-# ReachServer tests (and the serve-bench CLI smoke) rerun in a separate
-# TSan tree — TSan cannot share a build with ASan, hence the third
-# directory.
+# ReachServer tests, the epoch-swap-under-load tests, and the CLI smokes
+# that drive worker/rebuilder threads rerun in a separate TSan tree —
+# TSan cannot share a build with ASan, hence the third directory.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target reach_server_test tcdb_cli
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+    --target reach_server_test snapshot_swap_test tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -8,15 +8,22 @@
 //   tcdb_cli --graph g.txt --analyze
 //   tcdb_cli --generate 2000,50,200,1 --advise --sources 1,2,3,4,5
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_support/stress.h"
 #include "core/advisor.h"
+#include "dynamic/dynamic_reach_service.h"
+#include "dynamic/index_rebuilder.h"
+#include "dynamic/mutation_log.h"
+#include "dynamic/mutation_stress.h"
 #include "core/cyclic.h"
 #include "core/generalized.h"
 #include "core/database.h"
@@ -26,6 +33,7 @@
 #include "reach/reach_server.h"
 #include "reach/reach_service.h"
 #include "relation/graph_io.h"
+#include "util/random.h"
 
 namespace tcdb {
 namespace {
@@ -36,6 +44,11 @@ void Usage() {
        tcdb_cli serve-bench <graph> [--shards N] [--clients N]
                 [--queries N] [--batch N] [--queue N] [--seed S]
        tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
+       tcdb_cli mutate-bench <graph> [--ops N] [--update-ratio R]
+                [--delete-share D] [--rebuild-every K] [--budget B]
+                [--seed S]
+       tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N]
+                [--verbose]
 
 graph input (one of):
   --graph FILE             arc-list file ("src dst" lines, '# nodes N' header)
@@ -86,6 +99,30 @@ stress subcommand (randomized differential storage stress):
     runs every algorithm x replacement policy on N randomized (graph,
     pool, query) configurations against the reference closure, with the
     buffer-pool audits armed; exits 1 with a shrunk repro on failure
+
+mutate-bench subcommand (dynamic serving under a mixed update workload):
+  tcdb_cli mutate-bench <graph> [flags]
+    <graph>                arc-list file, or gen:N,F,L,SEED
+    --ops N                total operations to replay (default 50000)
+    --update-ratio R       fraction of ops that mutate the graph
+                           (default 0.05); the rest are point queries
+    --delete-share D       fraction of mutations that delete a live arc
+                           (default 0.3); the rest insert a fresh one
+    --rebuild-every K      background rebuild trigger: snapshot the log
+                           and rebuild the index every K mutations
+                           (default 256)
+    --budget B             overlay probe budget per patched query
+                           (default 4096)
+    --seed S               workload seed (default 42)
+    prints ops/second, the dynamic counters (overlay size, escalation
+    rate, snapshots adopted) and the per-stage decision table
+
+mutate-stress subcommand (randomized differential mutation stress):
+  tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N] [--verbose]
+    replays N randomized mixed insert/delete/query traces across the
+    generator's graph families, checking every answer bit-for-bit
+    against a reference closure at that epoch, with background rebuilds
+    racing the trace; exits 1 with a repro line on failure
 )");
 }
 
@@ -319,6 +356,227 @@ int RunStress(int argc, char** argv) {
   return 0;
 }
 
+// `tcdb_cli mutate-bench <graph> [flags]`: dynamic serving throughput — a
+// DynamicReachService over a MutationLog, a background IndexRebuilder
+// racing the trace, and a reproducible mixed query/insert/delete workload.
+int RunMutateBench(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string graph_spec = argv[1];
+  int64_t num_ops = 50000;
+  double update_ratio = 0.05;
+  double delete_share = 0.3;
+  int64_t rebuild_every = 256;
+  int64_t budget = 4096;
+  uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--ops") {
+      num_ops = std::atoll(next());
+    } else if (flag == "--update-ratio") {
+      update_ratio = std::atof(next());
+    } else if (flag == "--delete-share") {
+      delete_share = std::atof(next());
+    } else if (flag == "--rebuild-every") {
+      rebuild_every = std::atoll(next());
+    } else if (flag == "--budget") {
+      budget = std::atoll(next());
+    } else if (flag == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown mutate-bench flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (update_ratio < 0.0 || update_ratio > 1.0 || delete_share < 0.0 ||
+      delete_share > 1.0 || rebuild_every < 1) {
+    std::fprintf(stderr, "mutate-bench: ratios must be in [0,1] and "
+                         "--rebuild-every >= 1\n");
+    return 2;
+  }
+
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes)) {
+    return code;
+  }
+  if (num_nodes < 2) {
+    std::fprintf(stderr, "mutate-bench needs at least 2 nodes\n");
+    return 2;
+  }
+
+  auto log = MutationLog::Open(arcs, num_nodes);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  DynamicReachOptions options;
+  options.overlay_probe_budget = budget;
+  auto service = DynamicReachService::Create(log.value().get(), options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  DynamicReachService* serving = service.value().get();
+
+  IndexRebuilderOptions rebuild_options;
+  rebuild_options.mutations_per_rebuild = rebuild_every;
+  IndexRebuilder rebuilder(
+      log.value().get(),
+      [serving](std::shared_ptr<const ReachCore> core,
+                MutationLog::Epoch epoch, double seconds) {
+        serving->PublishSnapshot(std::move(core), epoch, seconds);
+      },
+      rebuild_options);
+  rebuilder.Start();
+
+  // Uniform live-arc sampling for deletes: the deduplicated live set,
+  // kept in sync by swap-pop.
+  std::vector<Arc> live = log.value()->SnapshotArcs().arcs;
+  Rng rng(seed);
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t queries = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t op = 0; op < num_ops; ++op) {
+    bool handled = false;
+    if (rng.Bernoulli(update_ratio)) {
+      if (!live.empty() && rng.Bernoulli(delete_share)) {
+        const size_t pick = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+        const Arc victim = live[pick];
+        auto epoch = serving->DeleteArc(victim.src, victim.dst);
+        if (!epoch.ok()) {
+          std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+          return 1;
+        }
+        live[pick] = live.back();
+        live.pop_back();
+        ++deletes;
+        handled = true;
+      } else {
+        // A handful of draws almost always finds a non-live pair on the
+        // sparse study graphs; fall through to a query when it does not.
+        for (int attempt = 0; attempt < 32 && !handled; ++attempt) {
+          const NodeId src =
+              static_cast<NodeId>(rng.Uniform(0, num_nodes - 1));
+          const NodeId dst =
+              static_cast<NodeId>(rng.Uniform(0, num_nodes - 1));
+          if (src == dst || log.value()->HasArc(src, dst)) continue;
+          auto epoch = serving->InsertArc(src, dst);
+          if (!epoch.ok()) {
+            std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+            return 1;
+          }
+          live.push_back(Arc{src, dst});
+          ++inserts;
+          handled = true;
+        }
+      }
+    }
+    if (!handled) {
+      const NodeId src = static_cast<NodeId>(rng.Uniform(0, num_nodes - 1));
+      const NodeId dst = static_cast<NodeId>(rng.Uniform(0, num_nodes - 1));
+      auto answer = serving->Query(src, dst);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+        return 1;
+      }
+      ++queries;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  rebuilder.Stop();
+  serving->AdoptPublishedSnapshot();
+
+  if (const Status audit = log.value()->buffers()->AuditNoPins();
+      !audit.ok()) {
+    std::fprintf(stderr, "%s\n", audit.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "replayed %lld ops (%lld inserts, %lld deletes, %lld queries) in "
+      "%.3fs: %.0f ops/s\n",
+      static_cast<long long>(num_ops), static_cast<long long>(inserts),
+      static_cast<long long>(deletes), static_cast<long long>(queries),
+      seconds, seconds > 0 ? static_cast<double>(num_ops) / seconds : 0.0);
+  std::printf("rebuilds published %lld\n",
+              static_cast<long long>(rebuilder.rebuilds_published()));
+  std::cout << serving->stats().ToString();
+  std::cout << serving->serving_stats().ToString();
+  return 0;
+}
+
+// `tcdb_cli mutate-stress [flags]`: the randomized differential mutation
+// stress sweep (dynamic/mutation_stress.h).
+int RunMutateStress(int argc, char** argv) {
+  MutationStressOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--seeds") {
+      options.num_seeds = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--base-seed") {
+      options.base_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--ops") {
+      options.ops_per_seed = std::atoll(next());
+    } else if (flag == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown mutate-stress flag '%s'\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  if (verbose) {
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  MutationStressReport report;
+  MutationStressFailure failure;
+  const Status status = RunMutationStress(options, &report, &failure);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kInternal) {
+      std::fprintf(stderr, "FAIL %s\n", failure.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return 1;
+  }
+  std::printf(
+      "mutate-stress: %lld seeds, %lld inserts, %lld deletes, %lld queries "
+      "(%lld snapshot, %lld overlay, %lld escalated), %lld snapshots "
+      "adopted, all answers match\n",
+      static_cast<long long>(report.seeds),
+      static_cast<long long>(report.inserts),
+      static_cast<long long>(report.deletes),
+      static_cast<long long>(report.queries),
+      static_cast<long long>(report.snapshot_served),
+      static_cast<long long>(report.overlay_served),
+      static_cast<long long>(report.escalations),
+      static_cast<long long>(report.snapshots_adopted));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
@@ -328,6 +586,12 @@ int Run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "stress") == 0) {
     return RunStress(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "mutate-bench") == 0) {
+    return RunMutateBench(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "mutate-stress") == 0) {
+    return RunMutateStress(argc - 1, argv + 1);
   }
   std::string graph_file;
   std::vector<int64_t> generate_params;
