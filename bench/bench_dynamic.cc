@@ -12,11 +12,21 @@
 // searches the epoch-swap machinery exists to bound — tracks the delete
 // traffic between rebuilds.
 //
+// --wal routes the same trace through the durable stack (WAL + checkpoint
+// on the real filesystem, under a fresh mkdtemp directory), pricing the
+// write-ahead logging against the in-memory rows; --no-sync keeps the WAL
+// but drops the per-append fsync, isolating the fsync cost from the
+// framing cost.
+//
 // QUICK=1 shrinks the trace; DYNAMIC_OPS overrides it outright.
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +34,8 @@
 #include "dynamic/index_rebuilder.h"
 #include "dynamic/mutation_log.h"
 #include "graph/generator.h"
+#include "persist/durable_service.h"
+#include "persist/fs.h"
 #include "util/env.h"
 #include "util/random.h"
 #include "util/table_printer.h"
@@ -42,7 +54,7 @@ struct TraceResult {
   double seconds = 0.0;
 };
 
-int RunBench() {
+int RunBench(bool wal_mode, bool sync_each_append) {
   const int64_t num_ops =
       GetEnvInt("DYNAMIC_OPS", GetEnvBool("QUICK") ? 8000 : 60000);
   const std::vector<double> update_ratios = {0.0, 0.001, 0.01, 0.05, 0.2};
@@ -51,28 +63,71 @@ int RunBench() {
   std::cout << "Dynamic reachability serving: G5-style graph (n = "
             << kNodes << ", F = 5, l = 200), " << num_ops
             << " ops per row, rebuild every " << kRebuildEvery
-            << " mutations\n\n";
-  TablePrinter table({"update ratio", "inserts", "deletes", "queries",
-                      "snapshot %", "patched %", "escalated %", "swaps",
-                      "ops/s", "us/query"});
+            << " mutations";
+  if (wal_mode) {
+    std::cout << ", WAL-logged (fsync per append: "
+              << (sync_each_append ? "on" : "off") << ")";
+  }
+  std::cout << "\n\n";
+  std::vector<std::string> headers = {
+      "update ratio", "inserts", "deletes", "queries", "snapshot %",
+      "patched %",    "escalated %", "swaps", "ops/s", "us/query"};
+  if (wal_mode) {
+    headers.push_back("wal KB");
+    headers.push_back("us/mutation");
+  }
+  TablePrinter table(headers);
 
   for (const double ratio : update_ratios) {
     const ArcList arcs = GenerateDag({kNodes, 5, 200, 42});
-    auto log = MutationLog::Open(arcs, kNodes);
-    if (!log.ok()) {
-      std::cerr << log.status().ToString() << "\n";
-      return 1;
+
+    // One of the two stacks backs the trace; the serving surface and the
+    // rebuild loop are identical either way.
+    std::unique_ptr<MutationLog> plain_log;
+    std::unique_ptr<DynamicReachService> plain_service;
+    std::unique_ptr<DurableDynamicService> durable;
+    std::string scratch_dir;
+    MutationLog* log = nullptr;
+    DynamicReachService* serving = nullptr;
+    if (wal_mode) {
+      char tmpl[] = "/tmp/tcdb_wal_XXXXXX";
+      if (mkdtemp(tmpl) == nullptr) {
+        std::cerr << "mkdtemp failed\n";
+        return 1;
+      }
+      scratch_dir = tmpl;
+      DurableOptions options;
+      options.wal.sync_each_append = sync_each_append;
+      auto db = DurableDynamicService::Create(
+          PosixFs(), scratch_dir + "/db", arcs, kNodes, options);
+      if (!db.ok()) {
+        std::cerr << db.status().ToString() << "\n";
+        return 1;
+      }
+      durable = std::move(db.value());
+      log = durable->log();
+      serving = durable->service();
+    } else {
+      auto opened = MutationLog::Open(arcs, kNodes);
+      if (!opened.ok()) {
+        std::cerr << opened.status().ToString() << "\n";
+        return 1;
+      }
+      plain_log = std::move(opened.value());
+      auto service = DynamicReachService::Create(plain_log.get());
+      if (!service.ok()) {
+        std::cerr << service.status().ToString() << "\n";
+        return 1;
+      }
+      plain_service = std::move(service.value());
+      log = plain_log.get();
+      serving = plain_service.get();
     }
-    auto service = DynamicReachService::Create(log.value().get());
-    if (!service.ok()) {
-      std::cerr << service.status().ToString() << "\n";
-      return 1;
-    }
-    DynamicReachService* serving = service.value().get();
+
     IndexRebuilderOptions rebuild_options;
     rebuild_options.mutations_per_rebuild = kRebuildEvery;
     IndexRebuilder rebuilder(
-        log.value().get(),
+        log,
         [serving](std::shared_ptr<const ReachCore> core,
                   MutationLog::Epoch epoch, double seconds) {
           serving->PublishSnapshot(std::move(core), epoch, seconds);
@@ -80,9 +135,17 @@ int RunBench() {
         rebuild_options);
     rebuilder.Start();
 
-    std::vector<Arc> live = log.value()->SnapshotArcs().arcs;
+    const auto insert_arc = [&](NodeId u, NodeId v) {
+      return durable ? durable->InsertArc(u, v) : serving->InsertArc(u, v);
+    };
+    const auto delete_arc = [&](NodeId u, NodeId v) {
+      return durable ? durable->DeleteArc(u, v) : serving->DeleteArc(u, v);
+    };
+
+    std::vector<Arc> live = log->SnapshotArcs().arcs;
     Rng rng(7);
     TraceResult result;
+    double mutation_seconds = 0.0;
     WallTimer timer;
     for (int64_t op = 0; op < num_ops; ++op) {
       bool handled = false;
@@ -91,7 +154,9 @@ int RunBench() {
           const size_t pick = static_cast<size_t>(
               rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
           const Arc victim = live[pick];
-          if (!serving->DeleteArc(victim.src, victim.dst).ok()) return 1;
+          WallTimer mutation_timer;
+          if (!delete_arc(victim.src, victim.dst).ok()) return 1;
+          mutation_seconds += mutation_timer.ElapsedSeconds();
           live[pick] = live.back();
           live.pop_back();
           ++result.deletes;
@@ -102,8 +167,10 @@ int RunBench() {
                 static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
             const NodeId v =
                 static_cast<NodeId>(rng.Uniform(0, kNodes - 1));
-            if (u == v || log.value()->HasArc(u, v)) continue;
-            if (!serving->InsertArc(u, v).ok()) return 1;
+            if (u == v || log->HasArc(u, v)) continue;
+            WallTimer mutation_timer;
+            if (!insert_arc(u, v).ok()) return 1;
+            mutation_seconds += mutation_timer.ElapsedSeconds();
             live.push_back(Arc{u, v});
             ++result.inserts;
             handled = true;
@@ -124,20 +191,37 @@ int RunBench() {
     const double q =
         std::max<double>(1.0, static_cast<double>(stats.queries));
     const double query_seconds = serving->serving_stats().TotalSeconds();
-    table.NewRow()
-        .AddCell(ratio, 3)
-        .AddCell(result.inserts)
-        .AddCell(result.deletes)
-        .AddCell(result.queries)
-        .AddCell(100.0 * stats.snapshot_served / q, 1)
-        .AddCell(100.0 * stats.overlay_served / q, 1)
-        .AddCell(100.0 * stats.escalations / q, 1)
-        .AddCell(stats.snapshots_adopted)
-        .AddCell(static_cast<double>(num_ops) / result.seconds, 0)
-        .AddCell(query_seconds * 1e6 / q, 2);
+    auto& row = table.NewRow()
+                    .AddCell(ratio, 3)
+                    .AddCell(result.inserts)
+                    .AddCell(result.deletes)
+                    .AddCell(result.queries)
+                    .AddCell(100.0 * stats.snapshot_served / q, 1)
+                    .AddCell(100.0 * stats.overlay_served / q, 1)
+                    .AddCell(100.0 * stats.escalations / q, 1)
+                    .AddCell(stats.snapshots_adopted)
+                    .AddCell(static_cast<double>(num_ops) / result.seconds,
+                             0)
+                    .AddCell(query_seconds * 1e6 / q, 2);
+    if (wal_mode) {
+      const double mutations = std::max<double>(
+          1.0, static_cast<double>(result.inserts + result.deletes));
+      row.AddCell(static_cast<double>(
+                      durable->persist_stats().wal_bytes_appended) /
+                      1024.0,
+                  1)
+          .AddCell(mutation_seconds * 1e6 / mutations, 2);
+    }
+
+    if (!scratch_dir.empty()) {
+      durable.reset();
+      std::error_code ec;
+      std::filesystem::remove_all(scratch_dir, ec);
+    }
   }
   table.Print(std::cout);
-  table.WriteCsv("dynamic_update_sweep");
+  table.WriteCsv(wal_mode ? "dynamic_update_sweep_wal"
+                          : "dynamic_update_sweep");
 
   std::cout
       << "\nReading the table: \"snapshot %\" queries ran the pure frozen "
@@ -147,10 +231,34 @@ int RunBench() {
          "deletion in their cone (or blew the probe budget) and paid for "
          "a live BFS. Swaps count background rebuilds the serving thread "
          "adopted mid-trace.\n";
+  if (wal_mode) {
+    std::cout << "\"us/mutation\" is the full durable mutation path: "
+                 "validate, WAL append"
+              << (sync_each_append ? " + fsync" : " (no per-append fsync)")
+              << ", then the in-memory apply.\n";
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace tcdb
 
-int main() { return tcdb::RunBench(); }
+int main(int argc, char** argv) {
+  bool wal_mode = false;
+  bool sync_each_append = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal") == 0) {
+      wal_mode = true;
+    } else if (std::strcmp(argv[i], "--no-sync") == 0) {
+      sync_each_append = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_dynamic [--wal [--no-sync]]\n"
+                   "  --wal      route mutations through the durable "
+                   "stack (WAL on the real filesystem)\n"
+                   "  --no-sync  with --wal: skip the per-append fsync\n");
+      return 2;
+    }
+  }
+  return tcdb::RunBench(wal_mode, sync_each_append);
+}

@@ -19,7 +19,8 @@ double MonotonicSeconds() {
 }  // namespace
 
 Result<std::unique_ptr<DynamicReachService>> DynamicReachService::Create(
-    MutationLog* log, const DynamicReachOptions& options) {
+    MutationLog* log, const DynamicReachOptions& options,
+    std::shared_ptr<const ReachCore> snapshot) {
   TCDB_CHECK(log != nullptr);
   auto service =
       std::unique_ptr<DynamicReachService>(new DynamicReachService());
@@ -27,14 +28,27 @@ Result<std::unique_ptr<DynamicReachService>> DynamicReachService::Create(
   service->options_ = options;
   service->cache_ = ReachAnswerCache(options.cache_capacity);
 
-  const MutationLog::ArcSnapshot base = log->SnapshotArcs();
-  TCDB_ASSIGN_OR_RETURN(
-      service->snapshot_,
-      ReachCore::Build(base.arcs, log->num_nodes(), options.index));
-  service->snapshot_epoch_ = base.epoch;
-  service->stats_.snapshot_epoch = base.epoch;
+  if (snapshot != nullptr) {
+    // Recovery path: a deserialized core built at exactly the log's base
+    // state — adopt it and skip the label build.
+    if (snapshot->num_input_nodes != log->num_nodes()) {
+      return Status::InvalidArgument(
+          "preloaded snapshot covers " +
+          std::to_string(snapshot->num_input_nodes) + " nodes, log has " +
+          std::to_string(log->num_nodes()));
+    }
+    service->snapshot_ = std::move(snapshot);
+    service->snapshot_epoch_ = log->current_epoch();
+  } else {
+    const MutationLog::ArcSnapshot base = log->SnapshotArcs();
+    TCDB_ASSIGN_OR_RETURN(
+        service->snapshot_,
+        ReachCore::Build(base.arcs, log->num_nodes(), options.index));
+    service->snapshot_epoch_ = base.epoch;
+  }
+  service->stats_.snapshot_epoch = service->snapshot_epoch_;
   service->stats_.epoch = log->current_epoch();
-  log->RebaseOverlay(base.epoch);
+  log->RebaseOverlay(service->snapshot_epoch_);
   return service;
 }
 
@@ -54,6 +68,12 @@ Result<DynamicReachService::Epoch> DynamicReachService::DeleteArc(
   stats_.epoch = epoch;
   cache_.BumpGeneration();
   return epoch;
+}
+
+Result<DynamicReachService::Epoch> DynamicReachService::ApplyLogged(
+    const MutationLog::Entry& entry) {
+  return entry.insert ? InsertArc(entry.arc.src, entry.arc.dst)
+                      : DeleteArc(entry.arc.src, entry.arc.dst);
 }
 
 void DynamicReachService::PublishSnapshot(

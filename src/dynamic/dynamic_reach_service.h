@@ -63,14 +63,24 @@ class DynamicReachService {
 
   // Builds the initial snapshot from the log's current state. The log
   // must outlive the service; the service becomes the owner-thread user
-  // of the log's overlay and paged store.
+  // of the log's overlay and paged store. When `snapshot` is non-null it
+  // is adopted as the initial core instead of building one — the recovery
+  // path passes the deserialized checkpoint core, which must have been
+  // built at exactly the log's base state (and must cover the log's node
+  // universe; InvalidArgument otherwise). Its epoch is taken to be the
+  // log's current epoch.
   static Result<std::unique_ptr<DynamicReachService>> Create(
-      MutationLog* log, const DynamicReachOptions& options = {});
+      MutationLog* log, const DynamicReachOptions& options = {},
+      std::shared_ptr<const ReachCore> snapshot = nullptr);
 
   // Mutations: forwarded to the log (same preconditions), then the
   // answer cache is invalidated. Return the new epoch.
   Result<Epoch> InsertArc(NodeId src, NodeId dst);
   Result<Epoch> DeleteArc(NodeId src, NodeId dst);
+
+  // Replays one logged entry (the WAL recovery path): exactly InsertArc
+  // or DeleteArc.
+  Result<Epoch> ApplyLogged(const MutationLog::Entry& entry);
 
   // Answers reaches(src, dst) on the live graph at the current epoch.
   // Adopts any pending snapshot first. InvalidArgument on out-of-range
@@ -95,6 +105,11 @@ class DynamicReachService {
   const ReachStats& serving_stats() const { return serving_stats_; }
   Epoch snapshot_epoch() const { return snapshot_epoch_; }
   const ReachCore& snapshot() const { return *snapshot_; }
+  // Shared handle to the serving core (the checkpointer reuses it when the
+  // overlay is empty, avoiding a redundant rebuild).
+  std::shared_ptr<const ReachCore> snapshot_shared() const {
+    return snapshot_;
+  }
   MutationLog* log() { return log_; }
   NodeId num_nodes() const { return log_->num_nodes(); }
 

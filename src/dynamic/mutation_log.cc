@@ -4,7 +4,45 @@
 #include <string>
 #include <utility>
 
+#include "util/codec.h"
+
 namespace tcdb {
+
+void MutationLog::EncodeEntry(const Entry& entry, std::string* out) {
+  codec::PutU8(out, entry.insert ? 1 : 0);
+  codec::PutU32(out, static_cast<uint32_t>(entry.arc.src));
+  codec::PutU32(out, static_cast<uint32_t>(entry.arc.dst));
+}
+
+Result<MutationLog::Entry> MutationLog::DecodeEntry(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() != kEncodedEntryBytes) {
+    return Status::Corruption("mutation entry has " +
+                              std::to_string(bytes.size()) +
+                              " bytes, want " +
+                              std::to_string(kEncodedEntryBytes));
+  }
+  codec::Reader reader(bytes.data(), bytes.size());
+  uint8_t op = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  reader.ReadU8(&op);
+  reader.ReadU32(&src);
+  reader.ReadU32(&dst);
+  TCDB_CHECK(!reader.failed());
+  if (op > 1) {
+    return Status::Corruption("mutation entry has unknown op byte " +
+                              std::to_string(op));
+  }
+  Entry entry;
+  entry.insert = op == 1;
+  entry.arc.src = static_cast<int32_t>(src);
+  entry.arc.dst = static_cast<int32_t>(dst);
+  if (entry.arc.src < 0 || entry.arc.dst < 0) {
+    return Status::Corruption("mutation entry has negative node id");
+  }
+  return entry;
+}
 
 Result<std::unique_ptr<MutationLog>> MutationLog::Open(
     const ArcList& base_arcs, NodeId num_nodes,
@@ -15,9 +53,15 @@ Result<std::unique_ptr<MutationLog>> MutationLog::Open(
   if (options.buffer_pages < 4) {
     return Status::InvalidArgument("mutation log needs >= 4 buffer pages");
   }
+  if (options.base_epoch < 0) {
+    return Status::InvalidArgument("negative base epoch");
+  }
   auto log = std::unique_ptr<MutationLog>(new MutationLog());
   log->num_nodes_ = num_nodes;
-  log->pager_ = std::make_unique<Pager>();
+  log->base_epoch_ = options.base_epoch;
+  log->pager_ = options.make_device
+                    ? std::make_unique<Pager>(options.make_device())
+                    : std::make_unique<Pager>();
   const FileId file = log->pager_->CreateFile("dynamic-succ");
   log->buffers_ = std::make_unique<BufferManager>(
       log->pager_.get(), options.buffer_pages, options.page_policy);
@@ -71,7 +115,7 @@ Result<MutationLog::Epoch> MutationLog::InsertArc(NodeId src, NodeId dst) {
           ") is already live");
     }
     entries_.push_back(Entry{Arc{src, dst}, /*insert=*/true});
-    epoch = static_cast<Epoch>(entries_.size());
+    epoch = base_epoch_ + static_cast<Epoch>(entries_.size());
   }
   TCDB_RETURN_IF_ERROR(store_->Append(src, dst));
   overlay_.RecordInsert(src, dst);
@@ -88,7 +132,7 @@ Result<MutationLog::Epoch> MutationLog::DeleteArc(NodeId src, NodeId dst) {
                               std::to_string(dst) + ") is not live");
     }
     entries_.push_back(Entry{Arc{src, dst}, /*insert=*/false});
-    epoch = static_cast<Epoch>(entries_.size());
+    epoch = base_epoch_ + static_cast<Epoch>(entries_.size());
   }
   TCDB_RETURN_IF_ERROR(store_->Remove(src, dst));
   overlay_.RecordDelete(src, dst);
@@ -100,9 +144,14 @@ bool MutationLog::HasArc(NodeId src, NodeId dst) const {
   return live_.contains(Key(src, dst));
 }
 
+Result<MutationLog::Epoch> MutationLog::Apply(const Entry& entry) {
+  return entry.insert ? InsertArc(entry.arc.src, entry.arc.dst)
+                      : DeleteArc(entry.arc.src, entry.arc.dst);
+}
+
 MutationLog::Epoch MutationLog::current_epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<Epoch>(entries_.size());
+  return base_epoch_ + static_cast<Epoch>(entries_.size());
 }
 
 int64_t MutationLog::num_live_arcs() const {
@@ -120,7 +169,7 @@ MutationLog::ArcSnapshot MutationLog::SnapshotArcs() const {
           Arc{static_cast<int32_t>(key >> 32),
               static_cast<int32_t>(key & 0xffffffffu)});
     }
-    snapshot.epoch = static_cast<Epoch>(entries_.size());
+    snapshot.epoch = base_epoch_ + static_cast<Epoch>(entries_.size());
   }
   // Hash order is not deterministic; rebuild inputs must be.
   std::sort(snapshot.arcs.begin(), snapshot.arcs.end());
@@ -136,10 +185,11 @@ Status MutationLog::ReadSuccessors(NodeId src,
 void MutationLog::RebaseOverlay(Epoch snapshot_epoch) {
   overlay_.Clear();
   std::lock_guard<std::mutex> lock(mu_);
-  TCDB_CHECK(snapshot_epoch >= 0 &&
-             snapshot_epoch <= static_cast<Epoch>(entries_.size()));
-  for (size_t i = static_cast<size_t>(snapshot_epoch); i < entries_.size();
-       ++i) {
+  TCDB_CHECK(snapshot_epoch >= base_epoch_ &&
+             snapshot_epoch <=
+                 base_epoch_ + static_cast<Epoch>(entries_.size()));
+  for (size_t i = static_cast<size_t>(snapshot_epoch - base_epoch_);
+       i < entries_.size(); ++i) {
     const Entry& entry = entries_[i];
     if (entry.insert) {
       overlay_.RecordInsert(entry.arc.src, entry.arc.dst);

@@ -2,14 +2,18 @@
 #define TCDB_DYNAMIC_MUTATION_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "dynamic/delta_overlay.h"
 #include "graph/digraph.h"
 #include "storage/buffer_manager.h"
+#include "storage/page_device.h"
 #include "storage/pager.h"
 #include "succ/successor_list_store.h"
 #include "util/status.h"
@@ -20,12 +24,21 @@ struct MutationLogOptions {
   // Buffer-pool frames backing the successor-list mirror.
   size_t buffer_pages = 64;
   PagePolicy page_policy = PagePolicy::kLru;
+  // Epoch of the base arc set. 0 for a fresh graph; recovery passes the
+  // checkpoint epoch so post-restart epochs continue the pre-crash
+  // numbering (current_epoch = base_epoch + accepted mutations).
+  int64_t base_epoch = 0;
+  // Storage behind the successor-list mirror. Empty -> in-memory (the
+  // default, and the only mode the paper metrics ever see). The durable
+  // stack injects a file-backed device here.
+  std::function<std::unique_ptr<PageDevice>()> make_device;
 };
 
 // The single source of truth for a fully dynamic graph: an append-only
 // sequence of InsertArc/DeleteArc mutations over a base arc set, each
-// stamped with a monotonically increasing epoch (epoch e is the state
-// after the first e mutations; epoch 0 is the base graph).
+// stamped with a monotonically increasing epoch (epoch base_epoch + e is
+// the state after the first e mutations; epoch base_epoch — 0 for a fresh
+// graph, the checkpoint epoch after recovery — is the base arc set).
 //
 // Every accepted mutation is applied in three places at once:
 //   1. the in-memory live arc set (cross-thread readable: HasArc,
@@ -49,7 +62,18 @@ class MutationLog {
   struct Entry {
     Arc arc;
     bool insert = true;  // false: delete
+
+    bool operator==(const Entry&) const = default;
   };
+
+  // On-disk entry encoding: u8 op (1 insert / 0 delete), u32 src, u32 dst,
+  // all little-endian — 9 bytes, fixed width, endian-safe. This is the WAL
+  // record payload (src/persist/wal.h frames it with an epoch, a length
+  // and a CRC).
+  static constexpr size_t kEncodedEntryBytes = 9;
+  static void EncodeEntry(const Entry& entry, std::string* out);
+  // Corruption on a wrong size, an unknown op byte, or a negative node id.
+  static Result<Entry> DecodeEntry(std::span<const uint8_t> bytes);
 
   struct ArcSnapshot {
     ArcList arcs;  // sorted by (src, dst) — deterministic rebuild input
@@ -69,6 +93,10 @@ class MutationLog {
   // when the arc is not live. On success returns the new epoch.
   Result<Epoch> InsertArc(NodeId src, NodeId dst);
   Result<Epoch> DeleteArc(NodeId src, NodeId dst);
+
+  // Replays one logged entry (the WAL recovery path). Exactly
+  // entry.insert ? InsertArc(...) : DeleteArc(...).
+  Result<Epoch> Apply(const Entry& entry);
 
   bool HasArc(NodeId src, NodeId dst) const;
   Epoch current_epoch() const;
@@ -94,6 +122,9 @@ class MutationLog {
   const DeltaOverlay& overlay() const { return overlay_; }
   const SuccessorListStore& store() const { return *store_; }
   BufferManager* buffers() { return buffers_.get(); }
+  // The mirror's pager (owner thread). The durable stack reaches through
+  // here for the page device at checkpoint barriers.
+  Pager* pager() { return pager_.get(); }
 
  private:
   MutationLog() = default;
@@ -106,6 +137,7 @@ class MutationLog {
   Status ValidateEndpoints(NodeId src, NodeId dst) const;
 
   NodeId num_nodes_ = 0;
+  Epoch base_epoch_ = 0;
 
   // Paged live-adjacency mirror (owner thread).
   std::unique_ptr<Pager> pager_;
@@ -117,7 +149,8 @@ class MutationLog {
   // Cross-thread state: the live arc set, the entry log, the epoch.
   mutable std::mutex mu_;
   std::unordered_set<uint64_t> live_;
-  std::vector<Entry> entries_;  // entries_[i] produced epoch i + 1
+  // entries_[i] produced epoch base_epoch_ + i + 1.
+  std::vector<Entry> entries_;
 };
 
 }  // namespace tcdb

@@ -9,78 +9,12 @@
 #include "dynamic/dynamic_reach_service.h"
 #include "dynamic/index_rebuilder.h"
 #include "dynamic/mutation_log.h"
+#include "dynamic/reference_graph.h"
 #include "graph/generator.h"
 #include "util/random.h"
 
 namespace tcdb {
 namespace {
-
-uint64_t ArcKey(NodeId src, NodeId dst) {
-  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
-         static_cast<uint32_t>(dst);
-}
-
-// In-memory mirror of the live graph: the reference the dynamic stack is
-// differentially checked against. Supports O(1) arc membership, uniform
-// sampling of a live arc, and plain-BFS reachability.
-class ReferenceGraph {
- public:
-  explicit ReferenceGraph(NodeId num_nodes)
-      : adjacency_(static_cast<size_t>(num_nodes)) {}
-
-  bool HasArc(NodeId src, NodeId dst) const {
-    return positions_.contains(ArcKey(src, dst));
-  }
-
-  void Insert(NodeId src, NodeId dst) {
-    positions_.emplace(ArcKey(src, dst), arcs_.size());
-    arcs_.push_back(Arc{src, dst});
-    adjacency_[static_cast<size_t>(src)].insert(dst);
-  }
-
-  void Delete(NodeId src, NodeId dst) {
-    const auto it = positions_.find(ArcKey(src, dst));
-    const size_t hole = it->second;
-    positions_.erase(it);
-    const Arc last = arcs_.back();
-    arcs_.pop_back();
-    if (hole < arcs_.size()) {
-      arcs_[hole] = last;
-      positions_[ArcKey(last.src, last.dst)] = hole;
-    }
-    adjacency_[static_cast<size_t>(src)].erase(dst);
-  }
-
-  size_t num_arcs() const { return arcs_.size(); }
-  const Arc& arc(size_t i) const { return arcs_[i]; }
-
-  bool Reaches(NodeId u, NodeId v) const {
-    if (u == v) return true;
-    std::vector<NodeId> frontier{u};
-    std::unordered_set<NodeId> visited{u};
-    while (!frontier.empty()) {
-      const NodeId x = frontier.back();
-      frontier.pop_back();
-      for (const NodeId y : adjacency_[static_cast<size_t>(x)]) {
-        if (y == v) return true;
-        if (visited.insert(y).second) frontier.push_back(y);
-      }
-    }
-    return false;
-  }
-
-  std::vector<NodeId> SortedSuccessors(NodeId src) const {
-    const auto& row = adjacency_[static_cast<size_t>(src)];
-    std::vector<NodeId> sorted(row.begin(), row.end());
-    std::sort(sorted.begin(), sorted.end());
-    return sorted;
-  }
-
- private:
-  std::vector<std::unordered_set<NodeId>> adjacency_;
-  std::vector<Arc> arcs_;  // for uniform live-arc sampling
-  std::unordered_map<uint64_t, size_t> positions_;
-};
 
 // One seed's trace. Returns Ok or the diagnostic of the first divergence
 // (with *op_index set to the failing op, or -1 for setup/final checks).

@@ -1,0 +1,86 @@
+#ifndef TCDB_DYNAMIC_REFERENCE_GRAPH_H_
+#define TCDB_DYNAMIC_REFERENCE_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "relation/arc.h"
+
+namespace tcdb {
+
+// In-memory mirror of a live graph: the reference the dynamic and durable
+// stacks are differentially checked against (mutation_stress, crash
+// harness). Supports O(1) arc membership, uniform sampling of a live arc
+// (swap-with-last deletion keeps the arc array dense), and plain-BFS
+// reachability.
+class ReferenceGraph {
+ public:
+  explicit ReferenceGraph(NodeId num_nodes)
+      : adjacency_(static_cast<size_t>(num_nodes)) {}
+
+  bool HasArc(NodeId src, NodeId dst) const {
+    return positions_.contains(ArcKey(src, dst));
+  }
+
+  void Insert(NodeId src, NodeId dst) {
+    positions_.emplace(ArcKey(src, dst), arcs_.size());
+    arcs_.push_back(Arc{src, dst});
+    adjacency_[static_cast<size_t>(src)].insert(dst);
+  }
+
+  void Delete(NodeId src, NodeId dst) {
+    const auto it = positions_.find(ArcKey(src, dst));
+    const size_t hole = it->second;
+    positions_.erase(it);
+    const Arc last = arcs_.back();
+    arcs_.pop_back();
+    if (hole < arcs_.size()) {
+      arcs_[hole] = last;
+      positions_[ArcKey(last.src, last.dst)] = hole;
+    }
+    adjacency_[static_cast<size_t>(src)].erase(dst);
+  }
+
+  size_t num_arcs() const { return arcs_.size(); }
+  const Arc& arc(size_t i) const { return arcs_[i]; }
+
+  bool Reaches(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    std::vector<NodeId> frontier{u};
+    std::unordered_set<NodeId> visited{u};
+    while (!frontier.empty()) {
+      const NodeId x = frontier.back();
+      frontier.pop_back();
+      for (const NodeId y : adjacency_[static_cast<size_t>(x)]) {
+        if (y == v) return true;
+        if (visited.insert(y).second) frontier.push_back(y);
+      }
+    }
+    return false;
+  }
+
+  std::vector<NodeId> SortedSuccessors(NodeId src) const {
+    const auto& row = adjacency_[static_cast<size_t>(src)];
+    std::vector<NodeId> sorted(row.begin(), row.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+ private:
+  static uint64_t ArcKey(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  std::vector<std::unordered_set<NodeId>> adjacency_;
+  std::vector<Arc> arcs_;  // for uniform live-arc sampling
+  std::unordered_map<uint64_t, size_t> positions_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_REFERENCE_GRAPH_H_

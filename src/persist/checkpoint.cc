@@ -1,0 +1,197 @@
+#include "persist/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/crc32.h"
+
+namespace tcdb {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kTmpName[] = "checkpoint.tmp";
+
+}  // namespace
+
+std::string CheckpointName(int64_t epoch) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%020" PRId64, epoch);
+  return buf;
+}
+
+bool ParseCheckpointName(const std::string& name, int64_t* epoch) {
+  if (name.size() != 31 || name.compare(0, 11, "checkpoint-") != 0) {
+    return false;
+  }
+  int64_t value = 0;
+  for (size_t i = 11; i < 31; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+Status WriteCheckpoint(Fs* fs, const std::string& dir,
+                       const CheckpointImage& image,
+                       std::string* final_name) {
+  TCDB_CHECK(image.core != nullptr);
+  std::string body;
+  codec::PutU32(&body, static_cast<uint32_t>(image.num_nodes));
+  codec::PutU64(&body, static_cast<uint64_t>(image.epoch));
+  codec::PutU64(&body, image.arcs.size());
+  for (const Arc& arc : image.arcs) {
+    codec::PutI32(&body, arc.src);
+    codec::PutI32(&body, arc.dst);
+  }
+  image.core->SerializeAppend(&body);
+
+  std::string blob(kMagic, sizeof(kMagic));
+  codec::PutU64(&blob, body.size());
+  blob += body;
+  codec::PutU32(&blob, Crc32(body.data(), body.size()));
+
+  const std::string tmp_path = JoinPath(dir, kTmpName);
+  {
+    TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                          fs->Open(tmp_path, /*create=*/true));
+    TCDB_RETURN_IF_ERROR(file->Truncate(0));
+    TCDB_RETURN_IF_ERROR(file->WriteAt(0, blob.data(), blob.size()));
+    TCDB_RETURN_IF_ERROR(file->Sync());
+  }
+  const std::string name = CheckpointName(image.epoch);
+  TCDB_RETURN_IF_ERROR(fs->Rename(tmp_path, JoinPath(dir, name)));
+  TCDB_RETURN_IF_ERROR(fs->SyncDir(dir));
+  if (final_name != nullptr) *final_name = name;
+  return Status::Ok();
+}
+
+namespace {
+
+// Parses one checkpoint file; any failure is Corruption.
+Result<CheckpointImage> ReadCheckpointFile(Fs* fs, const std::string& path,
+                                           int64_t expected_epoch) {
+  TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                        fs->Open(path, /*create=*/false));
+  TCDB_ASSIGN_OR_RETURN(const int64_t size, file->Size());
+  std::string bytes(static_cast<size_t>(size), '\0');
+  size_t bytes_read = 0;
+  TCDB_RETURN_IF_ERROR(
+      file->ReadAt(0, bytes.data(), bytes.size(), &bytes_read));
+  if (static_cast<int64_t>(bytes_read) != size) {
+    return Status::Internal("short read of checkpoint '" + path + "'");
+  }
+  if (size < 16 || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("checkpoint '" + path + "' has a bad header");
+  }
+  codec::Reader len_reader(bytes.data() + 8, 8);
+  uint64_t body_len = 0;
+  len_reader.ReadU64(&body_len);
+  if (16 + body_len + 4 != static_cast<uint64_t>(size)) {
+    return Status::Corruption("checkpoint '" + path + "' is truncated");
+  }
+  const char* body = bytes.data() + 16;
+  codec::Reader crc_reader(body + body_len, 4);
+  uint32_t crc = 0;
+  crc_reader.ReadU32(&crc);
+  if (Crc32(body, body_len) != crc) {
+    return Status::Corruption("checkpoint '" + path + "' fails its CRC");
+  }
+
+  codec::Reader reader(body, body_len);
+  CheckpointImage image;
+  uint32_t num_nodes = 0;
+  uint64_t epoch_bits = 0;
+  uint64_t arc_count = 0;
+  if (!reader.ReadU32(&num_nodes) || !reader.ReadU64(&epoch_bits) ||
+      !reader.ReadU64(&arc_count)) {
+    return Status::Corruption("checkpoint '" + path + "' body truncated");
+  }
+  image.num_nodes = static_cast<NodeId>(num_nodes);
+  image.epoch = static_cast<int64_t>(epoch_bits);
+  if (image.epoch != expected_epoch) {
+    return Status::Corruption("checkpoint '" + path +
+                              "' epoch disagrees with its file name");
+  }
+  if (arc_count * 8 > reader.remaining()) {
+    return Status::Corruption("checkpoint '" + path +
+                              "' arc count exceeds body");
+  }
+  image.arcs.resize(arc_count);
+  for (Arc& arc : image.arcs) {
+    if (!reader.ReadI32(&arc.src) || !reader.ReadI32(&arc.dst)) {
+      return Status::Corruption("checkpoint '" + path + "' body truncated");
+    }
+    if (arc.src < 0 || arc.src >= image.num_nodes || arc.dst < 0 ||
+        arc.dst >= image.num_nodes) {
+      return Status::Corruption("checkpoint '" + path +
+                                "' arc endpoint out of range");
+    }
+  }
+  TCDB_ASSIGN_OR_RETURN(image.core, ReachCore::Deserialize(&reader));
+  if (image.core->num_input_nodes != image.num_nodes) {
+    return Status::Corruption("checkpoint '" + path +
+                              "' core covers the wrong node count");
+  }
+  return image;
+}
+
+std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+    const std::vector<std::string>& names) {
+  std::vector<std::pair<int64_t, std::string>> checkpoints;
+  for (const std::string& name : names) {
+    int64_t epoch = 0;
+    if (ParseCheckpointName(name, &epoch)) {
+      checkpoints.emplace_back(epoch, name);
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  return checkpoints;
+}
+
+}  // namespace
+
+Result<CheckpointImage> LoadNewestCheckpoint(Fs* fs, const std::string& dir,
+                                             int64_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<std::pair<int64_t, std::string>> checkpoints =
+      ListCheckpoints(names);
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    Result<CheckpointImage> image =
+        ReadCheckpointFile(fs, JoinPath(dir, it->second), it->first);
+    if (image.ok()) return image;
+    if (image.status().code() != StatusCode::kCorruption) {
+      return image.status();  // environment error, not a damaged file
+    }
+    if (skipped != nullptr) ++*skipped;
+  }
+  return Status::NotFound("no valid checkpoint in '" + dir + "'");
+}
+
+Status PruneCheckpoints(Fs* fs, const std::string& dir, int keep) {
+  TCDB_CHECK_GE(keep, 1);
+  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<std::pair<int64_t, std::string>> checkpoints =
+      ListCheckpoints(names);
+  bool removed = false;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < checkpoints.size();
+       ++i) {
+    TCDB_RETURN_IF_ERROR(fs->Remove(JoinPath(dir, checkpoints[i].second)));
+    removed = true;
+  }
+  if (removed) {
+    TCDB_RETURN_IF_ERROR(fs->SyncDir(dir));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcdb

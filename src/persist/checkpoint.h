@@ -1,0 +1,62 @@
+#ifndef TCDB_PERSIST_CHECKPOINT_H_
+#define TCDB_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "persist/fs.h"
+#include "reach/reach_service.h"
+#include "relation/arc.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// One consistent cut of the dynamic serving state, taken at a single
+// epoch E: the live arc set at E, a ReachCore built from exactly those
+// arcs, and E itself (the log watermark — recovery replays only WAL
+// records with epoch > E).
+struct CheckpointImage {
+  NodeId num_nodes = 0;
+  int64_t epoch = 0;
+  ArcList arcs;  // sorted by (src, dst)
+  std::shared_ptr<const ReachCore> core;
+};
+
+// On-disk layout of checkpoint-<epoch, 20 digits>:
+//   magic "TCCKPT01" | u64 body_len | body | u32 crc32(body)
+// body: u32 num_nodes | u64 epoch | u64 arc_count | arcs (i32 src, i32
+// dst each) | ReachCore image (ReachCore::SerializeAppend).
+//
+// Atomicity: the image is written to checkpoint.tmp, fsynced, renamed to
+// its final name, and the directory is fsynced — a crash anywhere leaves
+// either the old durable state or the new one, never a half-written file
+// under a final name. The loader ignores checkpoint.tmp entirely.
+
+// Writes `image` durably into `dir`. The final file name is returned via
+// `final_name` when non-null.
+Status WriteCheckpoint(Fs* fs, const std::string& dir,
+                       const CheckpointImage& image,
+                       std::string* final_name = nullptr);
+
+// Loads the newest checkpoint in `dir` that validates (magic, length,
+// CRC, internal consistency), falling back to older ones when the newest
+// is damaged. `skipped`, when non-null, receives how many newer
+// checkpoint files were rejected. NotFound when no valid checkpoint
+// exists.
+Result<CheckpointImage> LoadNewestCheckpoint(Fs* fs, const std::string& dir,
+                                             int64_t* skipped = nullptr);
+
+// Removes all but the newest `keep` checkpoint files (stale tmp included
+// when any checkpoint is pruned). Called after a successful checkpoint;
+// keeping one older generation preserves the fallback the loader needs.
+Status PruneCheckpoints(Fs* fs, const std::string& dir, int keep = 2);
+
+// checkpoint-<epoch, 20 digits>; ParseCheckpointName is the inverse and
+// returns false for non-checkpoint names (checkpoint.tmp included).
+std::string CheckpointName(int64_t epoch);
+bool ParseCheckpointName(const std::string& name, int64_t* epoch);
+
+}  // namespace tcdb
+
+#endif  // TCDB_PERSIST_CHECKPOINT_H_

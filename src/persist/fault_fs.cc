@@ -1,0 +1,136 @@
+#include "persist/fault_fs.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace tcdb {
+
+struct FaultFs::State {
+  mutable std::mutex mu;
+  int64_t ops = 0;
+  int64_t crash_at = -1;  // fail the op that would make ops exceed this
+  size_t torn_bytes = 0;
+  bool crashed = false;
+
+  // Accounts one mutating op. Returns true when this op must fail; for a
+  // WriteAt, *torn receives how many payload bytes still land.
+  bool Account(size_t* torn) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++ops;
+    if (crash_at < 0) return false;
+    if (crashed) {
+      if (torn != nullptr) *torn = 0;
+      return true;
+    }
+    if (ops > crash_at) {
+      crashed = true;
+      if (torn != nullptr) *torn = torn_bytes;
+      return true;
+    }
+    return false;
+  }
+};
+
+namespace {
+
+Status InjectedCrash() {
+  return Status::Internal("injected crash: filesystem is gone");
+}
+
+class FaultFile final : public FsFile {
+ public:
+  FaultFile(std::unique_ptr<FsFile> base, std::shared_ptr<FaultFs::State> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status ReadAt(int64_t offset, void* buf, size_t n,
+                size_t* bytes_read) override {
+    return base_->ReadAt(offset, buf, n, bytes_read);
+  }
+
+  Status WriteAt(int64_t offset, const void* buf, size_t n) override {
+    size_t torn = 0;
+    if (state_->Account(&torn)) {
+      // The dying write: a prefix may still reach the device.
+      const size_t land = std::min(torn, n);
+      if (land > 0) {
+        TCDB_RETURN_IF_ERROR(base_->WriteAt(offset, buf, land));
+      }
+      return InjectedCrash();
+    }
+    return base_->WriteAt(offset, buf, n);
+  }
+
+  Status Truncate(int64_t size) override {
+    if (state_->Account(nullptr)) return InjectedCrash();
+    return base_->Truncate(size);
+  }
+
+  Status Sync() override {
+    if (state_->Account(nullptr)) return InjectedCrash();
+    return base_->Sync();
+  }
+
+  Result<int64_t> Size() override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<FsFile> base_;
+  std::shared_ptr<FaultFs::State> state_;
+};
+
+}  // namespace
+
+FaultFs::FaultFs(Fs* base)
+    : base_(base), state_(std::make_shared<State>()) {}
+
+void FaultFs::Arm(int64_t ops_until_crash, size_t torn_bytes) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->crash_at = state_->ops + ops_until_crash;
+  state_->torn_bytes = torn_bytes;
+  state_->crashed = false;
+}
+
+int64_t FaultFs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ops;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->crashed;
+}
+
+Result<std::unique_ptr<FsFile>> FaultFs::Open(const std::string& path,
+                                              bool create) {
+  TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                        base_->Open(path, create));
+  return std::unique_ptr<FsFile>(new FaultFile(std::move(file), state_));
+}
+
+Result<bool> FaultFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Result<std::vector<std::string>> FaultFs::List(const std::string& dir) {
+  return base_->List(dir);
+}
+
+Status FaultFs::MakeDir(const std::string& path) {
+  return base_->MakeDir(path);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  if (state_->Account(nullptr)) return InjectedCrash();
+  return base_->Rename(from, to);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  if (state_->Account(nullptr)) return InjectedCrash();
+  return base_->Remove(path);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+}  // namespace tcdb

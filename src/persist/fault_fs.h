@@ -1,0 +1,63 @@
+#ifndef TCDB_PERSIST_FAULT_FS_H_
+#define TCDB_PERSIST_FAULT_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/fs.h"
+
+namespace tcdb {
+
+// Fault-injecting wrapper around another Fs: counts every *mutating*
+// syscall (WriteAt, Truncate, Sync, Rename, Remove) across the filesystem
+// and all files opened through it; the Nth one fails — a WriteAt
+// optionally lands a torn prefix of its payload first — and every
+// mutating call after it fails too. That models the process dying at an
+// arbitrary point: whatever the underlying Fs holds at that moment is
+// exactly what a post-crash recovery sees (reads keep working, so the
+// harness recovers from the *underlying* fs, i.e. the surviving disk
+// image).
+//
+// Reads, Opens, Exists, List, MakeDir and SyncDir are passed through
+// uncounted: they cannot lose data, and counting only the durability-
+// relevant ops makes an injection point `i` line up between two runs of
+// the same workload (the deterministic two-run trick the targeted tests
+// use).
+class FaultFs final : public Fs {
+ public:
+  // Wraps `base`, which must outlive this object. Starts un-armed
+  // (pass-through, still counting).
+  explicit FaultFs(Fs* base);
+
+  // Arms the crash: the (`ops_until_crash` + 1)-th mutating call from now
+  // fails. If it is a WriteAt, the first min(torn_bytes, n) bytes of its
+  // payload reach the underlying file before the failure — a torn write.
+  void Arm(int64_t ops_until_crash, size_t torn_bytes);
+
+  // Mutating calls issued so far (armed or not, including failed ones).
+  int64_t mutating_ops() const;
+
+  // True once the injected crash has fired.
+  bool crashed() const;
+
+  Result<std::unique_ptr<FsFile>> Open(const std::string& path,
+                                       bool create) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status MakeDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  struct State;
+
+ private:
+  Fs* base_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_PERSIST_FAULT_FS_H_

@@ -1,0 +1,60 @@
+#include "persist/file_page_device.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+FilePageDevice::FilePageDevice(Fs* fs, std::string dir)
+    : fs_(fs), dir_(std::move(dir)) {
+  TCDB_CHECK(fs_ != nullptr);
+}
+
+void FilePageDevice::CreateFile(FileId file) {
+  TCDB_CHECK_EQ(static_cast<size_t>(file), files_.size());
+  const std::string path = JoinPath(dir_, "pages-" + std::to_string(file));
+  Result<std::unique_ptr<FsFile>> opened = fs_->Open(path, /*create=*/true);
+  TCDB_CHECK(opened.ok()) << opened.status().ToString();
+  files_.push_back(std::move(opened).value());
+}
+
+void FilePageDevice::Read(FileId file, PageNumber page_no, Page* out) {
+  TCDB_CHECK_LT(file, files_.size());
+  size_t bytes_read = 0;
+  const Status status = files_[file]->ReadAt(
+      static_cast<int64_t>(page_no) * kPageSize, out->data, kPageSize,
+      &bytes_read);
+  TCDB_CHECK(status.ok()) << status.ToString();
+  // Allocated-but-never-written pages lie past the file end (or in a
+  // write hole): the unread tail is zeros, matching MemPageDevice.
+  if (bytes_read < kPageSize) {
+    std::memset(out->data + bytes_read, 0, kPageSize - bytes_read);
+  }
+  ++device_stats_.page_reads;
+}
+
+void FilePageDevice::Write(FileId file, PageNumber page_no, const Page& in) {
+  TCDB_CHECK_LT(file, files_.size());
+  const Status status = files_[file]->WriteAt(
+      static_cast<int64_t>(page_no) * kPageSize, in.data, kPageSize);
+  TCDB_CHECK(status.ok()) << status.ToString();
+  ++device_stats_.page_writes;
+}
+
+void FilePageDevice::Truncate(FileId file) {
+  TCDB_CHECK_LT(file, files_.size());
+  const Status status = files_[file]->Truncate(0);
+  TCDB_CHECK(status.ok()) << status.ToString();
+}
+
+void FilePageDevice::Sync() {
+  for (const std::unique_ptr<FsFile>& file : files_) {
+    const Status status = file->Sync();
+    TCDB_CHECK(status.ok()) << status.ToString();
+  }
+  ++device_stats_.syncs;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,46 @@
+#ifndef TCDB_PERSIST_FILE_PAGE_DEVICE_H_
+#define TCDB_PERSIST_FILE_PAGE_DEVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/fs.h"
+#include "storage/page_device.h"
+
+namespace tcdb {
+
+// PageDevice whose pages live in real files: one file per FileId under
+// `dir`, page p at byte offset p * kPageSize — block-aligned 2 KB I/O, the
+// paper's page size on an actual device. Plugged into a Pager, the whole
+// BufferManager/SuccessorListStore pipeline runs unchanged on disk; the
+// Pager's simulated-model IoStats are identical to the in-memory device
+// (same calls), while real traffic lands in device_stats().
+//
+// Error handling: the PageDevice interface is non-failing (the simulated
+// pipeline has no I/O error path), so filesystem errors are fatal here —
+// TCDB_CHECK. Do not combine a FilePageDevice with FaultFs; crash
+// injection targets the WAL/checkpoint path, whose recovery rebuilds the
+// page mirror from logical state and never reads these pages back.
+class FilePageDevice final : public PageDevice {
+ public:
+  // `fs` must outlive the device; `dir` must exist. File `f` is stored at
+  // <dir>/pages-<f>, opened (or created) lazily at CreateFile.
+  FilePageDevice(Fs* fs, std::string dir);
+
+  void CreateFile(FileId file) override;
+  void Read(FileId file, PageNumber page_no, Page* out) override;
+  void Write(FileId file, PageNumber page_no, const Page& in) override;
+  void Truncate(FileId file) override;
+  // fsyncs every file of the device (the checkpoint barrier).
+  void Sync() override;
+
+ private:
+  Fs* fs_;
+  std::string dir_;
+  std::vector<std::unique_ptr<FsFile>> files_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_PERSIST_FILE_PAGE_DEVICE_H_

@@ -1,0 +1,306 @@
+#include "persist/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (!a.empty() && a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " '" + path + "': " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// PosixFs
+
+class PosixFile final : public FsFile {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override { ::close(fd_); }
+
+  Status ReadAt(int64_t offset, void* buf, size_t n,
+                size_t* bytes_read) override {
+    size_t done = 0;
+    char* dst = static_cast<char*>(buf);
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, dst + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread", path_);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
+    }
+    *bytes_read = done;
+    return Status::Ok();
+  }
+
+  Status WriteAt(int64_t offset, const void* buf, size_t n) override {
+    size_t done = 0;
+    const char* src = static_cast<const char*>(buf);
+    while (done < n) {
+      const ssize_t w = ::pwrite(fd_, src + done, n - done,
+                                 static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pwrite", path_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  }
+
+  Status Truncate(int64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate", path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Result<int64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+    return static_cast<int64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFsImpl final : public Fs {
+ public:
+  Result<std::unique_ptr<FsFile>> Open(const std::string& path,
+                                       bool create) override {
+    const int flags = O_RDWR | O_CLOEXEC | (create ? O_CREAT : 0);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file '" + path + "'");
+      }
+      return Errno("open", path);
+    }
+    return std::unique_ptr<FsFile>(new PosixFile(fd, path));
+  }
+
+  Result<bool> Exists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT) return false;
+    return Errno("stat", path);
+  }
+
+  Result<std::vector<std::string>> List(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("opendir", dir);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::stat(JoinPath(dir, name).c_str(), &st) == 0 &&
+          S_ISREG(st.st_mode)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status MakeDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", path);
+    }
+    return Status::Ok();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from);
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Errno("fsync", dir);
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Fs* PosixFs() {
+  static PosixFsImpl* fs = new PosixFsImpl();
+  return fs;
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+
+struct MemFs::Impl {
+  struct FileData {
+    std::string bytes;
+  };
+
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<FileData>> files;
+  std::set<std::string> dirs;
+};
+
+namespace {
+
+class MemFile final : public FsFile {
+ public:
+  MemFile(std::shared_ptr<MemFs::Impl::FileData> data, std::mutex* mu)
+      : data_(std::move(data)), mu_(mu) {}
+
+  Status ReadAt(int64_t offset, void* buf, size_t n,
+                size_t* bytes_read) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const std::string& bytes = data_->bytes;
+    if (offset < 0 || static_cast<size_t>(offset) >= bytes.size()) {
+      *bytes_read = 0;
+      return Status::Ok();
+    }
+    const size_t avail = bytes.size() - static_cast<size_t>(offset);
+    const size_t take = std::min(n, avail);
+    std::memcpy(buf, bytes.data() + offset, take);
+    *bytes_read = take;
+    return Status::Ok();
+  }
+
+  Status WriteAt(int64_t offset, const void* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    std::string& bytes = data_->bytes;
+    const size_t end = static_cast<size_t>(offset) + n;
+    if (bytes.size() < end) bytes.resize(end, '\0');
+    std::memcpy(bytes.data() + offset, buf, n);
+    return Status::Ok();
+  }
+
+  Status Truncate(int64_t size) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    data_->bytes.resize(static_cast<size_t>(size), '\0');
+    return Status::Ok();
+  }
+
+  Status Sync() override { return Status::Ok(); }
+
+  Result<int64_t> Size() override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return static_cast<int64_t>(data_->bytes.size());
+  }
+
+ private:
+  std::shared_ptr<MemFs::Impl::FileData> data_;
+  std::mutex* mu_;
+};
+
+}  // namespace
+
+MemFs::MemFs() : impl_(std::make_unique<Impl>()) {
+  impl_->dirs.insert("");  // the root
+}
+MemFs::~MemFs() = default;
+
+Result<std::unique_ptr<FsFile>> MemFs::Open(const std::string& path,
+                                            bool create) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) {
+    if (!create) return Status::NotFound("no such file '" + path + "'");
+    it = impl_->files.emplace(path, std::make_shared<Impl::FileData>())
+             .first;
+  }
+  return std::unique_ptr<FsFile>(new MemFile(it->second, &impl_->mu));
+}
+
+Result<bool> MemFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->files.contains(path) || impl_->dirs.contains(path);
+}
+
+Result<std::vector<std::string>> MemFs::List(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->dirs.contains(dir)) {
+    return Status::NotFound("no such directory '" + dir + "'");
+  }
+  const std::string prefix = dir.empty() ? "" : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, data] : impl_->files) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration order is already sorted
+}
+
+Status MemFs::MakeDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->dirs.insert(path);
+  return Status::Ok();
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) {
+    return Status::NotFound("no such file '" + from + "'");
+  }
+  impl_->files[to] = it->second;
+  impl_->files.erase(it);
+  return Status::Ok();
+}
+
+Status MemFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->files.erase(path) == 0) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status MemFs::SyncDir(const std::string& dir) {
+  (void)dir;
+  return Status::Ok();
+}
+
+}  // namespace tcdb

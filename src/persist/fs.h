@@ -1,0 +1,109 @@
+#ifndef TCDB_PERSIST_FS_H_
+#define TCDB_PERSIST_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcdb {
+
+// Minimal filesystem abstraction under the durability stack. Three
+// implementations:
+//   - PosixFs(): the real thing (pread/pwrite/fsync/rename);
+//   - MemFs: an in-process map of path -> bytes for hermetic tests. Its
+//     durability model is "every successful write is durable" — what a
+//     crash preserves is decided by FaultFs, which cuts the op stream at
+//     an injected point, not by MemFs losing data;
+//   - FaultFs (fault_fs.h): a wrapper that fails/tears the Nth mutating
+//     call and every one after it, simulating the process dying mid-write.
+//
+// Paths are plain strings; callers join components with '/'. All methods
+// report failures as Status::Internal (environment) — corrupt *content* is
+// diagnosed by the readers (Wal, checkpoint loader) as Corruption.
+class FsFile {
+ public:
+  virtual ~FsFile() = default;
+
+  // Reads up to `n` bytes at `offset` into `buf`. A short read at end of
+  // file is not an error; `*bytes_read` receives the count (0 at/past
+  // EOF).
+  virtual Status ReadAt(int64_t offset, void* buf, size_t n,
+                        size_t* bytes_read) = 0;
+
+  // Writes `n` bytes at `offset`, extending the file as needed (the gap,
+  // if any, reads as zeros).
+  virtual Status WriteAt(int64_t offset, const void* buf, size_t n) = 0;
+
+  // Sets the file length to `size` bytes.
+  virtual Status Truncate(int64_t size) = 0;
+
+  // Durability barrier for this file's data.
+  virtual Status Sync() = 0;
+
+  virtual Result<int64_t> Size() = 0;
+};
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // Opens `path` for read/write. With `create`, an absent file is created
+  // empty (an existing one is opened as-is, never truncated); without it,
+  // absence is NotFound.
+  virtual Result<std::unique_ptr<FsFile>> Open(const std::string& path,
+                                               bool create) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+
+  // Names (not paths) of the regular files directly under `dir`, sorted.
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  // Creates `dir` (parent must exist); Ok if it already exists.
+  virtual Status MakeDir(const std::string& path) = 0;
+
+  // Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  // Durability barrier for `dir`'s entries (created/renamed/removed
+  // names). A no-op in MemFs, fsync(dirfd) in PosixFs.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+// The process-wide POSIX filesystem.
+Fs* PosixFs();
+
+// Hermetic in-memory filesystem. Thread-safe (one mutex over the tree);
+// file handles stay valid across Rename/Remove of their path, like POSIX
+// (the bytes live until the last handle and the name are both gone).
+class MemFs : public Fs {
+ public:
+  MemFs();
+  ~MemFs() override;
+
+  Result<std::unique_ptr<FsFile>> Open(const std::string& path,
+                                       bool create) override;
+  Result<bool> Exists(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status MakeDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  // Opaque state; public only so the handle type in fs.cc can name it.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// Joins two path components with '/'.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+}  // namespace tcdb
+
+#endif  // TCDB_PERSIST_FS_H_

@@ -1,0 +1,276 @@
+#include "persist/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/crc32.h"
+
+namespace tcdb {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'W', 'A', 'L', 'S', '0', '1'};
+constexpr int64_t kHeaderBytes = 16;  // magic | u64 first_epoch
+// Record payload: u64 epoch | encoded entry. The frame adds u32 len and
+// u32 crc32(payload) in front.
+constexpr uint32_t kPayloadBytes =
+    8 + static_cast<uint32_t>(MutationLog::kEncodedEntryBytes);
+constexpr int64_t kFrameBytes = 8 + kPayloadBytes;
+
+}  // namespace
+
+std::string Wal::SegmentName(int64_t first_epoch) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRId64 ".log", first_epoch);
+  return buf;
+}
+
+bool Wal::ParseSegmentName(const std::string& name, int64_t* first_epoch) {
+  if (name.size() != 28 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(24, 4, ".log") != 0) {
+    return false;
+  }
+  int64_t value = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *first_epoch = value;
+  return true;
+}
+
+Wal::Wal(Fs* fs, std::string dir, const WalOptions& options)
+    : fs_(fs), dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(Fs* fs, std::string dir,
+                                       const WalOptions& options) {
+  TCDB_CHECK(fs != nullptr);
+  auto wal = std::unique_ptr<Wal>(new Wal(fs, std::move(dir), options));
+
+  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs->List(wal->dir_));
+  std::vector<std::pair<int64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    int64_t first_epoch = 0;
+    if (ParseSegmentName(name, &first_epoch)) {
+      segments.emplace_back(first_epoch, name);
+    }
+  }
+  // Zero-padded names list in epoch order already; keep the pairs sorted
+  // regardless.
+  std::sort(segments.begin(), segments.end());
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    const auto& [name_epoch, name] = segments[i];
+    const std::string path = JoinPath(wal->dir_, name);
+    TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                          fs->Open(path, /*create=*/false));
+    TCDB_ASSIGN_OR_RETURN(const int64_t size, file->Size());
+    std::string bytes(static_cast<size_t>(size), '\0');
+    size_t bytes_read = 0;
+    TCDB_RETURN_IF_ERROR(
+        file->ReadAt(0, bytes.data(), bytes.size(), &bytes_read));
+    if (static_cast<int64_t>(bytes_read) != size) {
+      return Status::Internal("short read of WAL segment '" + path + "'");
+    }
+
+    // Header. A short or unparsable header is a crash during segment
+    // creation when it is the final segment: drop the file entirely.
+    bool header_ok = size >= kHeaderBytes &&
+                     std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+    int64_t header_epoch = 0;
+    if (header_ok) {
+      codec::Reader reader(bytes.data() + 8, 8);
+      uint64_t value = 0;
+      reader.ReadU64(&value);
+      header_epoch = static_cast<int64_t>(value);
+      header_ok = header_epoch == name_epoch;
+    }
+    if (!header_ok) {
+      if (!last) {
+        return Status::Corruption("WAL segment '" + path +
+                                  "' has an invalid header");
+      }
+      wal->torn_bytes_dropped_ += size;
+      file.reset();
+      TCDB_RETURN_IF_ERROR(fs->Remove(path));
+      TCDB_RETURN_IF_ERROR(fs->SyncDir(wal->dir_));
+      continue;
+    }
+    if (header_epoch <= wal->last_epoch_ &&
+        !(wal->recovered_records_.empty() && wal->current_ == nullptr)) {
+      return Status::Corruption("WAL segment '" + path +
+                                "' does not advance the epoch");
+    }
+
+    // Records.
+    int64_t offset = kHeaderBytes;
+    int64_t valid_end = offset;
+    int64_t segment_records = 0;
+    std::string torn_reason;
+    while (offset < size) {
+      if (size - offset < kFrameBytes) {
+        torn_reason = "short record frame";
+        break;
+      }
+      codec::Reader frame(bytes.data() + offset, 8);
+      uint32_t len = 0;
+      uint32_t crc = 0;
+      frame.ReadU32(&len);
+      frame.ReadU32(&crc);
+      if (len != kPayloadBytes) {
+        torn_reason = "bad record length";
+        break;
+      }
+      const char* payload = bytes.data() + offset + 8;
+      if (Crc32(payload, len) != crc) {
+        torn_reason = "record CRC mismatch";
+        break;
+      }
+      codec::Reader body(payload, len);
+      uint64_t epoch_bits = 0;
+      body.ReadU64(&epoch_bits);
+      const int64_t epoch = static_cast<int64_t>(epoch_bits);
+      TCDB_ASSIGN_OR_RETURN(
+          const MutationLog::Entry entry,
+          MutationLog::DecodeEntry(std::span<const uint8_t>(
+              reinterpret_cast<const uint8_t*>(payload) + 8,
+              MutationLog::kEncodedEntryBytes)));
+      // Epochs are contiguous across the whole log: a gap means a
+      // missing or reordered segment, which no crash produces.
+      if (epoch < header_epoch ||
+          (!wal->recovered_records_.empty() &&
+           epoch != wal->last_epoch_ + 1)) {
+        return Status::Corruption("WAL record epoch out of order in '" +
+                                  path + "'");
+      }
+      wal->recovered_records_.push_back(Record{epoch, entry});
+      wal->last_epoch_ = epoch;
+      ++segment_records;
+      offset += kFrameBytes;
+      valid_end = offset;
+    }
+    if (!torn_reason.empty() || valid_end < size) {
+      if (!last) {
+        return Status::Corruption("WAL segment '" + path + "' is damaged (" +
+                                  (torn_reason.empty() ? "trailing garbage"
+                                                       : torn_reason) +
+                                  ") before the final segment");
+      }
+      // The legal torn tail: repair by truncation.
+      wal->torn_bytes_dropped_ += size - valid_end;
+      TCDB_RETURN_IF_ERROR(file->Truncate(valid_end));
+      TCDB_RETURN_IF_ERROR(file->Sync());
+    }
+
+    if (last) {
+      wal->current_ = std::move(file);
+      wal->current_first_epoch_ = header_epoch;
+      wal->current_size_ = valid_end;
+      wal->current_records_ = segment_records;
+    }
+    if (wal->last_epoch_ < header_epoch - 1) {
+      // An empty rotated segment carries the next epoch in its name;
+      // remember it so Append's monotonicity check holds.
+      wal->last_epoch_ = header_epoch - 1;
+    }
+  }
+  return wal;
+}
+
+Status Wal::StartSegment(int64_t first_epoch) {
+  const std::string path = JoinPath(dir_, SegmentName(first_epoch));
+  TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                        fs_->Open(path, /*create=*/true));
+  TCDB_RETURN_IF_ERROR(file->Truncate(0));
+  std::string header(kMagic, sizeof(kMagic));
+  codec::PutU64(&header, static_cast<uint64_t>(first_epoch));
+  TCDB_RETURN_IF_ERROR(file->WriteAt(0, header.data(), header.size()));
+  TCDB_RETURN_IF_ERROR(file->Sync());
+  TCDB_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  current_ = std::move(file);
+  current_first_epoch_ = first_epoch;
+  current_size_ = kHeaderBytes;
+  current_records_ = 0;
+  return Status::Ok();
+}
+
+Status Wal::Append(int64_t epoch, const MutationLog::Entry& entry) {
+  TCDB_CHECK_GT(epoch, last_epoch_) << "WAL epochs must increase";
+  if (current_ == nullptr) {
+    TCDB_RETURN_IF_ERROR(StartSegment(epoch));
+  } else if (current_size_ >= options_.segment_bytes) {
+    TCDB_RETURN_IF_ERROR(StartSegment(epoch));
+  }
+  std::string payload;
+  payload.reserve(kPayloadBytes);
+  codec::PutU64(&payload, static_cast<uint64_t>(epoch));
+  MutationLog::EncodeEntry(entry, &payload);
+  TCDB_CHECK_EQ(payload.size(), static_cast<size_t>(kPayloadBytes));
+  std::string frame;
+  frame.reserve(kFrameBytes);
+  codec::PutU32(&frame, kPayloadBytes);
+  codec::PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  TCDB_RETURN_IF_ERROR(
+      current_->WriteAt(current_size_, frame.data(), frame.size()));
+  current_size_ += static_cast<int64_t>(frame.size());
+  ++current_records_;
+  last_epoch_ = epoch;
+  ++records_appended_;
+  bytes_appended_ += static_cast<int64_t>(frame.size());
+  if (options_.sync_each_append) {
+    TCDB_RETURN_IF_ERROR(Sync());
+  }
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (current_ == nullptr) return Status::Ok();
+  TCDB_RETURN_IF_ERROR(current_->Sync());
+  ++syncs_;
+  return Status::Ok();
+}
+
+Status Wal::Rotate(int64_t first_epoch) {
+  TCDB_CHECK_GT(first_epoch, last_epoch_);
+  if (current_ != nullptr && current_records_ == 0 &&
+      current_first_epoch_ == first_epoch) {
+    return Status::Ok();  // already positioned there
+  }
+  return StartSegment(first_epoch);
+}
+
+Status Wal::TruncateThrough(int64_t watermark) {
+  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->List(dir_));
+  std::vector<std::pair<int64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    int64_t first_epoch = 0;
+    if (ParseSegmentName(name, &first_epoch)) {
+      segments.emplace_back(first_epoch, name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  bool removed = false;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Every record of segment i has epoch < segments[i+1].first_epoch.
+    if (segments[i + 1].first <= watermark + 1) {
+      TCDB_RETURN_IF_ERROR(
+          fs_->Remove(JoinPath(dir_, segments[i].second)));
+      removed = true;
+    }
+  }
+  if (removed) {
+    TCDB_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,116 @@
+#ifndef TCDB_PERSIST_WAL_H_
+#define TCDB_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/mutation_log.h"
+#include "persist/fs.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct WalOptions {
+  // A new segment is started when the current one reaches this many bytes
+  // (checkpoints also rotate explicitly).
+  int64_t segment_bytes = 1 << 20;
+  // fsync after every Append. Off, durability is only guaranteed up to
+  // the last explicit Sync() (the checkpoint barrier); on, every accepted
+  // mutation survives a crash — the crash-stress default.
+  bool sync_each_append = true;
+};
+
+// Write-ahead log of MutationLog entries.
+//
+// On-disk layout: a directory of segment files named
+//   wal-<first_epoch, 20 decimal digits>.log
+// Each segment starts with a 16-byte versioned header
+//   magic "TCWALS01" | u64 first_epoch (LE)
+// followed by records
+//   u32 len | u32 crc32(payload) | payload
+// with payload = u64 epoch | entry (MutationLog::kEncodedEntryBytes,
+// fixed-width LE — see MutationLog::EncodeEntry). Epochs are strictly
+// increasing across the log; a segment holds exactly the records with
+// first_epoch <= epoch < next segment's first_epoch.
+//
+// Torn-tail rule: an unparseable suffix (short header bytes, short
+// record, CRC mismatch) is legal only at the very end of the *last*
+// segment — that is what a crash mid-append leaves behind — and Open()
+// repairs it by truncating to the last valid record, reporting how many
+// bytes were dropped. The same damage anywhere else is Corruption: fail
+// loudly rather than silently skip committed mutations.
+//
+// Single-owner object (the durable service's owner thread).
+class Wal {
+ public:
+  struct Record {
+    int64_t epoch = 0;
+    MutationLog::Entry entry;
+  };
+
+  // Opens the log in `dir` (which must exist), scanning and validating
+  // every existing segment. Recovered records are exposed through
+  // recovered_records(); appends continue after the repaired tail.
+  static Result<std::unique_ptr<Wal>> Open(Fs* fs, std::string dir,
+                                           const WalOptions& options = {});
+
+  // Appends one record. `epoch` must exceed every epoch already in the
+  // log. Syncs per options.sync_each_append.
+  Status Append(int64_t epoch, const MutationLog::Entry& entry);
+
+  // Durability barrier for everything appended so far.
+  Status Sync();
+
+  // Starts a fresh segment whose records will all have epoch >=
+  // `first_epoch` (the checkpoint calls this with watermark + 1). No-op
+  // when the current segment is empty and already starts there.
+  Status Rotate(int64_t first_epoch);
+
+  // Deletes every segment whose records all have epoch <= `watermark`
+  // (deducible from the next segment's first_epoch; the last segment is
+  // never deleted). Called after a checkpoint at `watermark` is durable.
+  Status TruncateThrough(int64_t watermark);
+
+  // Everything Open() read back, in order.
+  const std::vector<Record>& recovered_records() const {
+    return recovered_records_;
+  }
+  // Bytes cut from the last segment's torn tail (0 on a clean open).
+  int64_t torn_bytes_dropped() const { return torn_bytes_dropped_; }
+  int64_t records_appended() const { return records_appended_; }
+  int64_t bytes_appended() const { return bytes_appended_; }
+  int64_t syncs() const { return syncs_; }
+
+  // Segment file name for `first_epoch` ("wal-<20 digits>.log").
+  static std::string SegmentName(int64_t first_epoch);
+  // Inverse of SegmentName; false when `name` is not a segment name.
+  static bool ParseSegmentName(const std::string& name, int64_t* first_epoch);
+
+ private:
+  Wal(Fs* fs, std::string dir, const WalOptions& options);
+
+  // Opens a brand-new segment and writes its header.
+  Status StartSegment(int64_t first_epoch);
+
+  Fs* fs_;
+  std::string dir_;
+  WalOptions options_;
+
+  std::unique_ptr<FsFile> current_;  // last segment, append position below
+  int64_t current_first_epoch_ = 0;
+  int64_t current_size_ = 0;
+  int64_t current_records_ = 0;
+  int64_t last_epoch_ = 0;  // largest epoch ever appended/recovered
+
+  std::vector<Record> recovered_records_;
+  int64_t torn_bytes_dropped_ = 0;
+  int64_t records_appended_ = 0;
+  int64_t bytes_appended_ = 0;
+  int64_t syncs_ = 0;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_PERSIST_WAL_H_

@@ -370,4 +370,86 @@ bool ReachIndex::PrunedMultiBfs(const Digraph& dag, NodeId u,
   return complete || remaining == 0;
 }
 
+namespace {
+
+void AppendI32Vector(const std::vector<int32_t>& v, std::string* out) {
+  for (const int32_t x : v) codec::PutI32(out, x);
+}
+
+bool ReadI32Vector(codec::Reader* reader, size_t n, std::vector<int32_t>* v) {
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!reader->ReadI32(&(*v)[i])) return false;
+  }
+  return true;
+}
+
+void AppendBitVector(const BitVector& bits, std::string* out) {
+  for (const uint64_t w : bits.Words()) codec::PutU64(out, w);
+}
+
+bool ReadBitVector(codec::Reader* reader, size_t size, BitVector* bits) {
+  std::vector<uint64_t> words((size + 63) / 64);
+  for (uint64_t& w : words) {
+    if (!reader->ReadU64(&w)) return false;
+  }
+  *bits = BitVector::FromWords(size, std::move(words));
+  return true;
+}
+
+}  // namespace
+
+void ReachIndex::SerializeAppend(std::string* out) const {
+  const uint32_t n = static_cast<uint32_t>(topo_pos_.size());
+  codec::PutU32(out, n);
+  AppendI32Vector(topo_pos_, out);
+  AppendI32Vector(max_reach_pos_, out);
+  AppendI32Vector(min_origin_pos_, out);
+  AppendI32Vector(pre_, out);
+  AppendI32Vector(post_, out);
+  AppendI32Vector(chain_id_, out);
+  AppendI32Vector(chain_pos_, out);
+  codec::PutI32(out, num_chains_);
+  codec::PutU32(out, static_cast<uint32_t>(pivots_.size()));
+  AppendI32Vector(pivots_, out);
+  for (size_t i = 0; i < pivots_.size(); ++i) {
+    AppendBitVector(fwd_[i], out);
+    AppendBitVector(bwd_[i], out);
+  }
+}
+
+Result<ReachIndex> ReachIndex::Deserialize(codec::Reader* reader) {
+  ReachIndex index;
+  uint32_t n = 0;
+  if (!reader->ReadU32(&n)) {
+    return Status::Corruption("reach index image truncated");
+  }
+  bool ok = ReadI32Vector(reader, n, &index.topo_pos_) &&
+            ReadI32Vector(reader, n, &index.max_reach_pos_) &&
+            ReadI32Vector(reader, n, &index.min_origin_pos_) &&
+            ReadI32Vector(reader, n, &index.pre_) &&
+            ReadI32Vector(reader, n, &index.post_) &&
+            ReadI32Vector(reader, n, &index.chain_id_) &&
+            ReadI32Vector(reader, n, &index.chain_pos_) &&
+            reader->ReadI32(&index.num_chains_);
+  uint32_t num_pivots = 0;
+  ok = ok && reader->ReadU32(&num_pivots);
+  if (ok) {
+    ok = ReadI32Vector(reader, num_pivots, &index.pivots_);
+    index.fwd_.resize(num_pivots);
+    index.bwd_.resize(num_pivots);
+    for (uint32_t i = 0; ok && i < num_pivots; ++i) {
+      ok = ReadBitVector(reader, n, &index.fwd_[i]) &&
+           ReadBitVector(reader, n, &index.bwd_[i]);
+    }
+  }
+  if (!ok) return Status::Corruption("reach index image truncated");
+  for (const NodeId p : index.pivots_) {
+    if (p < 0 || static_cast<uint32_t>(p) >= n) {
+      return Status::Corruption("reach index pivot out of range");
+    }
+  }
+  return index;
+}
+
 }  // namespace tcdb

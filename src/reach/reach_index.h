@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.h"
 #include "util/bit_vector.h"
+#include "util/codec.h"
 #include "util/status.h"
 
 namespace tcdb {
@@ -133,6 +135,14 @@ class ReachIndex {
 
   // An empty index (zero nodes). Usable instances come from Build().
   ReachIndex() = default;
+
+  // Appends a fixed-width little-endian image of every label array to
+  // `out` (checkpoint body material — the caller frames it with a CRC).
+  // Deserialize() restores a bit-identical index, so recovery skips the
+  // label build entirely. Returns Corruption on a truncated or
+  // inconsistent image.
+  void SerializeAppend(std::string* out) const;
+  static Result<ReachIndex> Deserialize(codec::Reader* reader);
 
  private:
   // Topological permutation and reach bounds. A node u can only reach

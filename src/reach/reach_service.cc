@@ -41,6 +41,67 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Build(
   return std::shared_ptr<const ReachCore>(std::move(core));
 }
 
+void ReachCore::SerializeAppend(std::string* out) const {
+  codec::PutI32(out, num_input_nodes);
+  const NodeId dag_nodes = dag.NumNodes();
+  codec::PutI32(out, dag_nodes);
+  const ArcList arcs = dag.ToArcs();
+  codec::PutU64(out, arcs.size());
+  for (const Arc& arc : arcs) {
+    codec::PutI32(out, arc.src);
+    codec::PutI32(out, arc.dst);
+  }
+  for (const NodeId component : node_map) codec::PutI32(out, component);
+  for (const int32_t size : scc_size) codec::PutI32(out, size);
+  index.SerializeAppend(out);
+}
+
+Result<std::shared_ptr<const ReachCore>> ReachCore::Deserialize(
+    codec::Reader* reader) {
+  auto core = std::make_shared<ReachCore>();
+  NodeId dag_nodes = 0;
+  uint64_t num_arcs = 0;
+  if (!reader->ReadI32(&core->num_input_nodes) ||
+      !reader->ReadI32(&dag_nodes) || !reader->ReadU64(&num_arcs) ||
+      core->num_input_nodes < 0 || dag_nodes < 0 ||
+      dag_nodes > core->num_input_nodes) {
+    return Status::Corruption("reach core image truncated");
+  }
+  // 8 bytes per arc: reject oversized counts before allocating.
+  if (num_arcs * 8 > reader->remaining()) {
+    return Status::Corruption("reach core arc count exceeds image");
+  }
+  ArcList arcs(num_arcs);
+  for (Arc& arc : arcs) {
+    if (!reader->ReadI32(&arc.src) || !reader->ReadI32(&arc.dst)) {
+      return Status::Corruption("reach core image truncated");
+    }
+    if (arc.src < 0 || arc.src >= dag_nodes || arc.dst < 0 ||
+        arc.dst >= dag_nodes) {
+      return Status::Corruption("reach core arc endpoint out of range");
+    }
+  }
+  core->dag = Digraph(dag_nodes, arcs);
+  core->node_map.resize(core->num_input_nodes);
+  for (NodeId& component : core->node_map) {
+    if (!reader->ReadI32(&component) || component < 0 ||
+        component >= dag_nodes) {
+      return Status::Corruption("reach core node map invalid");
+    }
+  }
+  core->scc_size.resize(dag_nodes);
+  for (int32_t& size : core->scc_size) {
+    if (!reader->ReadI32(&size) || size <= 0) {
+      return Status::Corruption("reach core scc sizes invalid");
+    }
+  }
+  TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Deserialize(reader));
+  if (core->index.num_nodes() != dag_nodes) {
+    return Status::Corruption("reach core index size mismatch");
+  }
+  return std::shared_ptr<const ReachCore>(std::move(core));
+}
+
 Result<std::unique_ptr<ReachService>> ReachService::Build(
     const ArcList& arcs, NodeId num_nodes,
     const ReachServiceOptions& options) {

@@ -12,6 +12,7 @@
 #include "reach/lru_cache.h"
 #include "reach/reach_index.h"
 #include "reach/reach_stats.h"
+#include "util/codec.h"
 #include "util/status.h"
 
 namespace tcdb {
@@ -53,6 +54,16 @@ struct ReachCore {
   static Result<std::shared_ptr<const ReachCore>> Build(
       const ArcList& arcs, NodeId num_nodes,
       const ReachIndexOptions& options = {});
+
+  // Checkpoint image: appends a fixed-width little-endian encoding of the
+  // whole core (condensation arcs, node map, SCC sizes, label index) to
+  // `out`. Deserialize() restores a core whose query behavior is
+  // bit-identical to the serialized one — the CSR is rebuilt from the
+  // sorted arc list, which the Digraph constructor normalizes the same
+  // way every time. Corruption on a truncated or inconsistent image.
+  void SerializeAppend(std::string* out) const;
+  static Result<std::shared_ptr<const ReachCore>> Deserialize(
+      codec::Reader* reader);
 };
 
 // The serving front end for online `reaches(src, dst)?` traffic. Sits on

@@ -1,0 +1,39 @@
+#include "storage/page_device.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+void MemPageDevice::CreateFile(FileId file) {
+  TCDB_CHECK_EQ(static_cast<size_t>(file), pages_.size());
+  pages_.emplace_back();
+}
+
+void MemPageDevice::Read(FileId file, PageNumber page_no, Page* out) {
+  TCDB_CHECK_LT(file, pages_.size());
+  auto& file_pages = pages_[file];
+  if (page_no >= file_pages.size() || file_pages[page_no] == nullptr) {
+    out->Zero();
+    return;
+  }
+  std::memcpy(out->data, file_pages[page_no]->data, kPageSize);
+}
+
+void MemPageDevice::Write(FileId file, PageNumber page_no, const Page& in) {
+  TCDB_CHECK_LT(file, pages_.size());
+  auto& file_pages = pages_[file];
+  if (page_no >= file_pages.size()) file_pages.resize(page_no + 1);
+  if (file_pages[page_no] == nullptr) {
+    file_pages[page_no] = std::make_unique<Page>();
+  }
+  std::memcpy(file_pages[page_no]->data, in.data, kPageSize);
+}
+
+void MemPageDevice::Truncate(FileId file) {
+  TCDB_CHECK_LT(file, pages_.size());
+  pages_[file].clear();
+}
+
+}  // namespace tcdb

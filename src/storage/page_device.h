@@ -1,0 +1,76 @@
+#ifndef TCDB_STORAGE_PAGE_DEVICE_H_
+#define TCDB_STORAGE_PAGE_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace tcdb {
+
+// Raw page storage behind the Pager. The Pager owns file metadata and the
+// simulated-model I/O accounting (the paper's counters); the device owns the
+// bytes. Two implementations exist:
+//
+//   - MemPageDevice (below): pages live in memory, exactly the seed
+//     behavior. This is the default, so every benchmark and golden-metrics
+//     pin is bit-identical to the pre-persistence code.
+//   - FilePageDevice (src/persist/): pages live in one OS file per FileId
+//     at offset page_no * kPageSize, with Sync() mapping to fsync. Used by
+//     the durable serving stack for the successor-list store mirror.
+//
+// Device-level traffic is recorded in DeviceIoStats — a separate type from
+// the model IoStats precisely so persistence I/O can never contaminate the
+// paper's page-I/O metrics.
+//
+// Bounds checking (page_no < file size) is the Pager's job; devices may
+// assume in-range arguments. Devices are not thread-safe; the Pager's
+// callers serialize access (the BufferManager holds its own lock).
+class PageDevice {
+ public:
+  virtual ~PageDevice() = default;
+
+  // Registers storage for a new file. Called by Pager::CreateFile with the
+  // next sequential FileId; devices may use `file` as an index.
+  virtual void CreateFile(FileId file) = 0;
+
+  // Reads page `page_no` of `file` into `out`. A page that was allocated
+  // but never written reads back as zeros.
+  virtual void Read(FileId file, PageNumber page_no, Page* out) = 0;
+
+  // Writes `in` to page `page_no` of `file`.
+  virtual void Write(FileId file, PageNumber page_no, const Page& in) = 0;
+
+  // Discards all pages of `file`.
+  virtual void Truncate(FileId file) = 0;
+
+  // Durability barrier: blocks until every write issued so far is on stable
+  // storage. A no-op for the in-memory device.
+  virtual void Sync() = 0;
+
+  const DeviceIoStats& device_stats() const { return device_stats_; }
+
+ protected:
+  DeviceIoStats device_stats_;
+};
+
+// In-memory device: the seed Pager's storage, factored out. Never counts
+// device I/O — its stats stay zero, which golden_metrics_test pins.
+class MemPageDevice final : public PageDevice {
+ public:
+  void CreateFile(FileId file) override;
+  void Read(FileId file, PageNumber page_no, Page* out) override;
+  void Write(FileId file, PageNumber page_no, const Page& in) override;
+  void Truncate(FileId file) override;
+  void Sync() override {}
+
+ private:
+  // pages_[file] grows on demand in Write; Read past the written prefix
+  // returns zeros (the Pager has already checked page_no < FileSize).
+  std::vector<std::vector<std::unique_ptr<Page>>> pages_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_STORAGE_PAGE_DEVICE_H_

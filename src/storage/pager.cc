@@ -1,13 +1,20 @@
 #include "storage/pager.h"
 
-#include <cstring>
-
 namespace tcdb {
+
+Pager::Pager() : device_(std::make_unique<MemPageDevice>()) {}
+
+Pager::Pager(std::unique_ptr<PageDevice> device)
+    : device_(std::move(device)) {
+  TCDB_CHECK(device_ != nullptr);
+}
 
 FileId Pager::CreateFile(std::string name) {
   TCDB_CHECK_LT(files_.size(), static_cast<size_t>(UINT16_MAX));
-  files_.push_back(File{std::move(name), {}});
-  return static_cast<FileId>(files_.size() - 1);
+  const FileId id = static_cast<FileId>(files_.size());
+  files_.push_back(File{std::move(name), 0});
+  device_->CreateFile(id);
+  return id;
 }
 
 const std::string& Pager::FileName(FileId file) const {
@@ -17,7 +24,7 @@ const std::string& Pager::FileName(FileId file) const {
 
 PageNumber Pager::FileSize(FileId file) const {
   TCDB_CHECK_LT(file, files_.size());
-  return static_cast<PageNumber>(files_[file].pages.size());
+  return files_[file].num_pages;
 }
 
 Pager::File& Pager::GetFile(FileId file) {
@@ -27,27 +34,31 @@ Pager::File& Pager::GetFile(FileId file) {
 
 PageNumber Pager::AllocatePage(FileId file) {
   File& f = GetFile(file);
-  auto page = std::make_unique<Page>();
-  page->Zero();
-  f.pages.push_back(std::move(page));
-  return static_cast<PageNumber>(f.pages.size() - 1);
+  // Fresh pages read back as zeros without touching the device: the device
+  // materializes storage lazily on first write, and its Read contract
+  // zero-fills unwritten pages.
+  return f.num_pages++;
 }
 
-void Pager::TruncateFile(FileId file) { GetFile(file).pages.clear(); }
+void Pager::TruncateFile(FileId file) {
+  File& f = GetFile(file);
+  f.num_pages = 0;
+  device_->Truncate(file);
+}
 
 void Pager::ReadPage(FileId file, PageNumber page_no, Page* out) {
   File& f = GetFile(file);
-  TCDB_CHECK_LT(page_no, f.pages.size())
+  TCDB_CHECK_LT(page_no, f.num_pages)
       << "read past end of file '" << f.name << "'";
-  std::memcpy(out->data, f.pages[page_no]->data, kPageSize);
+  device_->Read(file, page_no, out);
   stats_.RecordRead(file, phase_);
 }
 
 void Pager::WritePage(FileId file, PageNumber page_no, const Page& in) {
   File& f = GetFile(file);
-  TCDB_CHECK_LT(page_no, f.pages.size())
+  TCDB_CHECK_LT(page_no, f.num_pages)
       << "write past end of file '" << f.name << "'";
-  std::memcpy(f.pages[page_no]->data, in.data, kPageSize);
+  device_->Write(file, page_no, in);
   stats_.RecordWrite(file, phase_);
 }
 

@@ -1,0 +1,20 @@
+#ifndef TCDB_UTIL_CRC32_H_
+#define TCDB_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcdb {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). Used to frame
+// every persistent record — WAL entries and checkpoint bodies — so a torn
+// or bit-flipped write is detected before its payload is ever parsed.
+uint32_t Crc32(const void* data, size_t size);
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// checksum across discontiguous buffers. The empty-input CRC is 0.
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size);
+
+}  // namespace tcdb
+
+#endif  // TCDB_UTIL_CRC32_H_

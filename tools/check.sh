@@ -39,12 +39,20 @@ cmake --build "$SAN_DIR" -j "$(nproc)" --target tcdb_cli
 # checked against a reference closure at that epoch.
 "$SAN_DIR"/tools/tcdb_cli mutate-stress --seeds 50 --base-seed 1
 
+# --- Sanitized crash differential: 50 randomized kill-and-recover runs
+# through the durable stack (WAL + checkpoints on a fault-injecting
+# filesystem) — every recovered state differentially checked against the
+# reference graph at the crash point, with torn-write repair exercised.
+"$SAN_DIR"/tools/tcdb_cli crash-stress --seeds 50 --base-seed 1
+
 # --- Concurrency tier under ThreadSanitizer: the multi-threaded
-# ReachServer tests, the epoch-swap-under-load tests, and the CLI smokes
-# that drive worker/rebuilder threads rerun in a separate TSan tree —
-# TSan cannot share a build with ASan, hence the third directory.
+# ReachServer tests, the epoch-swap-under-load tests, the
+# checkpoint-under-rebuild persistence test, and the CLI smokes that
+# drive worker/rebuilder threads rerun in a separate TSan tree — TSan
+# cannot share a build with ASan, hence the third directory.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-    --target reach_server_test snapshot_swap_test tcdb_cli
+    --target reach_server_test snapshot_swap_test persist_serving_test \
+    tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -29,6 +29,9 @@
 #include "core/database.h"
 #include "graph/digraph.h"
 #include "graph/generator.h"
+#include "persist/crash_harness.h"
+#include "persist/durable_service.h"
+#include "persist/fs.h"
 #include "reach/load_driver.h"
 #include "reach/reach_server.h"
 #include "reach/reach_service.h"
@@ -48,6 +51,10 @@ void Usage() {
                 [--delete-share D] [--rebuild-every K] [--budget B]
                 [--seed S]
        tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N]
+                [--verbose]
+       tcdb_cli checkpoint <dir> [--graph <graph>] [--mutate N,SEED]
+       tcdb_cli recover <dir> [--mutate N,SEED] [--query S,D] [--checkpoint]
+       tcdb_cli crash-stress [--seeds N] [--base-seed S] [--ops N]
                 [--verbose]
 
 graph input (one of):
@@ -123,6 +130,32 @@ mutate-stress subcommand (randomized differential mutation stress):
     generator's graph families, checking every answer bit-for-bit
     against a reference closure at that epoch, with background rebuilds
     racing the trace; exits 1 with a repro line on failure
+
+checkpoint subcommand (initialize a durable database on disk):
+  tcdb_cli checkpoint <dir> [--graph <graph>] [--mutate N,SEED]
+    creates (or reuses) <dir>, opens a durable serving stack over the
+    graph (default gen:500,5,100,1), optionally applies N random logged
+    mutations, and persists a checkpoint + rotated WAL; prints the
+    persist counters
+
+recover subcommand (restart the durable database under <dir>):
+  tcdb_cli recover <dir> [--mutate N,SEED] [--query S,D] [--checkpoint]
+    loads the newest valid checkpoint and replays exactly the WAL
+    suffix past it, printing the recovery report; --mutate appends more
+    WAL-logged mutations (durable without a checkpoint — a later
+    recover replays them), --query answers reaches(S, D) point queries
+    (repeatable), --checkpoint persists a fresh cut before exiting
+
+crash-stress subcommand (randomized kill-and-recover differential):
+  tcdb_cli crash-stress [--seeds N] [--base-seed S] [--ops N] [--verbose]
+    per seed: runs a mixed mutate/query/checkpoint trace on a durable
+    stack over a fault-injecting filesystem that kills the "process" at
+    a random mutating syscall (optionally tearing the dying write),
+    recovers from the surviving image, and checks the recovered epoch,
+    the suffix-only replay invariant, every answer and every successor
+    list against an in-memory reference — then keeps mutating and
+    recovers a second time (idempotence); exits 1 with a repro line on
+    failure. This is the sweep check.sh runs under ASan/UBSan.
 )");
 }
 
@@ -577,6 +610,245 @@ int RunMutateStress(int argc, char** argv) {
   return 0;
 }
 
+// Applies `ops` random logged mutations (insert when the drawn pair is
+// free, delete when it is live) to a durable service. Shared by the
+// checkpoint and recover subcommands.
+int ApplyRandomMutations(DurableDynamicService* db, int64_t ops,
+                         uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = db->num_nodes();
+  int64_t applied = 0;
+  for (int64_t op = 0; op < ops; ++op) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    const NodeId d = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    if (s == d) continue;
+    const auto epoch = db->log()->HasArc(s, d) ? db->DeleteArc(s, d)
+                                               : db->InsertArc(s, d);
+    if (!epoch.ok()) {
+      std::fprintf(stderr, "mutation failed: %s\n",
+                   epoch.status().ToString().c_str());
+      return 1;
+    }
+    ++applied;
+  }
+  std::printf("applied %lld logged mutations (epoch now %lld)\n",
+              static_cast<long long>(applied),
+              static_cast<long long>(db->epoch()));
+  return 0;
+}
+
+int RunCheckpointCmd(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    Usage();
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::string graph_spec = "gen:500,5,100,1";
+  int64_t mutate_ops = 0;
+  uint64_t mutate_seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--graph") {
+      graph_spec = next();
+    } else if (flag == "--mutate") {
+      std::vector<int64_t> params;
+      if (!ParseCsvInts(next(), &params) || params.size() != 2) {
+        std::fprintf(stderr, "--mutate expects N,SEED\n");
+        return 2;
+      }
+      mutate_ops = params[0];
+      mutate_seed = static_cast<uint64_t>(params[1]);
+    } else {
+      std::fprintf(stderr, "unknown checkpoint flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes);
+      code != 0) {
+    return code;
+  }
+  auto db = DurableDynamicService::Create(PosixFs(), dir, arcs, num_nodes);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (mutate_ops > 0) {
+    if (const int code =
+            ApplyRandomMutations(db.value().get(), mutate_ops, mutate_seed);
+        code != 0) {
+      return code;
+    }
+    if (const Status status = db.value()->Checkpoint(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  const PersistStats& stats = db.value()->persist_stats();
+  std::printf(
+      "checkpoint: %s at epoch %lld (%lld nodes, %lld checkpoints, "
+      "%lld bytes newest, %lld WAL records / %lld bytes, %lld syncs)\n",
+      dir.c_str(), static_cast<long long>(db.value()->epoch()),
+      static_cast<long long>(num_nodes),
+      static_cast<long long>(stats.checkpoints_written),
+      static_cast<long long>(stats.last_checkpoint_bytes),
+      static_cast<long long>(stats.wal_records_appended),
+      static_cast<long long>(stats.wal_bytes_appended),
+      static_cast<long long>(stats.wal_syncs));
+  return 0;
+}
+
+int RunRecoverCmd(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    Usage();
+    return 2;
+  }
+  const std::string dir = argv[1];
+  int64_t mutate_ops = 0;
+  uint64_t mutate_seed = 42;
+  bool take_checkpoint = false;
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--mutate") {
+      std::vector<int64_t> params;
+      if (!ParseCsvInts(next(), &params) || params.size() != 2) {
+        std::fprintf(stderr, "--mutate expects N,SEED\n");
+        return 2;
+      }
+      mutate_ops = params[0];
+      mutate_seed = static_cast<uint64_t>(params[1]);
+    } else if (flag == "--query") {
+      std::vector<int64_t> params;
+      if (!ParseCsvInts(next(), &params) || params.size() != 2) {
+        std::fprintf(stderr, "--query expects S,D\n");
+        return 2;
+      }
+      queries.emplace_back(static_cast<NodeId>(params[0]),
+                           static_cast<NodeId>(params[1]));
+    } else if (flag == "--checkpoint") {
+      take_checkpoint = true;
+    } else {
+      std::fprintf(stderr, "unknown recover flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  RecoveryReport report;
+  auto db = DurableDynamicService::Recover(PosixFs(), dir, {}, &report);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered: %s at epoch %lld (checkpoint %lld + %lld replayed WAL "
+      "records, %lld stale skipped, %lld torn bytes dropped, %lld damaged "
+      "checkpoints passed over)\n",
+      dir.c_str(), static_cast<long long>(report.recovered_epoch),
+      static_cast<long long>(report.checkpoint_epoch),
+      static_cast<long long>(report.replayed_entries),
+      static_cast<long long>(report.stale_entries_skipped),
+      static_cast<long long>(report.torn_bytes_dropped),
+      static_cast<long long>(report.checkpoints_skipped));
+  if (mutate_ops > 0) {
+    if (const int code =
+            ApplyRandomMutations(db.value().get(), mutate_ops, mutate_seed);
+        code != 0) {
+      return code;
+    }
+  }
+  for (const auto& [src, dst] : queries) {
+    auto answer = db.value()->Query(src, dst);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reaches(%d, %d) = %s\n", src, dst,
+                answer.value().reachable ? "yes" : "no");
+  }
+  if (take_checkpoint) {
+    if (const Status status = db.value()->Checkpoint(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed at epoch %lld\n",
+                static_cast<long long>(db.value()->epoch()));
+  }
+  return 0;
+}
+
+int RunCrashStressCmd(int argc, char** argv) {
+  CrashStressOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--seeds") {
+      options.num_seeds = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--base-seed") {
+      options.base_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--ops") {
+      options.ops_per_seed = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown crash-stress flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (verbose) {
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  CrashStressReport report;
+  CrashStressFailure failure;
+  const Status status = RunCrashStress(options, &report, &failure);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kInternal) {
+      std::fprintf(stderr, "FAIL %s\n", failure.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return 1;
+  }
+  std::printf(
+      "crash-stress: %lld seeds (%lld crashed, %lld torn), %lld mutations, "
+      "%lld checkpoints, %lld WAL records replayed (%lld stale skipped, "
+      "%lld torn tails repaired), %lld differential queries, all states "
+      "match\n",
+      static_cast<long long>(report.seeds),
+      static_cast<long long>(report.crashes_injected),
+      static_cast<long long>(report.torn_writes),
+      static_cast<long long>(report.ops_applied),
+      static_cast<long long>(report.checkpoints_completed),
+      static_cast<long long>(report.replayed_entries),
+      static_cast<long long>(report.stale_entries_skipped),
+      static_cast<long long>(report.torn_tails_repaired),
+      static_cast<long long>(report.queries_checked));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
@@ -592,6 +864,15 @@ int Run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "mutate-stress") == 0) {
     return RunMutateStress(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "checkpoint") == 0) {
+    return RunCheckpointCmd(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "recover") == 0) {
+    return RunRecoverCmd(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "crash-stress") == 0) {
+    return RunCrashStressCmd(argc - 1, argv + 1);
   }
   std::string graph_file;
   std::vector<int64_t> generate_params;
