@@ -9,6 +9,12 @@
 // zero measures the floor (checkpoint load + snapshot adoption, no label
 // build); every row's recovered epoch equals checkpoint + suffix exactly.
 //
+// A second sweep profiles group commit: with sync_each_append on, how
+// much of the per-mutation fsync tax does batching N appends behind one
+// sync claw back? Syncs should fall as ops/N while recovery still replays
+// every record — batching defers durability, it never loses acknowledged
+// writes that a sync (or checkpoint barrier) has covered.
+//
 // QUICK=1 shrinks the sweep; PERSIST_BASE_OPS overrides the mutation
 // count before the checkpoint.
 
@@ -150,7 +156,90 @@ int RunBench() {
   return 0;
 }
 
+// Sweep group_commit_records under sync_each_append: syncs per mutation
+// should fall as 1/batch while a post-run recovery replays every record.
+int RunGroupCommitSweep() {
+  const bool quick = GetEnvBool("QUICK");
+  const int64_t ops = GetEnvInt("PERSIST_BASE_OPS", quick ? 500 : 2000);
+  const std::vector<int64_t> batches = {1, 4, 8, 16, 64};
+
+  std::cout << "\nGroup commit on the same graph: per-append fsync cost vs "
+               "batch size (" << ops << " synchronous mutations)\n\n";
+  TablePrinter table(
+      {"batch", "seconds", "ops/s", "syncs", "syncs/op", "replayed"});
+
+  for (const int64_t batch : batches) {
+    char tmpl[] = "/tmp/tcdb_group_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::cerr << "mkdtemp failed\n";
+      return 1;
+    }
+    const std::string dir = std::string(tmpl) + "/db";
+
+    DurableOptions options;
+    options.wal.sync_each_append = true;
+    options.wal.group_commit_records = batch;
+
+    const ArcList arcs = GenerateDag({kNodes, 5, 200, 42});
+    auto db =
+        DurableDynamicService::Create(PosixFs(), dir, arcs, kNodes, options);
+    if (!db.ok()) {
+      std::cerr << db.status().ToString() << "\n";
+      return 1;
+    }
+    const int64_t syncs_before = db.value()->wal()->syncs();
+    Rng rng(batch + 11);
+    WallTimer mutate_timer;
+    if (!Mutate(db.value().get(), ops, &rng)) return 1;
+    const double mutate_seconds = mutate_timer.ElapsedSeconds();
+    const int64_t syncs = db.value()->wal()->syncs() - syncs_before;
+    db.value().reset();
+
+    RecoveryReport report;
+    auto recovered =
+        DurableDynamicService::Recover(PosixFs(), dir, options, &report);
+    if (!recovered.ok()) {
+      std::cerr << recovered.status().ToString() << "\n";
+      return 1;
+    }
+    if (report.replayed_entries != ops) {
+      std::cerr << "batch " << batch << ": replayed "
+                << report.replayed_entries << " of " << ops << " entries\n";
+      return 1;
+    }
+
+    table.NewRow()
+        .AddCell(batch)
+        .AddCell(mutate_seconds, 3)
+        .AddCell(mutate_seconds > 0.0
+                     ? static_cast<double>(ops) / mutate_seconds
+                     : 0.0,
+                 0)
+        .AddCell(syncs)
+        .AddCell(static_cast<double>(syncs) / static_cast<double>(ops), 3)
+        .AddCell(report.replayed_entries);
+
+    std::error_code ec;
+    std::filesystem::remove_all(tmpl, ec);
+  }
+  table.Print(std::cout);
+  table.WriteCsv("persist_group_commit_sweep");
+
+  std::cout
+      << "\nReading the table: batch 1 is classic write-ahead logging — "
+         "one fsync per acknowledged mutation, the durability gold "
+         "standard and the throughput floor. Larger batches amortize the "
+         "sync across the group (\"syncs/op\" ~ 1/batch); the final "
+         "recovery column shows the trade is deferral, not loss — every "
+         "record lands in the scan because close flushes the tail batch, "
+         "exactly as the replication shipper relies on.\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace tcdb
 
-int main() { return tcdb::RunBench(); }
+int main() {
+  if (const int rc = tcdb::RunBench(); rc != 0) return rc;
+  return tcdb::RunGroupCommitSweep();
+}

@@ -1,0 +1,92 @@
+// bench_replica — Read-scaling profile of WAL-shipping replication: total
+// follower queries per second as the fleet grows from one follower to
+// four, with the epoch-staleness distribution each configuration serves
+// under a sustained mutation stream on the primary.
+//
+// The interesting shape: followers never coordinate with each other or
+// with primary commits, so aggregate q/s should scale roughly linearly in
+// the follower count while the primary's mutation throughput stays flat.
+// Staleness is bounded by construction (max_apply_ahead plus the bytes the
+// pipe can hold); the "p99 lag" and "max lag" columns let you watch the
+// observed distribution sit under that bound.
+//
+// QUICK=1 shrinks the per-follower query count and the mutation stream.
+
+#include <iostream>
+#include <vector>
+
+#include "replica/replica_bench.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+namespace tcdb {
+namespace {
+
+int RunBench() {
+  const bool quick = GetEnvBool("QUICK");
+
+  ReplicaBenchOptions base;
+  base.queries_per_follower = quick ? 4000 : 20000;
+  base.mutations = quick ? 600 : 1500;
+
+  std::cout << "WAL-shipping replication on gen:" << base.graph.num_nodes
+            << "," << base.graph.avg_out_degree << "," << base.graph.locality
+            << "," << base.graph.seed << ": aggregate follower q/s and "
+            << "staleness vs fleet size (" << base.clients_per_follower
+            << " clients and " << base.queries_per_follower
+            << " queries per follower, " << base.mutations
+            << " primary mutations, apply-ahead " << base.max_apply_ahead
+            << ")\n\n";
+  TablePrinter table({"followers", "queries", "q/s", "mutate/s", "shipped",
+                      "lag p50", "lag p99", "lag max", "bound"});
+
+  for (int followers = 1; followers <= 4; ++followers) {
+    ReplicaBenchOptions options = base;
+    options.num_followers = followers;
+    options.seed = base.seed + followers;
+    auto result = RunReplicaBench(options);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    const ReplicaBenchResult& r = result.value();
+    if (!r.lag_within_bound) {
+      std::cerr << "followers=" << followers << ": max lag " << r.lag_max
+                << " exceeds the configured bound " << r.lag_bound << "\n";
+      return 1;
+    }
+    table.NewRow()
+        .AddCell(r.num_followers)
+        .AddCell(r.queries)
+        .AddCell(r.QueriesPerSecond(), 0)
+        .AddCell(r.mutate_seconds > 0.0
+                     ? static_cast<double>(r.mutations_applied) /
+                           r.mutate_seconds
+                     : 0.0,
+                 0)
+        .AddCell(r.records_shipped)
+        .AddCell(r.lag_p50)
+        .AddCell(r.lag_p99)
+        .AddCell(r.lag_max)
+        .AddCell(r.lag_bound);
+  }
+  table.Print(std::cout);
+  table.WriteCsv("replica_read_scaling");
+
+  std::cout
+      << "\nReading the table: \"q/s\" sums every follower's client "
+         "threads, so linear growth down the column is the replication "
+         "win — reads scale out without touching the primary's write "
+         "path. \"shipped\" grows linearly in the fleet because each "
+         "committed record fans out to every follower. The lag columns "
+         "are epochs of staleness sampled at the primary during the "
+         "mutation stream; every value must sit under \"bound\" "
+         "(max_apply_ahead + pipe capacity in records + slack), which is "
+         "the contract RefreshSnapshot-free reads rely on.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcdb
+
+int main() { return tcdb::RunBench(); }

@@ -21,6 +21,7 @@ IndexRebuilder::IndexRebuilder(MutationLog* log, Publish publish,
   TCDB_CHECK(log_ != nullptr);
   TCDB_CHECK(publish_ != nullptr);
   TCDB_CHECK_GE(options_.mutations_per_rebuild, 1);
+  last_published_epoch_ = options_.initial_published_epoch;
 }
 
 IndexRebuilder::~IndexRebuilder() { Stop(); }
@@ -50,6 +51,11 @@ Status IndexRebuilder::RebuildNow() { return MaybeRebuild(/*force=*/true); }
 int64_t IndexRebuilder::rebuilds_published() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rebuilds_published_;
+}
+
+MutationLog::Epoch IndexRebuilder::published_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_published_epoch_;
 }
 
 Status IndexRebuilder::MaybeRebuild(bool force) {

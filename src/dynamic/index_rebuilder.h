@@ -22,6 +22,11 @@ struct IndexRebuilderOptions {
   // How often the background thread re-checks the trigger.
   std::chrono::milliseconds poll_interval{2};
   ReachIndexOptions index;
+  // Epoch the serving side's initial snapshot was built at. The default 0
+  // matches a service opened on the base graph; a replication follower
+  // that bootstraps from a checkpoint at epoch E passes E so the first
+  // trigger fires after E + mutations_per_rebuild, not immediately.
+  MutationLog::Epoch initial_published_epoch = 0;
 };
 
 // Background index maintenance: watches a MutationLog and, once enough
@@ -69,6 +74,9 @@ class IndexRebuilder {
 
   // Builds published so far.
   int64_t rebuilds_published() const;
+  // Epoch of the newest published build (initial_published_epoch before
+  // any build) — the follower's "served" position for lag accounting.
+  MutationLog::Epoch published_epoch() const;
 
  private:
   // Builds + publishes at the log's current epoch if it moved past
@@ -86,8 +94,8 @@ class IndexRebuilder {
   bool running_ = false;
   bool stopping_ = false;
   std::thread thread_;
-  // The serving side builds its own snapshot when it opens, so epoch 0
-  // (the base graph) counts as already published.
+  // The serving side's opening snapshot counts as already published
+  // (epoch 0 for the base graph; a follower's checkpoint epoch).
   MutationLog::Epoch last_published_epoch_ = 0;
   int64_t rebuilds_published_ = 0;
 

@@ -15,6 +15,10 @@ constexpr char kPagesSubdir[] = "pages";
 
 }  // namespace
 
+std::string DurableDynamicService::wal_dir() const {
+  return JoinPath(dir_, kWalSubdir);
+}
+
 DeviceIoStats DurableDynamicService::store_device_stats() const {
   if (store_device_ == nullptr) return DeviceIoStats{};
   return store_device_->device_stats();
@@ -159,6 +163,25 @@ Result<DurableDynamicService::Epoch> DurableDynamicService::ApplyLogged(
   stats_.wal_bytes_appended = wal_->bytes_appended();
   stats_.wal_syncs = wal_->syncs();
   // Validated and logged: the in-memory apply cannot legitimately fail.
+  TCDB_ASSIGN_OR_RETURN(const Epoch applied, service_->ApplyLogged(entry));
+  TCDB_CHECK_EQ(applied, epoch);
+  return applied;
+}
+
+Result<DurableDynamicService::Epoch> DurableDynamicService::ApplyReplicated(
+    Epoch epoch, const MutationLog::Entry& entry) {
+  TCDB_RETURN_IF_ERROR(
+      Validate(entry.arc.src, entry.arc.dst, entry.insert));
+  if (epoch != log_->current_epoch() + 1) {
+    return Status::Corruption(
+        "replicated record at epoch " + std::to_string(epoch) +
+        " does not follow local epoch " +
+        std::to_string(log_->current_epoch()));
+  }
+  TCDB_RETURN_IF_ERROR(wal_->Append(epoch, entry));
+  stats_.wal_records_appended = wal_->records_appended();
+  stats_.wal_bytes_appended = wal_->bytes_appended();
+  stats_.wal_syncs = wal_->syncs();
   TCDB_ASSIGN_OR_RETURN(const Epoch applied, service_->ApplyLogged(entry));
   TCDB_CHECK_EQ(applied, epoch);
   return applied;

@@ -96,6 +96,13 @@ class DurableDynamicService {
   Result<Epoch> InsertArc(NodeId src, NodeId dst);
   Result<Epoch> DeleteArc(NodeId src, NodeId dst);
 
+  // Applies one replicated record: the same validate -> WAL -> apply
+  // protocol as InsertArc/DeleteArc, but at an epoch dictated by the
+  // primary's log instead of minted locally. `epoch` must be exactly
+  // current_epoch() + 1 — a gap or replay means the replication stream
+  // skipped or repeated records, which is Corruption, not a client error.
+  Result<Epoch> ApplyReplicated(Epoch epoch, const MutationLog::Entry& entry);
+
   // Forwarded to the dynamic service.
   Result<Answer> Query(NodeId src, NodeId dst);
 
@@ -104,6 +111,11 @@ class DurableDynamicService {
 
   Epoch epoch() const { return log_->current_epoch(); }
   NodeId num_nodes() const { return log_->num_nodes(); }
+  Fs* fs() { return fs_; }
+  const std::string& dir() const { return dir_; }
+  // The WAL segment directory ("<dir>/wal") — the replication primary
+  // ships segment files straight out of it.
+  std::string wal_dir() const;
   DynamicReachService* service() { return service_.get(); }
   MutationLog* log() { return log_.get(); }
   Wal* wal() { return wal_.get(); }

@@ -45,6 +45,91 @@ bool Wal::ParseSegmentName(const std::string& name, int64_t* first_epoch) {
   return true;
 }
 
+Result<std::vector<int64_t>> Wal::ListSegments(Fs* fs,
+                                               const std::string& dir) {
+  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<int64_t> first_epochs;
+  for (const std::string& name : names) {
+    int64_t first_epoch = 0;
+    if (ParseSegmentName(name, &first_epoch)) {
+      first_epochs.push_back(first_epoch);
+    }
+  }
+  // Zero-padded names list in epoch order already; sort regardless.
+  std::sort(first_epochs.begin(), first_epochs.end());
+  return first_epochs;
+}
+
+Result<Wal::SegmentScan> Wal::ScanSegment(const std::string& bytes,
+                                          int64_t expected_first_epoch) {
+  SegmentScan scan;
+  const int64_t size = static_cast<int64_t>(bytes.size());
+
+  // Header. A short or unparsable header leaves no trustworthy record
+  // boundary at all, so the whole file is "tail" (valid_end 0); the
+  // caller decides whether that is a legal crash artifact here.
+  bool header_ok = size >= kHeaderBytes &&
+                   std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+  int64_t header_epoch = 0;
+  if (header_ok) {
+    codec::Reader reader(bytes.data() + 8, 8);
+    uint64_t value = 0;
+    reader.ReadU64(&value);
+    header_epoch = static_cast<int64_t>(value);
+    if (expected_first_epoch >= 0) {
+      header_ok = header_epoch == expected_first_epoch;
+    }
+  }
+  if (!header_ok) {
+    scan.valid_end = 0;
+    scan.torn_reason = "invalid segment header";
+    return scan;
+  }
+
+  int64_t offset = kHeaderBytes;
+  scan.valid_end = offset;
+  while (offset < size) {
+    if (size - offset < kFrameBytes) {
+      scan.torn_reason = "short record frame";
+      break;
+    }
+    codec::Reader frame(bytes.data() + offset, 8);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    frame.ReadU32(&len);
+    frame.ReadU32(&crc);
+    if (len != kPayloadBytes) {
+      scan.torn_reason = "bad record length";
+      break;
+    }
+    const char* payload = bytes.data() + offset + 8;
+    if (Crc32(payload, len) != crc) {
+      scan.torn_reason = "record CRC mismatch";
+      break;
+    }
+    codec::Reader body(payload, len);
+    uint64_t epoch_bits = 0;
+    body.ReadU64(&epoch_bits);
+    const int64_t epoch = static_cast<int64_t>(epoch_bits);
+    // Past the CRC, damage is no longer a crash artifact: an entry that
+    // fails to decode or an epoch that breaks the segment's contiguity
+    // was written wrong, not torn.
+    TCDB_ASSIGN_OR_RETURN(
+        const MutationLog::Entry entry,
+        MutationLog::DecodeEntry(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload) + 8,
+            MutationLog::kEncodedEntryBytes)));
+    if (epoch < header_epoch ||
+        (!scan.records.empty() && epoch != scan.records.back().epoch + 1)) {
+      return Status::Corruption("WAL record epoch out of order in segment");
+    }
+    scan.records.push_back(Record{epoch, entry});
+    offset += kFrameBytes;
+    scan.valid_end = offset;
+  }
+  return scan;
+}
+
 Wal::Wal(Fs* fs, std::string dir, const WalOptions& options)
     : fs_(fs), dir_(std::move(dir)), options_(options) {}
 
@@ -53,23 +138,13 @@ Result<std::unique_ptr<Wal>> Wal::Open(Fs* fs, std::string dir,
   TCDB_CHECK(fs != nullptr);
   auto wal = std::unique_ptr<Wal>(new Wal(fs, std::move(dir), options));
 
-  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                        fs->List(wal->dir_));
-  std::vector<std::pair<int64_t, std::string>> segments;
-  for (const std::string& name : names) {
-    int64_t first_epoch = 0;
-    if (ParseSegmentName(name, &first_epoch)) {
-      segments.emplace_back(first_epoch, name);
-    }
-  }
-  // Zero-padded names list in epoch order already; keep the pairs sorted
-  // regardless.
-  std::sort(segments.begin(), segments.end());
-
+  TCDB_ASSIGN_OR_RETURN(std::vector<int64_t> segments,
+                        ListSegments(fs, wal->dir_));
+  bool saw_segment = false;
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool last = i + 1 == segments.size();
-    const auto& [name_epoch, name] = segments[i];
-    const std::string path = JoinPath(wal->dir_, name);
+    const int64_t name_epoch = segments[i];
+    const std::string path = JoinPath(wal->dir_, SegmentName(name_epoch));
     TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
                           fs->Open(path, /*create=*/false));
     TCDB_ASSIGN_OR_RETURN(const int64_t size, file->Size());
@@ -81,19 +156,11 @@ Result<std::unique_ptr<Wal>> Wal::Open(Fs* fs, std::string dir,
       return Status::Internal("short read of WAL segment '" + path + "'");
     }
 
-    // Header. A short or unparsable header is a crash during segment
-    // creation when it is the final segment: drop the file entirely.
-    bool header_ok = size >= kHeaderBytes &&
-                     std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
-    int64_t header_epoch = 0;
-    if (header_ok) {
-      codec::Reader reader(bytes.data() + 8, 8);
-      uint64_t value = 0;
-      reader.ReadU64(&value);
-      header_epoch = static_cast<int64_t>(value);
-      header_ok = header_epoch == name_epoch;
-    }
-    if (!header_ok) {
+    TCDB_ASSIGN_OR_RETURN(SegmentScan scan, ScanSegment(bytes, name_epoch));
+
+    // A destroyed header is a crash during segment creation when it is
+    // the final segment: drop the file entirely.
+    if (scan.valid_end == 0) {
       if (!last) {
         return Status::Corruption("WAL segment '" + path +
                                   "' has an invalid header");
@@ -104,88 +171,61 @@ Result<std::unique_ptr<Wal>> Wal::Open(Fs* fs, std::string dir,
       TCDB_RETURN_IF_ERROR(fs->SyncDir(wal->dir_));
       continue;
     }
-    if (header_epoch <= wal->last_epoch_ &&
-        !(wal->recovered_records_.empty() && wal->current_ == nullptr)) {
+    if (name_epoch <= wal->last_epoch_ && saw_segment) {
       return Status::Corruption("WAL segment '" + path +
                                 "' does not advance the epoch");
     }
+    saw_segment = true;
 
-    // Records.
-    int64_t offset = kHeaderBytes;
-    int64_t valid_end = offset;
-    int64_t segment_records = 0;
-    std::string torn_reason;
-    while (offset < size) {
-      if (size - offset < kFrameBytes) {
-        torn_reason = "short record frame";
-        break;
-      }
-      codec::Reader frame(bytes.data() + offset, 8);
-      uint32_t len = 0;
-      uint32_t crc = 0;
-      frame.ReadU32(&len);
-      frame.ReadU32(&crc);
-      if (len != kPayloadBytes) {
-        torn_reason = "bad record length";
-        break;
-      }
-      const char* payload = bytes.data() + offset + 8;
-      if (Crc32(payload, len) != crc) {
-        torn_reason = "record CRC mismatch";
-        break;
-      }
-      codec::Reader body(payload, len);
-      uint64_t epoch_bits = 0;
-      body.ReadU64(&epoch_bits);
-      const int64_t epoch = static_cast<int64_t>(epoch_bits);
-      TCDB_ASSIGN_OR_RETURN(
-          const MutationLog::Entry entry,
-          MutationLog::DecodeEntry(std::span<const uint8_t>(
-              reinterpret_cast<const uint8_t*>(payload) + 8,
-              MutationLog::kEncodedEntryBytes)));
-      // Epochs are contiguous across the whole log: a gap means a
-      // missing or reordered segment, which no crash produces.
-      if (epoch < header_epoch ||
-          (!wal->recovered_records_.empty() &&
-           epoch != wal->last_epoch_ + 1)) {
+    // Epochs are contiguous across the whole log: a gap at a segment
+    // boundary means a missing or reordered segment, which no crash
+    // produces.
+    for (const Record& record : scan.records) {
+      if (!wal->recovered_records_.empty() &&
+          record.epoch != wal->last_epoch_ + 1) {
         return Status::Corruption("WAL record epoch out of order in '" +
                                   path + "'");
       }
-      wal->recovered_records_.push_back(Record{epoch, entry});
-      wal->last_epoch_ = epoch;
-      ++segment_records;
-      offset += kFrameBytes;
-      valid_end = offset;
+      wal->recovered_records_.push_back(record);
+      wal->last_epoch_ = record.epoch;
     }
-    if (!torn_reason.empty() || valid_end < size) {
+
+    if (!scan.torn_reason.empty()) {
       if (!last) {
         return Status::Corruption("WAL segment '" + path + "' is damaged (" +
-                                  (torn_reason.empty() ? "trailing garbage"
-                                                       : torn_reason) +
+                                  scan.torn_reason +
                                   ") before the final segment");
       }
       // The legal torn tail: repair by truncation.
-      wal->torn_bytes_dropped_ += size - valid_end;
-      TCDB_RETURN_IF_ERROR(file->Truncate(valid_end));
+      wal->torn_bytes_dropped_ += size - scan.valid_end;
+      TCDB_RETURN_IF_ERROR(file->Truncate(scan.valid_end));
       TCDB_RETURN_IF_ERROR(file->Sync());
     }
 
     if (last) {
       wal->current_ = std::move(file);
-      wal->current_first_epoch_ = header_epoch;
-      wal->current_size_ = valid_end;
-      wal->current_records_ = segment_records;
+      wal->current_first_epoch_ = name_epoch;
+      wal->current_size_ = scan.valid_end;
+      wal->current_records_ =
+          static_cast<int64_t>(scan.records.size());
     }
-    if (wal->last_epoch_ < header_epoch - 1) {
+    if (wal->last_epoch_ < name_epoch - 1) {
       // An empty rotated segment carries the next epoch in its name;
       // remember it so Append's monotonicity check holds.
-      wal->last_epoch_ = header_epoch - 1;
+      wal->last_epoch_ = name_epoch - 1;
     }
   }
   return wal;
 }
 
 Status Wal::StartSegment(int64_t first_epoch) {
+  // Never leave an unsynced group-commit batch behind in the outgoing
+  // segment: a batch must not span files, or rotation would silently
+  // demote already-acknowledged records to write()-level durability in a
+  // file nobody will sync again.
+  if (current_ != nullptr && pending_sync_records_ > 0) {
+    TCDB_RETURN_IF_ERROR(Sync());
+  }
   const std::string path = JoinPath(dir_, SegmentName(first_epoch));
   TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
                         fs_->Open(path, /*create=*/true));
@@ -226,15 +266,20 @@ Status Wal::Append(int64_t epoch, const MutationLog::Entry& entry) {
   last_epoch_ = epoch;
   ++records_appended_;
   bytes_appended_ += static_cast<int64_t>(frame.size());
-  if (options_.sync_each_append) {
+  ++pending_sync_records_;
+  if (options_.sync_each_append &&
+      pending_sync_records_ >= options_.group_commit_records) {
     TCDB_RETURN_IF_ERROR(Sync());
   }
   return Status::Ok();
 }
 
 Status Wal::Sync() {
-  if (current_ == nullptr) return Status::Ok();
+  if (current_ == nullptr || pending_sync_records_ == 0) {
+    return Status::Ok();
+  }
   TCDB_RETURN_IF_ERROR(current_->Sync());
+  pending_sync_records_ = 0;
   ++syncs_;
   return Status::Ok();
 }
@@ -249,21 +294,15 @@ Status Wal::Rotate(int64_t first_epoch) {
 }
 
 Status Wal::TruncateThrough(int64_t watermark) {
-  TCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs_->List(dir_));
-  std::vector<std::pair<int64_t, std::string>> segments;
-  for (const std::string& name : names) {
-    int64_t first_epoch = 0;
-    if (ParseSegmentName(name, &first_epoch)) {
-      segments.emplace_back(first_epoch, name);
-    }
-  }
-  std::sort(segments.begin(), segments.end());
+  TCDB_ASSIGN_OR_RETURN(std::vector<int64_t> segments,
+                        ListSegments(fs_, dir_));
   bool removed = false;
   for (size_t i = 0; i + 1 < segments.size(); ++i) {
-    // Every record of segment i has epoch < segments[i+1].first_epoch.
-    if (segments[i + 1].first <= watermark + 1) {
+    // Every record of segment i has epoch < segments[i+1] (the next
+    // segment's first_epoch); the last segment is never deleted.
+    if (segments[i + 1] <= watermark + 1) {
       TCDB_RETURN_IF_ERROR(
-          fs_->Remove(JoinPath(dir_, segments[i].second)));
+          fs_->Remove(JoinPath(dir_, SegmentName(segments[i]))));
       removed = true;
     }
   }

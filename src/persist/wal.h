@@ -20,6 +20,14 @@ struct WalOptions {
   // the last explicit Sync() (the checkpoint barrier); on, every accepted
   // mutation survives a crash — the crash-stress default.
   bool sync_each_append = true;
+  // Group commit: with sync_each_append, coalesce this many appended
+  // records per fsync instead of paying one fsync each. 1 keeps the
+  // strict record-at-a-time durability the crash harness assumes; N > 1
+  // amortizes the WAL tax by a factor of N at the cost of the last
+  // (N - 1) acknowledged records being only write()-level durable until
+  // the next batch boundary or explicit Sync(). Segment rotation always
+  // syncs the outgoing segment first, so a batch never spans files.
+  int32_t group_commit_records = 1;
 };
 
 // Write-ahead log of MutationLog entries.
@@ -50,11 +58,40 @@ class Wal {
     MutationLog::Entry entry;
   };
 
+  // Result of scanning one segment image (see ScanSegment).
+  struct SegmentScan {
+    std::vector<Record> records;
+    // Byte offset just past the last valid record (header-only segments
+    // scan to kHeaderBytes). Bytes past this point are the torn tail.
+    int64_t valid_end = 0;
+    // Empty when the segment parsed cleanly to its end; otherwise a
+    // human-readable reason the suffix was unparseable (short frame, CRC
+    // mismatch, ...). The caller decides whether a tail is legal here.
+    std::string torn_reason;
+  };
+
   // Opens the log in `dir` (which must exist), scanning and validating
   // every existing segment. Recovered records are exposed through
   // recovered_records(); appends continue after the repaired tail.
   static Result<std::unique_ptr<Wal>> Open(Fs* fs, std::string dir,
                                            const WalOptions& options = {});
+
+  // Parses one segment image (header + records) without touching any
+  // filesystem. Structural damage that can never be a crash artifact —
+  // bad magic, wrong first_epoch, out-of-order epochs, undecodable
+  // entries — is Corruption; an unparseable *suffix* is reported via
+  // SegmentScan::torn_reason instead, because only the caller knows
+  // whether this is the last segment (where a torn tail is legal) or a
+  // shipped/interior one (where it is not). `expected_first_epoch` < 0
+  // skips the first-epoch check (the header still must parse).
+  static Result<SegmentScan> ScanSegment(const std::string& bytes,
+                                         int64_t expected_first_epoch);
+
+  // Sorted first_epochs of every segment in `dir` (empty vector when the
+  // directory holds none). Shared by Open, TruncateThrough, and the
+  // replication primary, which ships segment files directly.
+  static Result<std::vector<int64_t>> ListSegments(Fs* fs,
+                                                   const std::string& dir);
 
   // Appends one record. `epoch` must exceed every epoch already in the
   // log. Syncs per options.sync_each_append.
@@ -82,6 +119,8 @@ class Wal {
   int64_t records_appended() const { return records_appended_; }
   int64_t bytes_appended() const { return bytes_appended_; }
   int64_t syncs() const { return syncs_; }
+  // Largest epoch ever appended or recovered (0 for an empty log).
+  int64_t last_epoch() const { return last_epoch_; }
 
   // Segment file name for `first_epoch` ("wal-<20 digits>.log").
   static std::string SegmentName(int64_t first_epoch);
@@ -103,6 +142,9 @@ class Wal {
   int64_t current_size_ = 0;
   int64_t current_records_ = 0;
   int64_t last_epoch_ = 0;  // largest epoch ever appended/recovered
+  // Records appended since the last fsync of current_ — the group-commit
+  // batch. Rotation and explicit Sync() flush it.
+  int32_t pending_sync_records_ = 0;
 
   std::vector<Record> recovered_records_;
   int64_t torn_bytes_dropped_ = 0;

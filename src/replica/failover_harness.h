@@ -1,0 +1,94 @@
+#ifndef TCDB_REPLICA_FAILOVER_HARNESS_H_
+#define TCDB_REPLICA_FAILOVER_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcdb {
+
+// Configuration of one randomized kill-primary-and-failover differential
+// run — the replication counterpart of CrashStressOptions. Each seed
+// draws a graph family point, builds a Primary on a fault-injecting
+// in-memory filesystem, attaches 1–2 followers over in-process pipes
+// (one possibly mid-trace, so bootstrap runs against a live WAL), arms
+// the FaultFs to kill the primary at a random mutating syscall, and
+// replays a mixed insert/delete/query/checkpoint trace against an
+// in-memory reference mirror, with periodic follower read barriers
+// (catch-up wait + snapshot refresh + differential queries). When the
+// primary dies (or the trace ends):
+//   - every follower drains its stream to exactly the last acknowledged
+//     epoch — shipping is post-commit, so the in-flight mutation that
+//     killed the primary was never shipped and no follower can be ahead;
+//   - one follower is promoted; the promoted primary's answers and
+//     successor lists must match the reference at that epoch;
+//   - the other follower re-attaches to the promoted primary (an empty
+//     catch-up: its durable state is already at the tip, so no
+//     checkpoint is shipped);
+//   - the remaining trace replays against the promoted primary, with a
+//     final differential check on it and on the re-attached follower.
+// This is the harness check.sh runs 50-seed under ASan/UBSan.
+struct FailoverStressOptions {
+  int32_t num_seeds = 50;
+  uint64_t base_seed = 1;
+  int32_t ops_per_seed = 220;
+  // Trace ops replayed on the promoted primary after failover.
+  int32_t ops_after_failover = 60;
+  std::vector<int32_t> node_counts = {40, 80, 160};
+  std::vector<int32_t> out_degrees = {2, 4};
+  std::vector<int32_t> localities = {10, 50};
+  double insert_share = 0.45;
+  double delete_share = 0.25;
+  // Ops between primary Checkpoint() calls (0 = only checkpoint 0).
+  int32_t checkpoint_every = 64;
+  // Ops between Heartbeat() fan-outs (0 = never).
+  int32_t heartbeat_every = 16;
+  // Ops between follower read barriers, and differential queries per
+  // barrier / per post-failover check.
+  int32_t follower_check_every = 48;
+  int32_t queries_per_check = 15;
+  // Progress sink, called once per seed; may be empty.
+  std::function<void(const std::string&)> log;
+};
+
+struct FailoverStressFailure {
+  uint64_t seed = 0;
+  int32_t num_nodes = 0;
+  int32_t avg_out_degree = 0;
+  int32_t locality = 0;
+  int32_t num_back_arcs = 0;
+  int32_t num_followers = 0;
+  int64_t op_index = -1;  // -1: failed outside the trace
+  std::string diagnostic;
+
+  std::string ToString() const;
+};
+
+struct FailoverStressReport {
+  int64_t seeds = 0;
+  int64_t crashes_injected = 0;  // seeds whose armed fault actually fired
+  int64_t followers_attached = 0;
+  int64_t mid_trace_attaches = 0;
+  int64_t promotions = 0;
+  int64_t reattaches = 0;  // post-failover re-attach bootstraps
+  int64_t ops_applied = 0;  // accepted mutations, before and after failover
+  int64_t records_shipped = 0;
+  int64_t checkpoints_shipped = 0;
+  int64_t local_follower_checkpoints = 0;
+  int64_t forced_refreshes = 0;
+  int64_t queries_checked = 0;  // differential answers verified
+};
+
+// Runs the sweep. Ok when every seed failed over to the exact reference
+// state; Internal carrying `failure->ToString()` on the first
+// divergence. `report` and `failure` may be null.
+Status RunFailoverStress(const FailoverStressOptions& options,
+                         FailoverStressReport* report,
+                         FailoverStressFailure* failure);
+
+}  // namespace tcdb
+
+#endif  // TCDB_REPLICA_FAILOVER_HARNESS_H_

@@ -1,0 +1,196 @@
+#include "replica/primary.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "util/check.h"
+
+namespace tcdb {
+
+namespace {
+
+Result<std::string> ReadFileBytes(Fs* fs, const std::string& path) {
+  TCDB_ASSIGN_OR_RETURN(std::unique_ptr<FsFile> file,
+                        fs->Open(path, /*create=*/false));
+  TCDB_ASSIGN_OR_RETURN(const int64_t size, file->Size());
+  std::string bytes(static_cast<size_t>(size), '\0');
+  size_t bytes_read = 0;
+  TCDB_RETURN_IF_ERROR(
+      file->ReadAt(0, bytes.data(), bytes.size(), &bytes_read));
+  if (static_cast<int64_t>(bytes_read) != size) {
+    return Status::Internal("short read of '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Primary::Primary(std::unique_ptr<DurableDynamicService> db,
+                 PrimaryOptions options)
+    : db_(std::move(db)), options_(options) {
+  TCDB_CHECK(db_ != nullptr);
+}
+
+Primary::~Primary() { DetachAll(); }
+
+void Primary::DetachAll() {
+  for (auto& stream : followers_) {
+    stream->Close();
+  }
+  stats_.followers_detached += static_cast<int64_t>(followers_.size());
+  followers_.clear();
+}
+
+void Primary::FanOut(const Frame& frame, int64_t* shipped_counter) {
+  for (size_t i = 0; i < followers_.size();) {
+    const Status sent = WriteFrame(followers_[i].get(), frame);
+    if (sent.ok()) {
+      if (shipped_counter != nullptr) ++*shipped_counter;
+      ++i;
+      continue;
+    }
+    // A dead follower never fails the primary: close, drop, keep going.
+    followers_[i]->Close();
+    followers_.erase(followers_.begin() + static_cast<long>(i));
+    ++stats_.followers_detached;
+  }
+}
+
+Result<Primary::Epoch> Primary::InsertArc(NodeId src, NodeId dst) {
+  TCDB_ASSIGN_OR_RETURN(const Epoch epoch, db_->InsertArc(src, dst));
+  Frame frame;
+  frame.type = FrameType::kRecord;
+  frame.a = epoch;
+  frame.entry = MutationLog::Entry{Arc{src, dst}, /*insert=*/true};
+  FanOut(frame, &stats_.records_shipped);
+  return epoch;
+}
+
+Result<Primary::Epoch> Primary::DeleteArc(NodeId src, NodeId dst) {
+  TCDB_ASSIGN_OR_RETURN(const Epoch epoch, db_->DeleteArc(src, dst));
+  Frame frame;
+  frame.type = FrameType::kRecord;
+  frame.a = epoch;
+  frame.entry = MutationLog::Entry{Arc{src, dst}, /*insert=*/false};
+  FanOut(frame, &stats_.records_shipped);
+  return epoch;
+}
+
+Result<Primary::Answer> Primary::Query(NodeId src, NodeId dst) {
+  return db_->Query(src, dst);
+}
+
+Status Primary::Checkpoint() { return db_->Checkpoint(); }
+
+Status Primary::Heartbeat() {
+  Frame frame;
+  frame.type = FrameType::kHeartbeat;
+  frame.a = db_->epoch();
+  FanOut(frame, &stats_.heartbeats_sent);
+  return Status::Ok();
+}
+
+Status Primary::AttachFollower(std::unique_ptr<ByteStream> stream) {
+  TCDB_CHECK(stream != nullptr);
+  TCDB_ASSIGN_OR_RETURN(const Frame hello, ReadFrame(stream.get()));
+  if (hello.type != FrameType::kHello) {
+    return Status::Corruption("follower did not open with kHello");
+  }
+  const bool have_state = hello.b != 0;
+  const Epoch follower_last = hello.a;
+  const Epoch tip = db_->epoch();
+
+  TCDB_ASSIGN_OR_RETURN(std::vector<int64_t> segments,
+                        Wal::ListSegments(db_->fs(), db_->wal_dir()));
+
+  // The WAL alone suffices only for a follower whose durable state
+  // already reaches the oldest retained segment; everyone else (fresh
+  // followers included) bootstraps from the newest checkpoint.
+  const bool ship_checkpoint =
+      !have_state || segments.empty() || follower_last + 1 < segments.front();
+  if (ship_checkpoint) {
+    int64_t skipped = 0;
+    TCDB_ASSIGN_OR_RETURN(
+        const CheckpointImage image,
+        LoadNewestCheckpoint(db_->fs(), db_->dir(), &skipped));
+    TCDB_ASSIGN_OR_RETURN(
+        std::string bytes,
+        ReadFileBytes(db_->fs(),
+                      JoinPath(db_->dir(), CheckpointName(image.epoch))));
+    Frame frame;
+    frame.type = FrameType::kCheckpoint;
+    frame.a = image.epoch;
+    frame.bytes = std::move(bytes);
+    TCDB_RETURN_IF_ERROR(WriteFrame(stream.get(), frame));
+    ++stats_.checkpoints_shipped;
+  }
+
+  for (const int64_t first_epoch : segments) {
+    const std::string path =
+        JoinPath(db_->wal_dir(), Wal::SegmentName(first_epoch));
+    TCDB_ASSIGN_OR_RETURN(const std::string bytes,
+                          ReadFileBytes(db_->fs(), path));
+    // The primary wrote this segment itself, so it scans clean; the scan
+    // yields the advertised last-contained epoch (first_epoch - 1 for an
+    // empty rotated segment, so the follower never waits for records the
+    // file does not hold).
+    TCDB_ASSIGN_OR_RETURN(const Wal::SegmentScan scan,
+                          Wal::ScanSegment(bytes, first_epoch));
+    if (!scan.torn_reason.empty()) {
+      return Status::Corruption("primary WAL segment '" + path +
+                                "' is damaged (" + scan.torn_reason + ")");
+    }
+    Frame frame;
+    frame.type = FrameType::kSegment;
+    frame.a = first_epoch;
+    frame.b =
+        scan.records.empty() ? first_epoch - 1 : scan.records.back().epoch;
+
+    for (int attempt = 0;; ++attempt) {
+      frame.bytes = bytes;
+      if (tear_next_segment_bytes_ > 0) {
+        // Test hook: ship a truncated image once, advertising the intact
+        // epochs — exactly what a torn transfer looks like on arrival.
+        const int64_t drop = std::min<int64_t>(
+            tear_next_segment_bytes_,
+            static_cast<int64_t>(frame.bytes.size()));
+        frame.bytes.resize(frame.bytes.size() - static_cast<size_t>(drop));
+        tear_next_segment_bytes_ = 0;
+      }
+      TCDB_RETURN_IF_ERROR(WriteFrame(stream.get(), frame));
+      ++stats_.segments_shipped;
+      TCDB_ASSIGN_OR_RETURN(const Frame ack, ReadFrame(stream.get()));
+      if (ack.type == FrameType::kSegmentOk && ack.a == first_epoch) {
+        break;
+      }
+      if (ack.type != FrameType::kResendSegment || ack.a != first_epoch) {
+        return Status::Corruption(
+            "follower sent an out-of-protocol bootstrap ack");
+      }
+      ++stats_.segment_resends_served;
+      if (attempt + 1 >= options_.max_segment_resends) {
+        return Status::Corruption("segment " + Wal::SegmentName(first_epoch) +
+                                  " kept failing follower validation");
+      }
+    }
+  }
+
+  Frame done;
+  done.type = FrameType::kBootstrapDone;
+  done.a = tip;
+  TCDB_RETURN_IF_ERROR(WriteFrame(stream.get(), done));
+
+  TCDB_ASSIGN_OR_RETURN(const Frame caught_up, ReadFrame(stream.get()));
+  if (caught_up.type != FrameType::kCaughtUp || caught_up.a != tip) {
+    return Status::Corruption(
+        "follower failed to reach the bootstrap tip epoch " +
+        std::to_string(tip));
+  }
+  followers_.push_back(std::move(stream));
+  ++stats_.followers_attached;
+  return Status::Ok();
+}
+
+}  // namespace tcdb

@@ -1,0 +1,111 @@
+#ifndef TCDB_REPLICA_PRIMARY_H_
+#define TCDB_REPLICA_PRIMARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/durable_service.h"
+#include "replica/transport.h"
+#include "replica/wire.h"
+
+namespace tcdb {
+
+struct PrimaryOptions {
+  // Bootstrap gives up on a follower after this many kResendSegment
+  // requests for the same segment (a fault that CRC-clean framing cannot
+  // explain away).
+  int max_segment_resends = 3;
+};
+
+struct PrimaryStats {
+  int64_t records_shipped = 0;
+  int64_t segments_shipped = 0;
+  int64_t checkpoints_shipped = 0;
+  int64_t segment_resends_served = 0;
+  int64_t heartbeats_sent = 0;
+  int64_t followers_attached = 0;
+  int64_t followers_detached = 0;
+};
+
+// The writable end of a replication group: wraps the durable serving
+// stack and ships its WAL to followers.
+//
+// Shipping is synchronous post-commit: a mutation first runs the local
+// WAL-before-apply protocol, then the committed record is framed to
+// every live follower before the call returns. The transport's bounded
+// buffer is the only queue — a slow follower exerts backpressure on the
+// primary's mutation path rather than growing an unbounded backlog,
+// which is also what bounds the follower's tip-vs-applied lag. A
+// follower whose stream errors is detached (the primary keeps serving;
+// replication is fan-out, not quorum).
+//
+// AttachFollower runs the bootstrap synchronously on the caller (owner)
+// thread: because mutations live on the same thread, the primary's tip
+// cannot move during a bootstrap, so the shipped checkpoint + segments +
+// tip handshake is a consistent cut by construction.
+//
+// Single-owner object, like the DurableDynamicService it wraps.
+class Primary {
+ public:
+  using Epoch = DurableDynamicService::Epoch;
+  using Answer = DurableDynamicService::Answer;
+
+  explicit Primary(std::unique_ptr<DurableDynamicService> db,
+                   PrimaryOptions options = {});
+  ~Primary();
+
+  Primary(const Primary&) = delete;
+  Primary& operator=(const Primary&) = delete;
+
+  // Mutations: local durable commit, then fan-out. A follower send
+  // failure detaches that follower and never fails the mutation.
+  Result<Epoch> InsertArc(NodeId src, NodeId dst);
+  Result<Epoch> DeleteArc(NodeId src, NodeId dst);
+
+  Result<Answer> Query(NodeId src, NodeId dst);
+  Status Checkpoint();
+
+  // Ships the current tip to every live follower so lag is observable
+  // even when no mutations flow.
+  Status Heartbeat();
+
+  // Runs the bootstrap protocol over `stream` to completion: Hello ->
+  // [checkpoint] -> segments (with re-ships on kResendSegment) ->
+  // BootstrapDone -> CaughtUp, then marks the follower live. A follower
+  // that already holds every epoch the WAL would need is served from
+  // segments alone (an empty catch-up when it is at the tip).
+  Status AttachFollower(std::unique_ptr<ByteStream> stream);
+
+  // Closes every follower stream (each sees a clean end of stream).
+  void DetachAll();
+
+  Epoch epoch() const { return db_->epoch(); }
+  NodeId num_nodes() const { return db_->num_nodes(); }
+  int num_followers() const { return static_cast<int>(followers_.size()); }
+  DurableDynamicService* db() { return db_.get(); }
+  const PrimaryStats& stats() const { return stats_; }
+
+  // Drops the final `drop_bytes` from the next kSegment ship (once)
+  // while still advertising the intact segment's last epoch — the
+  // injection point for the torn-shipped-segment re-fetch tests.
+  void TearNextSegmentShipForTesting(int64_t drop_bytes) {
+    tear_next_segment_bytes_ = drop_bytes;
+  }
+
+ private:
+  // Ships `frame` to every live follower, detaching any whose stream
+  // errors.
+  void FanOut(const Frame& frame, int64_t* shipped_counter);
+
+  std::unique_ptr<DurableDynamicService> db_;
+  PrimaryOptions options_;
+  std::vector<std::unique_ptr<ByteStream>> followers_;
+  PrimaryStats stats_;
+  int64_t tear_next_segment_bytes_ = 0;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_REPLICA_PRIMARY_H_

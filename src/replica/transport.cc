@@ -1,0 +1,193 @@
+#include "replica/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/check.h"
+
+namespace tcdb {
+
+namespace {
+
+// One direction of the pipe: a bounded byte queue with its own closure
+// flags for each side.
+struct Half {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<char> buffer;
+  size_t capacity = 0;
+  bool write_closed = false;  // producer endpoint closed
+  bool read_closed = false;   // consumer endpoint closed
+};
+
+struct PipeState {
+  Half a_to_b;
+  Half b_to_a;
+};
+
+Status WriteHalf(Half* half, const char* data, size_t n) {
+  size_t written = 0;
+  std::unique_lock<std::mutex> lock(half->mu);
+  while (written < n) {
+    half->cv.wait(lock, [half] {
+      return half->buffer.size() < half->capacity || half->write_closed ||
+             half->read_closed;
+    });
+    if (half->write_closed) {
+      return Status::FailedPrecondition("byte stream closed locally");
+    }
+    if (half->read_closed) {
+      return Status::FailedPrecondition("peer endpoint closed");
+    }
+    const size_t room = half->capacity - half->buffer.size();
+    const size_t chunk = std::min(room, n - written);
+    half->buffer.insert(half->buffer.end(), data + written,
+                        data + written + chunk);
+    written += chunk;
+    half->cv.notify_all();
+  }
+  return Status::Ok();
+}
+
+Status ReadHalf(Half* half, char* out, size_t n) {
+  size_t got = 0;
+  std::unique_lock<std::mutex> lock(half->mu);
+  while (got < n) {
+    half->cv.wait(lock, [half] {
+      return !half->buffer.empty() || half->write_closed ||
+             half->read_closed;
+    });
+    if (half->read_closed) {
+      return Status::FailedPrecondition("byte stream closed locally");
+    }
+    if (half->buffer.empty()) {
+      // Writer closed; buffered bytes (if any) were already drained.
+      if (got == 0) return Status::OutOfRange("end of stream");
+      return Status::Corruption("stream ended mid-message");
+    }
+    const size_t chunk = std::min(half->buffer.size(), n - got);
+    std::copy_n(half->buffer.begin(), chunk, out + got);
+    half->buffer.erase(half->buffer.begin(),
+                       half->buffer.begin() + static_cast<long>(chunk));
+    got += chunk;
+    half->cv.notify_all();
+  }
+  return Status::Ok();
+}
+
+class PipeEndpoint : public ByteStream {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeState> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+  ~PipeEndpoint() override { Close(); }
+
+  Status Write(const char* data, size_t n) override {
+    return WriteHalf(is_a_ ? &state_->a_to_b : &state_->b_to_a, data, n);
+  }
+
+  Status Read(char* out, size_t n) override {
+    return ReadHalf(is_a_ ? &state_->b_to_a : &state_->a_to_b, out, n);
+  }
+
+  void Close() override {
+    Half* outgoing = is_a_ ? &state_->a_to_b : &state_->b_to_a;
+    Half* incoming = is_a_ ? &state_->b_to_a : &state_->a_to_b;
+    {
+      std::lock_guard<std::mutex> lock(outgoing->mu);
+      outgoing->write_closed = true;
+      outgoing->cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(incoming->mu);
+      incoming->read_closed = true;
+      incoming->cv.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<PipeState> state_;
+  const bool is_a_;
+};
+
+class FdEndpoint : public ByteStream {
+ public:
+  explicit FdEndpoint(int fd) : fd_(fd) {}
+  ~FdEndpoint() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Write(const char* data, size_t n) override {
+    size_t written = 0;
+    while (written < n) {
+      // MSG_NOSIGNAL: a closed peer is a Status, not a SIGPIPE.
+      const ssize_t rc =
+          ::send(fd_, data + written, n - written, MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("socket write failed: ") +
+                                std::strerror(errno));
+      }
+      written += static_cast<size_t>(rc);
+    }
+    return Status::Ok();
+  }
+
+  Status Read(char* out, size_t n) override {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t rc = ::recv(fd_, out + got, n - got, 0);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("socket read failed: ") +
+                                std::strerror(errno));
+      }
+      if (rc == 0) {
+        if (got == 0) return Status::OutOfRange("end of stream");
+        return Status::Corruption("stream ended mid-message");
+      }
+      got += static_cast<size_t>(rc);
+    }
+    return Status::Ok();
+  }
+
+  void Close() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  const int fd_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+MakeInProcessPipe(size_t capacity_bytes) {
+  TCDB_CHECK_GT(capacity_bytes, 0u);
+  auto state = std::make_shared<PipeState>();
+  state->a_to_b.capacity = capacity_bytes;
+  state->b_to_a.capacity = capacity_bytes;
+  return {std::make_unique<PipeEndpoint>(state, /*is_a=*/true),
+          std::make_unique<PipeEndpoint>(state, /*is_a=*/false)};
+}
+
+Result<std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>>
+MakeSocketPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>> pair(
+      std::make_unique<FdEndpoint>(fds[0]),
+      std::make_unique<FdEndpoint>(fds[1]));
+  return pair;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,58 @@
+#ifndef TCDB_REPLICA_TRANSPORT_H_
+#define TCDB_REPLICA_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tcdb {
+
+// One endpoint of a reliable, ordered, bidirectional byte stream — the
+// replication protocol's transport seam. The in-process pipe keeps tests
+// and the failover harness hermetic the same way MemFs does for
+// persistence; the socketpair variant proves the framing survives a real
+// kernel boundary. Both are blocking: Write parks on a full peer buffer
+// (that backpressure is what bounds a follower's tip-vs-applied lag) and
+// Read parks on an empty one.
+//
+// Thread safety: one reader thread and one writer thread per endpoint
+// may operate concurrently; Close is safe from any thread and unblocks
+// both sides.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Writes all `n` bytes, blocking while the peer's receive buffer is
+  // full. FailedPrecondition when either endpoint has closed.
+  virtual Status Write(const char* data, size_t n) = 0;
+
+  // Reads exactly `n` bytes, blocking until they arrive. After the peer
+  // closes, buffered bytes still drain; then OutOfRange("end of stream")
+  // when the stream ended before the first byte of this request, and
+  // Corruption when it ended in the middle of one — the frame layer
+  // treats only the former as a clean shutdown.
+  virtual Status Read(char* out, size_t n) = 0;
+
+  // Shuts down both directions of this endpoint and unblocks every
+  // parked Read/Write on either side. Idempotent; the destructor calls
+  // it.
+  virtual void Close() = 0;
+};
+
+// Endpoint pair over an in-memory bounded buffer per direction.
+// `capacity_bytes` is that bound — small capacities exercise
+// backpressure, and a primary's record stream can keep at most
+// capacity_bytes of frames in flight to each follower.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+MakeInProcessPipe(size_t capacity_bytes = 1 << 16);
+
+// Endpoint pair over an AF_UNIX socketpair — the same contract through
+// real file descriptors.
+Result<std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>>
+MakeSocketPair();
+
+}  // namespace tcdb
+
+#endif  // TCDB_REPLICA_TRANSPORT_H_

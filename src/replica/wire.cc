@@ -1,0 +1,113 @@
+#include "replica/wire.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/crc32.h"
+
+namespace tcdb {
+
+namespace {
+
+// u8 type | u64 a | u64 b | entry | u32 bytes_len
+constexpr size_t kFixedPayloadBytes =
+    1 + 8 + 8 + MutationLog::kEncodedEntryBytes + 4;
+// Checkpoint images are the only big payloads; anything past this is a
+// corrupt length field, not a plausible frame.
+constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+bool KnownType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kHeartbeat);
+}
+
+}  // namespace
+
+Status WriteFrame(ByteStream* stream, const Frame& frame) {
+  TCDB_CHECK(stream != nullptr);
+  std::string payload;
+  payload.reserve(kFixedPayloadBytes + frame.bytes.size());
+  codec::PutU8(&payload, static_cast<uint8_t>(frame.type));
+  codec::PutU64(&payload, static_cast<uint64_t>(frame.a));
+  codec::PutU64(&payload, static_cast<uint64_t>(frame.b));
+  if (frame.type == FrameType::kRecord) {
+    MutationLog::EncodeEntry(frame.entry, &payload);
+  } else {
+    // The entry slot rides along zeroed; ReadFrame skips it.
+    payload.append(MutationLog::kEncodedEntryBytes, '\0');
+  }
+  codec::PutU32(&payload, static_cast<uint32_t>(frame.bytes.size()));
+  payload += frame.bytes;
+
+  std::string wire;
+  wire.reserve(8 + payload.size());
+  codec::PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  codec::PutU32(&wire, Crc32(payload.data(), payload.size()));
+  wire += payload;
+  return stream->Write(wire.data(), wire.size());
+}
+
+Result<Frame> ReadFrame(ByteStream* stream) {
+  TCDB_CHECK(stream != nullptr);
+  char header[8];
+  // A clean EOF here (OutOfRange) is the normal end of a session and
+  // propagates as-is; the transport reports an EOF past the first header
+  // byte as Corruption already.
+  TCDB_RETURN_IF_ERROR(stream->Read(header, sizeof(header)));
+  codec::Reader reader(header, sizeof(header));
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  reader.ReadU32(&len);
+  reader.ReadU32(&crc);
+  if (len < kFixedPayloadBytes || len > kMaxFrameBytes) {
+    return Status::Corruption("replication frame has implausible length " +
+                              std::to_string(len));
+  }
+  std::string payload(len, '\0');
+  Status read = stream->Read(payload.data(), payload.size());
+  if (!read.ok()) {
+    // EOF between the header and its payload is never a clean shutdown.
+    if (read.code() == StatusCode::kOutOfRange) {
+      return Status::Corruption("stream ended mid-frame");
+    }
+    return read;
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("replication frame CRC mismatch");
+  }
+
+  Frame frame;
+  codec::Reader body(payload.data(), payload.size());
+  uint8_t type = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t bytes_len = 0;
+  body.ReadU8(&type);
+  body.ReadU64(&a);
+  body.ReadU64(&b);
+  if (!KnownType(type)) {
+    return Status::Corruption("unknown replication frame type " +
+                              std::to_string(type));
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.a = static_cast<int64_t>(a);
+  frame.b = static_cast<int64_t>(b);
+  if (frame.type == FrameType::kRecord) {
+    TCDB_ASSIGN_OR_RETURN(
+        frame.entry,
+        MutationLog::DecodeEntry(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(payload.data()) + 17,
+            MutationLog::kEncodedEntryBytes)));
+  }
+  body.Skip(MutationLog::kEncodedEntryBytes);
+  body.ReadU32(&bytes_len);
+  if (body.failed() ||
+      bytes_len != payload.size() - kFixedPayloadBytes) {
+    return Status::Corruption("replication frame payload is malformed");
+  }
+  frame.bytes.assign(payload, kFixedPayloadBytes, bytes_len);
+  return frame;
+}
+
+}  // namespace tcdb

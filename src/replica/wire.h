@@ -1,0 +1,72 @@
+#ifndef TCDB_REPLICA_WIRE_H_
+#define TCDB_REPLICA_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dynamic/mutation_log.h"
+#include "replica/transport.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Replication protocol frames. Exactly the WAL's framing discipline on
+// the wire: u32 len | u32 crc32(payload) | payload, with payload
+//   u8 type | u64 a | u64 b | entry (9B) | u32 bytes_len | bytes
+// (a/b/entry/bytes mean what each type says below; unused fields ride
+// along as zeros — every frame except the bulk ones is a fixed 38
+// bytes, which keeps lag arithmetic trivial).
+enum class FrameType : uint8_t {
+  // follower -> primary, first frame: a = last locally durable epoch,
+  // b = 1 when the follower has local state (0 = fresh bootstrap).
+  kHello = 1,
+  // primary -> follower: bytes = a checkpoint file image at epoch a.
+  kCheckpoint = 2,
+  // primary -> follower: bytes = a WAL segment file image whose name
+  // carries first_epoch a; b = last epoch actually contained (a - 1 for
+  // an empty rotated segment).
+  kSegment = 3,
+  // follower -> primary: segment with first_epoch a validated and
+  // applied.
+  kSegmentOk = 4,
+  // follower -> primary: segment with first_epoch a arrived damaged or
+  // short; ship it again.
+  kResendSegment = 5,
+  // primary -> follower: bootstrap complete, primary tip is a. The
+  // follower must reach exactly a before serving.
+  kBootstrapDone = 6,
+  // follower -> primary: caught up at epoch a, now serving.
+  kCaughtUp = 7,
+  // primary -> follower, steady state: one committed mutation — entry at
+  // epoch a.
+  kRecord = 8,
+  // primary -> follower, steady state: no payload, a = primary tip.
+  // Lets the follower observe lag even when the record stream is idle.
+  kHeartbeat = 9,
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  int64_t a = 0;
+  int64_t b = 0;
+  MutationLog::Entry entry;  // meaningful for kRecord only
+  std::string bytes;         // kCheckpoint / kSegment file image
+};
+
+// Fixed on-wire size of a bytes-free frame (every type except
+// kCheckpoint/kSegment): 8-byte frame header + 30-byte payload. A pipe
+// of capacity C can therefore hold at most C / kRecordFrameBytes
+// in-flight records — the transport half of a follower's lag bound.
+inline constexpr int64_t kRecordFrameBytes = 38;
+
+// Writes one frame. Any transport error is returned as-is.
+Status WriteFrame(ByteStream* stream, const Frame& frame);
+
+// Reads one frame. OutOfRange("end of stream") exactly when the peer
+// closed cleanly between frames; an EOF inside a frame, a CRC mismatch,
+// or a structurally invalid payload is Corruption.
+Result<Frame> ReadFrame(ByteStream* stream);
+
+}  // namespace tcdb
+
+#endif  // TCDB_REPLICA_WIRE_H_

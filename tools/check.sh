@@ -45,14 +45,23 @@ cmake --build "$SAN_DIR" -j "$(nproc)" --target tcdb_cli
 # reference graph at the crash point, with torn-write repair exercised.
 "$SAN_DIR"/tools/tcdb_cli crash-stress --seeds 50 --base-seed 1
 
+# --- Sanitized failover differential: 50 randomized primary-kill runs
+# through the replication stack (WAL shipping to live followers, some
+# attached mid-trace, primary on a fault-injecting filesystem) — after
+# every kill a follower is promoted and checked arc-for-arc and
+# reachability-for-reachability against the reference graph, then serves
+# a post-failover write trace of its own.
+"$SAN_DIR"/tools/tcdb_cli failover-stress --seeds 50 --base-seed 1
+
 # --- Concurrency tier under ThreadSanitizer: the multi-threaded
 # ReachServer tests, the epoch-swap-under-load tests, the
-# checkpoint-under-rebuild persistence test, and the CLI smokes that
-# drive worker/rebuilder threads rerun in a separate TSan tree — TSan
-# cannot share a build with ASan, hence the third directory.
+# checkpoint-under-rebuild persistence test, the follower-catchup
+# replication tests, and the CLI smokes that drive worker/rebuilder/
+# apply threads rerun in a separate TSan tree — TSan cannot share a
+# build with ASan, hence the third directory.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
     --target reach_server_test snapshot_swap_test persist_serving_test \
-    tcdb_cli
+    replica_test tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -33,6 +33,8 @@
 #include "persist/durable_service.h"
 #include "persist/fs.h"
 #include "reach/load_driver.h"
+#include "replica/failover_harness.h"
+#include "replica/replica_bench.h"
 #include "reach/reach_server.h"
 #include "reach/reach_service.h"
 #include "relation/graph_io.h"
@@ -55,6 +57,11 @@ void Usage() {
        tcdb_cli checkpoint <dir> [--graph <graph>] [--mutate N,SEED]
        tcdb_cli recover <dir> [--mutate N,SEED] [--query S,D] [--checkpoint]
        tcdb_cli crash-stress [--seeds N] [--base-seed S] [--ops N]
+                [--verbose]
+       tcdb_cli replicate-bench [--followers N] [--clients N] [--queries N]
+                [--mutations N] [--apply-ahead N] [--pipe BYTES]
+                [--group-commit N] [--seed S]
+       tcdb_cli failover-stress [--seeds N] [--base-seed S] [--ops N]
                 [--verbose]
 
 graph input (one of):
@@ -156,6 +163,35 @@ crash-stress subcommand (randomized kill-and-recover differential):
     list against an in-memory reference — then keeps mutating and
     recovers a second time (idempotence); exits 1 with a repro line on
     failure. This is the sweep check.sh runs under ASan/UBSan.
+
+replicate-bench subcommand (WAL-shipping replication throughput):
+  tcdb_cli replicate-bench [flags]
+    stands up a primary plus N followers over in-process pipes, fires
+    the load_driver workload at every follower from client threads while
+    the primary mutates and heartbeats, and prints follower read q/s,
+    shipped-record counts, and the epoch-staleness percentiles against
+    the configured bound
+    --followers N          read replicas (default 2)
+    --clients N            client threads per follower (default 2)
+    --queries N            queries per follower (default 20000)
+    --mutations N          primary mutations during the volley
+                           (default 1500)
+    --apply-ahead N        follower staleness bound (default 128)
+    --pipe BYTES           per-direction transport buffer (default 16384)
+    --group-commit N       primary WAL records per fsync (default 8)
+    --seed S               workload seed (default 42)
+
+failover-stress subcommand (randomized kill-primary-and-failover):
+  tcdb_cli failover-stress [--seeds N] [--base-seed S] [--ops N] [--verbose]
+    per seed: a primary on a fault-injecting filesystem ships its WAL to
+    1-2 followers (one possibly attaching mid-trace) while a mixed
+    mutate/query/checkpoint trace runs with periodic follower read
+    barriers; the primary is killed at a random mutating syscall, every
+    follower must drain to exactly the last acknowledged epoch, one is
+    promoted and checked differentially against the reference (answers
+    and successor lists), the rest re-attach to the promoted primary,
+    and the trace continues; exits 1 with a repro line on failure. This
+    is the sweep check.sh runs under ASan/UBSan.
 )");
 }
 
@@ -849,6 +885,134 @@ int RunCrashStressCmd(int argc, char** argv) {
   return 0;
 }
 
+// `tcdb_cli replicate-bench [flags]`: one measured replication
+// configuration (src/replica/replica_bench.h) — follower read q/s and
+// staleness percentiles under a concurrent primary mutation stream.
+int RunReplicateBench(int argc, char** argv) {
+  ReplicaBenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--followers") {
+      options.num_followers = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--clients") {
+      options.clients_per_follower = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--queries") {
+      options.queries_per_follower = std::atoll(next());
+    } else if (flag == "--mutations") {
+      options.mutations = std::atoll(next());
+    } else if (flag == "--apply-ahead") {
+      options.max_apply_ahead = std::atoll(next());
+    } else if (flag == "--pipe") {
+      options.pipe_capacity_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--group-commit") {
+      options.group_commit_records = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown replicate-bench flag '%s'\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  auto result = RunReplicaBench(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const ReplicaBenchResult& r = result.value();
+  std::printf(
+      "served %lld follower queries in %.3fs across %d followers x %d "
+      "clients: %.0f q/s\n",
+      static_cast<long long>(r.queries), r.query_seconds, r.num_followers,
+      options.clients_per_follower, r.QueriesPerSecond());
+  std::printf(
+      "primary applied %lld mutations in %.3fs, shipped %lld records and "
+      "%lld heartbeats\n",
+      static_cast<long long>(r.mutations_applied), r.mutate_seconds,
+      static_cast<long long>(r.records_shipped),
+      static_cast<long long>(r.heartbeats_sent));
+  std::printf(
+      "staleness (epochs) over %lld samples: p50 %lld p90 %lld p99 %lld "
+      "max %lld (bound %lld, %lld forced refreshes) %s\n",
+      static_cast<long long>(r.lag_samples),
+      static_cast<long long>(r.lag_p50), static_cast<long long>(r.lag_p90),
+      static_cast<long long>(r.lag_p99), static_cast<long long>(r.lag_max),
+      static_cast<long long>(r.lag_bound),
+      static_cast<long long>(r.forced_refreshes),
+      r.lag_within_bound ? "OK" : "EXCEEDED");
+  return r.lag_within_bound ? 0 : 1;
+}
+
+// `tcdb_cli failover-stress [flags]`: the randomized
+// kill-primary-and-failover differential sweep (src/replica/
+// failover_harness.h).
+int RunFailoverStressCmd(int argc, char** argv) {
+  FailoverStressOptions options;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--seeds") {
+      options.num_seeds = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--base-seed") {
+      options.base_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--ops") {
+      options.ops_per_seed = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown failover-stress flag '%s'\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  if (verbose) {
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  FailoverStressReport report;
+  FailoverStressFailure failure;
+  const Status status = RunFailoverStress(options, &report, &failure);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kInternal) {
+      std::fprintf(stderr, "FAIL %s\n", failure.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return 1;
+  }
+  std::printf(
+      "failover-stress: %lld seeds (%lld crashed), %lld followers attached "
+      "(%lld mid-trace, %lld re-attached), %lld promotions, %lld mutations, "
+      "%lld records shipped, %lld checkpoints shipped, %lld differential "
+      "queries, all failovers exact\n",
+      static_cast<long long>(report.seeds),
+      static_cast<long long>(report.crashes_injected),
+      static_cast<long long>(report.followers_attached),
+      static_cast<long long>(report.mid_trace_attaches),
+      static_cast<long long>(report.reattaches),
+      static_cast<long long>(report.promotions),
+      static_cast<long long>(report.ops_applied),
+      static_cast<long long>(report.records_shipped),
+      static_cast<long long>(report.checkpoints_shipped),
+      static_cast<long long>(report.queries_checked));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
@@ -873,6 +1037,12 @@ int Run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "crash-stress") == 0) {
     return RunCrashStressCmd(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "replicate-bench") == 0) {
+    return RunReplicateBench(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "failover-stress") == 0) {
+    return RunFailoverStressCmd(argc - 1, argv + 1);
   }
   std::string graph_file;
   std::vector<int64_t> generate_params;
