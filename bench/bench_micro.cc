@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_support/catalog.h"
+#include "core/bit_matrix.h"
 #include "core/database.h"
 #include "graph/algorithms.h"
 #include "graph/analyzer.h"
@@ -165,20 +167,124 @@ void BM_FlatTreeBuildAndEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatTreeBuildAndEncode);
 
-// End-to-end system benchmarks: one full query through the simulated disk,
-// including setup. These are the constants behind the study's wall-clock
-// column (Table 3).
+// --- Bit-matrix kernels (the dense matrix family's CPU substrate) ---
+//
+// Each bench pins one backend; kAvx2 registrations skip themselves when
+// the backend is not compiled in or the CPU lacks it, so one binary runs
+// everywhere. The scalar per-bit backend is the denominator the kernel
+// speedup acceptance criterion divides by.
+
+bool SkipUnlessAvailable(benchmark::State& state, BitKernelBackend backend) {
+  if (backend == BitKernelBackend::kAvx2 && !Avx2Supported()) {
+    state.SkipWithError("AVX2 backend unavailable");
+    for (auto _ : state) {
+    }
+    return true;
+  }
+  return false;
+}
+
+// One packed-row union, the innermost matrix-family operation: row i of
+// an n-column matrix ORed into an accumulator.
+void BM_BitRowUnion(benchmark::State& state, BitKernelBackend backend) {
+  if (SkipUnlessAvailable(state, backend)) return;
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const BitKernelOps* ops = backend == BitKernelBackend::kScalar
+                                ? ScalarKernelOps()
+                                : ResolveBitKernels(backend);
+  const size_t words = BitRowWords(n);
+  std::vector<uint64_t> dst(words, 0), src(words, 0);
+  for (NodeId j = 0; j < n; j += 3) BitRowSet(src.data(), j);
+  src[words - 1] &= BitRowTailMask(n);
+  for (auto _ : state) {
+    ops->union_words(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_BitRowUnion, scalar, BitKernelBackend::kScalar)
+    ->Arg(2000);
+BENCHMARK_CAPTURE(BM_BitRowUnion, uint64, BitKernelBackend::kUint64)
+    ->Arg(2000)
+    ->Arg(20000);
+BENCHMARK_CAPTURE(BM_BitRowUnion, avx2, BitKernelBackend::kAvx2)
+    ->Arg(2000)
+    ->Arg(20000);
+
+// Full in-memory closure of a dense catalog core (G12: F = 50, the
+// densest family of Table 2) at the study's n = 2000. Graph generation
+// and adjacency packing are SETUP and stay outside the kernel window:
+// the pristine adjacency matrix is built once, and each iteration's
+// working-copy restore runs under PauseTiming so the timed region is
+// exactly the closure kernel.
+enum class MatrixVariant { kWarshall, kWarren, kWarrenBlocked };
+
+void BM_BitClosure(benchmark::State& state, MatrixVariant variant,
+                   BitKernelBackend backend) {
+  if (SkipUnlessAvailable(state, backend)) return;
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  GeneratorParams params = CatalogParams(FamilyByName("G12"), 0);
+  params.num_nodes = n;
+  const Digraph graph(n, GenerateDag(params));
+  const BitMatrix pristine = BitMatrix::FromDigraph(graph);
+  BitMatrix work = pristine;
+  for (auto _ : state) {
+    state.PauseTiming();
+    work = pristine;
+    state.ResumeTiming();
+    switch (variant) {
+      case MatrixVariant::kWarshall: work.Warshall(backend); break;
+      case MatrixVariant::kWarren: work.Warren(backend); break;
+      case MatrixVariant::kWarrenBlocked:
+        work.WarrenBlocked(backend, 256);
+        break;
+    }
+    benchmark::DoNotOptimize(work.Row(0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) *
+                          static_cast<int64_t>(n));
+}
+#define TCDB_BIT_CLOSURE_BENCH(variant)                                    \
+  BENCHMARK_CAPTURE(BM_BitClosure, variant##_scalar,                       \
+                    MatrixVariant::k##variant, BitKernelBackend::kScalar)  \
+      ->Arg(512);                                                          \
+  BENCHMARK_CAPTURE(BM_BitClosure, variant##_uint64,                       \
+                    MatrixVariant::k##variant, BitKernelBackend::kUint64)  \
+      ->Arg(512)                                                           \
+      ->Arg(2000);                                                         \
+  BENCHMARK_CAPTURE(BM_BitClosure, variant##_avx2,                         \
+                    MatrixVariant::k##variant, BitKernelBackend::kAvx2)    \
+      ->Arg(512)                                                           \
+      ->Arg(2000)
+TCDB_BIT_CLOSURE_BENCH(Warshall);
+TCDB_BIT_CLOSURE_BENCH(Warren);
+TCDB_BIT_CLOSURE_BENCH(WarrenBlocked);
+#undef TCDB_BIT_CLOSURE_BENCH
+
+// End-to-end system benchmarks: one full query through the simulated
+// disk. The reported time is the KERNEL window only — the algorithm's
+// computation-phase CPU, via manual timing — while restructuring (index
+// build / graph load into the simulated disk) is reported separately as
+// the setup_s counter. Folding setup into the kernel number previously
+// overstated kernel cost for exactly the algorithms with the most
+// restructuring, which is the comparison the study cares about.
 void BM_ExecuteFullClosure(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));
   auto db = TcDatabase::Create(GenerateDag({n, 5, n / 10, 2}), n).value();
   ExecOptions options;
   options.buffer_pages = 20;
+  double setup_s = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        db->Execute(Algorithm::kBtc, QuerySpec::Full(), options));
+    const RunResult result =
+        db->Execute(Algorithm::kBtc, QuerySpec::Full(), options).value();
+    state.SetIterationTime(result.metrics.compute_cpu_s);
+    setup_s += result.metrics.restructure_cpu_s;
   }
+  state.counters["setup_s"] = benchmark::Counter(
+      setup_s, benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_ExecuteFullClosure)->Arg(200)->Arg(1000);
+BENCHMARK(BM_ExecuteFullClosure)->Arg(200)->Arg(1000)->UseManualTime();
 
 void BM_ExecutePartialJkb2(benchmark::State& state) {
   const NodeId n = 1000;
@@ -186,23 +292,36 @@ void BM_ExecutePartialJkb2(benchmark::State& state) {
   const QuerySpec query = QuerySpec::Partial(SampleSourceNodes(n, 5, 1));
   ExecOptions options;
   options.buffer_pages = 10;
+  double setup_s = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(db->Execute(Algorithm::kJkb2, query, options));
+    const RunResult result =
+        db->Execute(Algorithm::kJkb2, query, options).value();
+    state.SetIterationTime(result.metrics.compute_cpu_s);
+    setup_s += result.metrics.restructure_cpu_s;
   }
+  state.counters["setup_s"] = benchmark::Counter(
+      setup_s, benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_ExecutePartialJkb2);
+BENCHMARK(BM_ExecutePartialJkb2)->UseManualTime();
 
 void BM_ExecuteAggregateMinLength(benchmark::State& state) {
   const NodeId n = 500;
   auto db = TcDatabase::Create(GenerateDag({n, 5, 50, 4}), n).value();
   ExecOptions options;
   options.buffer_pages = 20;
+  double setup_s = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(db->ExecuteAggregate(
-        PathAggregate::kMinLength, QuerySpec::Full(), options));
+    const AggregateResult result =
+        db->ExecuteAggregate(PathAggregate::kMinLength, QuerySpec::Full(),
+                             options)
+            .value();
+    state.SetIterationTime(result.metrics.compute_cpu_s);
+    setup_s += result.metrics.restructure_cpu_s;
   }
+  state.counters["setup_s"] = benchmark::Counter(
+      setup_s, benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_ExecuteAggregateMinLength);
+BENCHMARK(BM_ExecuteAggregateMinLength)->UseManualTime();
 
 }  // namespace
 }  // namespace tcdb

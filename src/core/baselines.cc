@@ -1,6 +1,9 @@
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "core/algorithms.h"
+#include "core/bit_matrix.h"
 #include "storage/page_guard.h"
 #include "util/bit_vector.h"
 #include "util/timer.h"
@@ -8,13 +11,25 @@
 namespace tcdb {
 namespace {
 
-// Paged n x n bit matrix used by the Warren baseline. Rows are packed
-// consecutively: row_bytes = ceil(n/8), rows_per_page = kPageSize/row_bytes.
+// Paged n x n bit matrix used by the matrix family. Rows are packed
+// consecutively and WORD-aligned — row_bytes = 8 * ceil(n/64) — so the
+// in-page row image can be combined with the bit-parallel kernels of
+// core/bit_matrix.h directly (pages are 8-byte aligned and row_bytes is a
+// multiple of 8, so every row base is too). rows_per_page =
+// kPageSize/row_bytes.
+//
+// Tail-masking invariant: bits at columns >= n in the last word of a row
+// are always zero, both on the page and in every in-memory row image.
+// WriteRow enforces it (defensively masking the final word) so that
+// whole-word unions and popcounts can never see garbage — the historical
+// per-bit loops silently tolerated tail junk; the word kernels must not.
 class PagedBitMatrix {
  public:
   PagedBitMatrix(BufferManager* buffers, FileId file, NodeId n)
       : buffers_(buffers), file_(file), n_(n) {
-    row_bytes_ = (static_cast<size_t>(n) + 7) / 8;
+    row_words_ = BitRowWords(n);
+    row_bytes_ = row_words_ * sizeof(uint64_t);
+    tail_mask_ = BitRowTailMask(n);
     rows_per_page_ = std::max<size_t>(1, kPageSize / row_bytes_);
     num_pages_ = (static_cast<size_t>(n) + rows_per_page_ - 1) /
                  rows_per_page_;
@@ -29,35 +44,34 @@ class PagedBitMatrix {
   }
 
   // Loads row `row` into `out` (page access through the buffer pool).
-  Status ReadRow(NodeId row, std::vector<uint8_t>* out) {
+  Status ReadRow(NodeId row, std::vector<uint64_t>* out) {
     TCDB_ASSIGN_OR_RETURN(PageGuard page,
                           PageGuard::Fetch(buffers_, {file_, PageOf(row)},
                                            "PagedBitMatrix::ReadRow"));
-    const uint8_t* base =
-        page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
-    out->assign(base, base + row_bytes_);
+    const uint64_t* base = page->As<uint64_t>(RowOffset(row));
+    out->assign(base, base + row_words_);
     return Status::Ok();
   }
 
-  Status WriteRow(NodeId row, const std::vector<uint8_t>& bits) {
+  Status WriteRow(NodeId row, const std::vector<uint64_t>& bits) {
     TCDB_ASSIGN_OR_RETURN(PageGuard page,
                           PageGuard::Fetch(buffers_, {file_, PageOf(row)},
                                            "PagedBitMatrix::WriteRow"));
-    uint8_t* base =
-        page->data + (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
-    std::copy(bits.begin(), bits.end(), base);
+    uint64_t* base = page->As<uint64_t>(RowOffset(row));
+    std::memcpy(base, bits.data(), row_bytes_);
+    base[row_words_ - 1] &= tail_mask_;  // the tail invariant, enforced
     page.MarkDirty();
     return Status::Ok();
   }
 
-  // OR row `src` into the in-memory row `acc`.
-  Status OrRowInto(NodeId src, std::vector<uint8_t>* acc) {
+  // OR row `src` into the in-memory row `acc` with the selected kernels.
+  Status OrRowInto(NodeId src, const BitKernelOps* ops,
+                   std::vector<uint64_t>* acc) {
     TCDB_ASSIGN_OR_RETURN(PageGuard page,
                           PageGuard::Fetch(buffers_, {file_, PageOf(src)},
                                            "PagedBitMatrix::OrRowInto"));
-    const uint8_t* base =
-        page->data + (static_cast<size_t>(src) % rows_per_page_) * row_bytes_;
-    for (size_t i = 0; i < row_bytes_; ++i) (*acc)[i] |= base[i];
+    ops->union_words(acc->data(), page->As<uint64_t>(RowOffset(src)),
+                     row_words_);
     return Status::Ok();
   }
 
@@ -79,26 +93,25 @@ class PagedBitMatrix {
     return pinned;
   }
 
-  size_t row_bytes() const { return row_bytes_; }
+  size_t row_words() const { return row_words_; }
   size_t rows_per_page() const { return rows_per_page_; }
+  uint64_t tail_mask() const { return tail_mask_; }
   NodeId n() const { return n_; }
 
  private:
+  size_t RowOffset(NodeId row) const {
+    return (static_cast<size_t>(row) % rows_per_page_) * row_bytes_;
+  }
+
   BufferManager* buffers_;
   FileId file_;
   NodeId n_;
+  size_t row_words_ = 0;
   size_t row_bytes_ = 0;
+  uint64_t tail_mask_ = ~uint64_t{0};
   size_t rows_per_page_ = 0;
   size_t num_pages_ = 0;
 };
-
-bool TestBit(const std::vector<uint8_t>& row, NodeId j) {
-  return (row[static_cast<size_t>(j) >> 3] >> (j & 7)) & 1;
-}
-
-void SetBit(std::vector<uint8_t>* row, NodeId j) {
-  (*row)[static_cast<size_t>(j) >> 3] |= static_cast<uint8_t>(1u << (j & 7));
-}
 
 }  // namespace
 
@@ -240,11 +253,18 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
   RunMetrics& m = ctx->metrics;
   const NodeId n = ctx->num_nodes;
   PagedBitMatrix matrix(ctx->buffers.get(), ctx->tree_file, n);
+  // Row-kernel backend: which machine width combines packed rows. The
+  // backend never changes which pages are touched or which unions run, so
+  // model I/O counts and the closure itself are backend-invariant.
+  const bool per_bit =
+      ctx->options.matrix_backend == BitKernelBackend::kScalar;
+  const BitKernelOps* ops =
+      per_bit ? ScalarKernelOps()
+              : ResolveBitKernels(ctx->options.matrix_backend);
 
   // Load the adjacency matrix from the relation (sequential scan).
   {
-    std::vector<std::vector<uint8_t>> rows;  // built page-by-page via scan
-    std::vector<uint8_t> row(matrix.row_bytes(), 0);
+    std::vector<uint64_t> row(matrix.row_words(), 0);
     NodeId current = 0;
     auto flush_row = [&](NodeId upto) -> Status {
       while (current <= upto && current < n) {
@@ -258,7 +278,7 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
     TCDB_RETURN_IF_ERROR(ctx->relation->Scan([&](const Arc& arc) {
       if (!scan_status.ok()) return;
       if (arc.src > current) scan_status = flush_row(arc.src - 1);
-      if (scan_status.ok()) SetBit(&row, arc.dst);
+      if (scan_status.ok()) BitRowSet(row.data(), arc.dst);
     }));
     TCDB_RETURN_IF_ERROR(scan_status);
     TCDB_RETURN_IF_ERROR(flush_row(n - 1));
@@ -267,20 +287,20 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
 
   ctx->BeginPhase(Phase::kComputation);
   CpuTimer cpu;
-  std::vector<uint8_t> row(matrix.row_bytes());
+  std::vector<uint64_t> row(matrix.row_words());
   if (variant == MatrixVariant::kWarshall) {
     // for k: for i: if M[i,k]: row_i |= row_k. Row k is loaded once per
     // outer iteration; every row is re-read (and possibly re-written) per
     // sweep — n passes over the matrix.
-    std::vector<uint8_t> pivot(matrix.row_bytes());
+    std::vector<uint64_t> pivot(matrix.row_words());
     for (NodeId k = 0; k < n; ++k) {
       TCDB_RETURN_IF_ERROR(matrix.ReadRow(k, &pivot));
       for (NodeId i = 0; i < n; ++i) {
         if (i == k) continue;
         TCDB_RETURN_IF_ERROR(matrix.ReadRow(i, &row));
-        if (!TestBit(row, k)) continue;
+        if (!BitRowTest(row.data(), k)) continue;
         ++m.list_unions;
-        for (size_t b = 0; b < matrix.row_bytes(); ++b) row[b] |= pivot[b];
+        ops->union_words(row.data(), pivot.data(), matrix.row_words());
         TCDB_RETURN_IF_ERROR(matrix.WriteRow(i, row));
         // Keep the pivot current: Warshall allows row k to grow only when
         // i paths feed back, which cannot happen for a fixed k; pivot is
@@ -295,6 +315,46 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
             : 0;
     const NodeId block_rows = static_cast<NodeId>(
         block_pages * matrix.rows_per_page());
+    // One sweep step of row i over the column range [lo, hi): union row j
+    // in for every set bit j of the LIVE row — a union may set bits at
+    // positions > j that the same step then expands, while bits newly set
+    // at positions <= j are (as in the classic sequential scan) left for
+    // the next pass. The word-parallel scan reproduces that order exactly
+    // by re-reading the current word after each union and masking off
+    // positions <= j.
+    auto expand_row = [&](NodeId lo, NodeId hi, bool* changed) -> Status {
+      if (per_bit) {
+        for (NodeId j = lo; j < hi; ++j) {
+          if (!BitRowTest(row.data(), j)) continue;
+          ++m.list_unions;  // One row OR per set bit.
+          TCDB_RETURN_IF_ERROR(matrix.OrRowInto(j, ops, &row));
+          *changed = true;
+        }
+        return Status::Ok();
+      }
+      const size_t w_lo = static_cast<size_t>(lo) >> 6;
+      const size_t w_hi = (static_cast<size_t>(hi) + 63) >> 6;
+      for (size_t w = w_lo; w < w_hi; ++w) {
+        const int64_t base = static_cast<int64_t>(w) * 64;
+        const int64_t a = std::max<int64_t>(lo - base, 0);
+        const int64_t b = std::min<int64_t>(hi - base, 64);
+        if (a >= b) continue;
+        const uint64_t range = (~uint64_t{0} >> (64 - (b - a))) << a;
+        uint64_t pending = row[w] & range;
+        while (pending != 0) {
+          const int bit = std::countr_zero(pending);
+          const NodeId j =
+              static_cast<NodeId>(base + static_cast<int64_t>(bit));
+          ++m.list_unions;  // One row OR per set bit.
+          TCDB_RETURN_IF_ERROR(matrix.OrRowInto(j, ops, &row));
+          *changed = true;
+          const uint64_t above =
+              bit == 63 ? 0 : ~uint64_t{0} << (bit + 1);
+          pending = row[w] & range & above;
+        }
+      }
+      return Status::Ok();
+    };
     // Pass 1: j < i; Pass 2: j > i (Warren 1975).
     for (int pass = 0; pass < 2; ++pass) {
       NodeId strip_lo = 0;
@@ -315,12 +375,7 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
           bool changed = false;
           const NodeId lo = pass == 0 ? 0 : i + 1;
           const NodeId hi = pass == 0 ? i : n;
-          for (NodeId j = lo; j < hi; ++j) {
-            if (!TestBit(row, j)) continue;
-            ++m.list_unions;  // One row OR per set bit.
-            TCDB_RETURN_IF_ERROR(matrix.OrRowInto(j, &row));
-            changed = true;
-          }
+          TCDB_RETURN_IF_ERROR(expand_row(lo, hi, &changed));
           if (changed) TCDB_RETURN_IF_ERROR(matrix.WriteRow(i, row));
         }
         pinned.clear();  // release the strip's pins before advancing
@@ -330,6 +385,8 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
   }
 
   // Result extraction: count (and optionally capture) the requested rows.
+  // The popcount runs whole words, which is exactly why the tail-masking
+  // invariant exists: a stray bit past column n would be counted here.
   std::vector<NodeId> sources = query.sources;
   if (query.full_closure) {
     sources.resize(static_cast<size_t>(n));
@@ -337,16 +394,19 @@ Status RunMatrixClosure(RunContext* ctx, const QuerySpec& query,
   }
   for (const NodeId s : sources) {
     TCDB_RETURN_IF_ERROR(matrix.ReadRow(s, &row));
-    int64_t count = 0;
-    std::vector<NodeId> successors;
-    for (NodeId j = 0; j < n; ++j) {
-      if (TestBit(row, j)) {
-        ++count;
-        if (ctx->options.capture_answer) successors.push_back(j);
-      }
-    }
-    m.selected_tuples += count;
+    TCDB_DCHECK((row[matrix.row_words() - 1] & ~matrix.tail_mask()) == 0);
+    m.selected_tuples += ops->popcount_words(row.data(), matrix.row_words());
     if (ctx->options.capture_answer) {
+      std::vector<NodeId> successors;
+      for (size_t w = 0; w < matrix.row_words(); ++w) {
+        uint64_t word = row[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          successors.push_back(
+              static_cast<NodeId>(w * 64 + static_cast<size_t>(bit)));
+          word &= word - 1;
+        }
+      }
       result->answer.emplace_back(s, std::move(successors));
     }
   }

@@ -1,0 +1,144 @@
+#ifndef TCDB_CORE_BIT_MATRIX_H_
+#define TCDB_CORE_BIT_MATRIX_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/check.h"
+
+namespace tcdb {
+
+// Bit-parallel kernel backends for the dense matrix family. The matrix
+// algorithms (Warshall / Warren / Blocked Warren) spend their CPU in three
+// row primitives — union, set-bit scan, popcount — which the hardware can
+// do 64 bits (uint64) or 256 bits (AVX2) per instruction instead of one.
+// The backend changes only how bytes are combined, never which rows are
+// touched: model I/O counts and closure output are backend-invariant by
+// construction, and the kernel differential tests pin that.
+//
+//   kScalar - per-bit reference loops (the pre-kernel baseline; kept as
+//             the differential oracle and the bench_micro denominator).
+//   kUint64 - portable 64-bit word loops. Always available.
+//   kAvx2   - 256-bit AVX2 loops; compiled when the toolchain supports
+//             -mavx2 (CMake option TCDB_AVX2) and selected at runtime only
+//             when the CPU reports AVX2.
+//   kAuto   - the widest available backend (AVX2 if compiled in and the
+//             CPU has it, else uint64).
+enum class BitKernelBackend { kAuto, kScalar, kUint64, kAvx2 };
+
+const char* BitKernelBackendName(BitKernelBackend backend);
+
+// Row-kernel vtable. All rows are arrays of `words` uint64s, 8-byte
+// aligned, with every bit at column >= n (the tail of the last word)
+// REQUIRED to be zero — the tail-masking invariant. Kernels preserve the
+// invariant (they only OR clean operands or mask what they produce), so
+// popcounts and unions can run whole words without a per-row epilogue.
+struct BitKernelOps {
+  const char* name;
+  // dst |= src over `words` words.
+  void (*union_words)(uint64_t* dst, const uint64_t* src, size_t words);
+  // dst |= src; returns true iff dst changed.
+  bool (*union_words_changed)(uint64_t* dst, const uint64_t* src,
+                              size_t words);
+  // Number of set bits across `words` words.
+  int64_t (*popcount_words)(const uint64_t* row, size_t words);
+};
+
+// The portable backends. Always available.
+const BitKernelOps* ScalarKernelOps();
+const BitKernelOps* Uint64KernelOps();
+// The AVX2 backend, or nullptr when not compiled in (see TCDB_AVX2).
+// Defined in bit_matrix_avx2.cc so only that translation unit needs
+// -mavx2; callers must still gate on Avx2Supported().
+const BitKernelOps* Avx2KernelOps();
+
+// True when the AVX2 backend is both compiled in and usable on this CPU.
+bool Avx2Supported();
+
+// Resolves `backend` to a concrete kernel vtable. kAuto picks the widest
+// available; requesting kAvx2 where unsupported falls back to kUint64
+// (the caller can check Avx2Supported() when the distinction matters).
+const BitKernelOps* ResolveBitKernels(BitKernelBackend backend);
+
+// Number of 64-bit words per packed row of an n-column matrix.
+inline size_t BitRowWords(NodeId n) {
+  return (static_cast<size_t>(n) + 63) / 64;
+}
+
+// Mask selecting the valid bits of the LAST word of an n-column row:
+// all-ones when n is a multiple of 64, else only the low n%64 bits. Every
+// write of externally-sourced bytes into a packed row must apply this to
+// the final word — tail garbage would otherwise leak into every union
+// and popcount downstream (the n%64 != 0 regression tests pin this).
+inline uint64_t BitRowTailMask(NodeId n) {
+  const unsigned rem = static_cast<unsigned>(n) & 63u;
+  return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+}
+
+inline bool BitRowTest(const uint64_t* row, NodeId j) {
+  return (row[static_cast<size_t>(j) >> 6] >>
+          (static_cast<size_t>(j) & 63)) & 1;
+}
+
+inline void BitRowSet(uint64_t* row, NodeId j) {
+  row[static_cast<size_t>(j) >> 6] |=
+      uint64_t{1} << (static_cast<size_t>(j) & 63);
+}
+
+// In-memory n x n packed bit matrix over word-aligned rows. This is the
+// kernel-facing sibling of the paged matrix in baselines.cc: the paged
+// variant owns I/O accounting, this one owns the pure-CPU closure kernels
+// used by bench_micro, the kernel differential tests, and dense condensed
+// cores that fit in memory.
+class BitMatrix {
+ public:
+  explicit BitMatrix(NodeId n)
+      : n_(n), words_(BitRowWords(n)),
+        bits_(static_cast<size_t>(n) * BitRowWords(n), 0) {}
+
+  // Adjacency matrix of `graph` (row v = successors of v).
+  static BitMatrix FromDigraph(const Digraph& graph);
+
+  NodeId n() const { return n_; }
+  size_t row_words() const { return words_; }
+
+  uint64_t* Row(NodeId i) {
+    TCDB_DCHECK(i >= 0 && i < n_);
+    return bits_.data() + static_cast<size_t>(i) * words_;
+  }
+  const uint64_t* Row(NodeId i) const {
+    TCDB_DCHECK(i >= 0 && i < n_);
+    return bits_.data() + static_cast<size_t>(i) * words_;
+  }
+
+  bool Test(NodeId i, NodeId j) const { return BitRowTest(Row(i), j); }
+  void Set(NodeId i, NodeId j) { BitRowSet(Row(i), j); }
+
+  // True iff no row carries a bit at column >= n (the tail invariant).
+  bool TailsClear() const;
+
+  // Transitive closure in place. All three produce the identical
+  // (irreflexive on DAGs) closure; they differ in sweep structure exactly
+  // as the paged variants do. `backend` selects the row kernels; kScalar
+  // runs the per-bit reference loops.
+  void Warshall(BitKernelBackend backend);
+  void Warren(BitKernelBackend backend);
+  // Warren with the row sweep cut into blocks of `block_rows` rows (the
+  // cache-blocked sweep; union order — hence result — matches Warren).
+  void WarrenBlocked(BitKernelBackend backend, NodeId block_rows);
+
+  bool operator==(const BitMatrix& other) const {
+    return n_ == other.n_ && bits_ == other.bits_;
+  }
+
+ private:
+  NodeId n_;
+  size_t words_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_CORE_BIT_MATRIX_H_

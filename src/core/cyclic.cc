@@ -5,8 +5,10 @@
 namespace tcdb {
 
 CyclicClosure::CyclicClosure(TcDatabase::CondensedInput condensed,
-                             NodeId num_nodes)
-    : condensed_(std::move(condensed)), num_nodes_(num_nodes) {
+                             NodeId num_nodes, std::vector<bool> self_loop)
+    : condensed_(std::move(condensed)),
+      num_nodes_(num_nodes),
+      self_loop_(std::move(self_loop)) {
   component_members_.resize(
       static_cast<size_t>(condensed_.database->num_nodes()));
   for (NodeId v = 0; v < num_nodes_; ++v) {
@@ -16,10 +18,17 @@ CyclicClosure::CyclicClosure(TcDatabase::CondensedInput condensed,
 
 Result<std::unique_ptr<CyclicClosure>> CyclicClosure::Create(
     const ArcList& arcs, NodeId num_nodes) {
+  // Record self-loop arcs before condensation erases them: (v, v) maps to
+  // the intra-component arc (c, c), which Condense drops, and a singleton
+  // component carries no other trace that v lies on a (length-1) cycle.
+  std::vector<bool> self_loop(static_cast<size_t>(num_nodes), false);
+  for (const Arc& arc : arcs) {
+    if (arc.src == arc.dst) self_loop[arc.src] = true;
+  }
   TCDB_ASSIGN_OR_RETURN(TcDatabase::CondensedInput condensed,
                         TcDatabase::CondenseInput(arcs, num_nodes));
-  return std::unique_ptr<CyclicClosure>(
-      new CyclicClosure(std::move(condensed), num_nodes));
+  return std::unique_ptr<CyclicClosure>(new CyclicClosure(
+      std::move(condensed), num_nodes, std::move(self_loop)));
 }
 
 Result<RunResult> CyclicClosure::Execute(Algorithm algorithm,
@@ -73,10 +82,15 @@ Result<RunResult> CyclicClosure::Execute(Algorithm algorithm,
       std::vector<NodeId> successors;
       // Members of the own component reach each other iff the component is
       // non-trivial (it lies on a cycle), and then s also reaches itself.
+      // A singleton component is on a cycle exactly when its node has a
+      // self-loop arc — condensation dropped that arc, so it is re-applied
+      // from the pre-condensation record here.
       if (component_members_[component].size() > 1) {
         for (const NodeId member : component_members_[component]) {
           successors.push_back(member);
         }
+      } else if (self_loop_[s]) {
+        successors.push_back(s);
       }
       const std::vector<NodeId>* reached = by_component[component];
       if (reached != nullptr) {

@@ -24,7 +24,13 @@ class CyclicClosure {
 
   // Successors of each node in `sources` (or of every node, for a full
   // query), in the ORIGINAL node space. Self-loops appear exactly when the
-  // node lies on a cycle.
+  // node lies on a cycle — including a length-1 cycle, i.e. a self-loop
+  // arc (v, v), which condensation erases (the component is a singleton
+  // and the arc maps to (c, c), dropped from the DAG), so it is tracked
+  // here and re-applied during expansion. This is the single point that
+  // decides diagonal semantics: every algorithm — list family and matrix
+  // family alike — computes the irreflexive closure of the condensation
+  // DAG, and self-reachability is added uniformly on the way back out.
   Result<RunResult> Execute(Algorithm algorithm, const QuerySpec& query,
                             const ExecOptions& options) const;
 
@@ -35,12 +41,17 @@ class CyclicClosure {
   NodeId num_nodes() const { return num_nodes_; }
 
  private:
-  CyclicClosure(TcDatabase::CondensedInput condensed, NodeId num_nodes);
+  CyclicClosure(TcDatabase::CondensedInput condensed, NodeId num_nodes,
+                std::vector<bool> self_loop);
 
   TcDatabase::CondensedInput condensed_;
   NodeId num_nodes_;
   // Members of each condensation component, ascending.
   std::vector<std::vector<NodeId>> component_members_;
+  // self_loop_[v]: the input contains the arc (v, v). Needed because
+  // condensation drops intra-component arcs, which for a singleton
+  // component silently erases the only evidence that v reaches itself.
+  std::vector<bool> self_loop_;
 };
 
 }  // namespace tcdb

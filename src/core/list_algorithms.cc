@@ -6,6 +6,7 @@
 #include "core/restructure.h"
 #include "graph/analyzer.h"
 #include "storage/page_guard.h"
+#include "succ/succ_bitset.h"
 #include "util/bit_vector.h"
 #include "util/timer.h"
 
@@ -25,9 +26,14 @@ void SortByTopoPosition(const RestructureResult& rs,
 // `pos`, assuming every deeper node (higher position) is fully expanded.
 // `seen` tracks nodes whose closure has been merged (the marking test);
 // `in_list` tracks the on-disk list content (duplicate elimination, done
-// with bit-vector-style structures in memory, as in the paper).
+// with bit-vector-style structures in memory, as in the paper — here the
+// chunked successor bitset, whose packed chunks keep the dedup working
+// set 32x smaller than the stamp-per-node EpochSet it replaced; the
+// tuple counters are per value scanned either way, so model metrics are
+// unchanged by the swap).
 Status ExpandFlatNode(RunContext* ctx, const RestructureResult& rs,
-                      int32_t pos, EpochSet* seen, EpochSet* in_list,
+                      int32_t pos, SuccessorBitset* seen,
+                      SuccessorBitset* in_list,
                       std::vector<int32_t>* content,
                       std::vector<int32_t>* child_content,
                       std::vector<int32_t>* batch) {
@@ -37,7 +43,7 @@ Status ExpandFlatNode(RunContext* ctx, const RestructureResult& rs,
   in_list->ClearAll();
   content->clear();
   TCDB_RETURN_IF_ERROR(ctx->succ->Read(pos, content));
-  for (int32_t v : *content) in_list->Insert(v);
+  in_list->InsertSpan(*content);
   std::vector<int32_t> children = *content;
   SortByTopoPosition(rs, &children);
   for (const NodeId c : children) {
@@ -52,14 +58,10 @@ Status ExpandFlatNode(RunContext* ctx, const RestructureResult& rs,
     child_content->clear();
     TCDB_RETURN_IF_ERROR(ctx->succ->Read(rs.topo_pos[c], child_content));
     batch->clear();
-    for (const int32_t w : *child_content) {
-      ++m.tuples_generated;
-      seen->Insert(w);
-      if (in_list->InsertIfAbsent(w)) {
-        batch->push_back(w);
-        ++m.tuples_inserted;
-      }
-    }
+    seen->InsertSpan(*child_content);
+    in_list->MergeNew(*child_content, batch);
+    m.tuples_generated += static_cast<int64_t>(child_content->size());
+    m.tuples_inserted += static_cast<int64_t>(batch->size());
     TCDB_RETURN_IF_ERROR(ctx->succ->AppendMany(pos, *batch));
   }
   return Status::Ok();
@@ -113,8 +115,8 @@ Status RunBtcLike(RunContext* ctx, const QuerySpec& query, bool single_parent,
     ctx->BeginPhase(Phase::kComputation);
     CpuTimer cpu;
     const NodeId n = ctx->num_nodes;
-    EpochSet seen(static_cast<size_t>(n));
-    EpochSet in_list(static_cast<size_t>(n));
+    SuccessorBitset seen(static_cast<size_t>(n));
+    SuccessorBitset in_list(static_cast<size_t>(n));
     std::vector<int32_t> content, child_content, batch;
     for (int32_t pos = static_cast<int32_t>(rs.topo_order.size()) - 1;
          pos >= 0; --pos) {
@@ -167,9 +169,13 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
                                      ctx->options.buffer_pages))));
 
   // Per-list expansion state, kept for the lists of the current block.
+  // Chunked bitsets rather than EpochSets: HYB holds one pair per diagonal
+  // list at once, so the packed chunks (lazily zeroed, never an O(n)
+  // resize per block) bound the dedup working set by bits actually
+  // touched, not by n times the block width.
   struct ListState {
-    EpochSet seen;
-    EpochSet in_list;
+    SuccessorBitset seen;
+    SuccessorBitset in_list;
   };
 
   std::vector<int32_t> scratch, batch;
@@ -234,7 +240,7 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
       st.in_list.Resize(static_cast<size_t>(n));
       scratch.clear();
       TCDB_RETURN_IF_ERROR(ctx->succ->Read(pos, &scratch));
-      for (int32_t v : scratch) st.in_list.Insert(v);
+      st.in_list.InsertSpan(scratch);
       for (const NodeId c : scratch) {
         const int32_t cpos = rs.topo_pos[c];
         if (cpos > block_hi) {
@@ -281,14 +287,10 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
       for (const int32_t pos : needed) {
         ListState& st = state[pos];
         batch.clear();
-        for (const int32_t w : child_content) {
-          ++m.tuples_generated;
-          st.seen.Insert(w);
-          if (st.in_list.InsertIfAbsent(w)) {
-            batch.push_back(w);
-            ++m.tuples_inserted;
-          }
-        }
+        st.seen.InsertSpan(child_content);
+        st.in_list.MergeNew(child_content, &batch);
+        m.tuples_generated += static_cast<int64_t>(child_content.size());
+        m.tuples_inserted += static_cast<int64_t>(batch.size());
         TCDB_RETURN_IF_ERROR(ctx->succ->AppendMany(pos, batch));
       }
     }
@@ -312,14 +314,10 @@ Status RunHyb(RunContext* ctx, const QuerySpec& query, RunResult* result) {
         child_content.clear();
         TCDB_RETURN_IF_ERROR(ctx->succ->Read(rs.topo_pos[d], &child_content));
         batch.clear();
-        for (const int32_t w : child_content) {
-          ++m.tuples_generated;
-          st.seen.Insert(w);
-          if (st.in_list.InsertIfAbsent(w)) {
-            batch.push_back(w);
-            ++m.tuples_inserted;
-          }
-        }
+        st.seen.InsertSpan(child_content);
+        st.in_list.MergeNew(child_content, &batch);
+        m.tuples_generated += static_cast<int64_t>(child_content.size());
+        m.tuples_inserted += static_cast<int64_t>(batch.size());
         TCDB_RETURN_IF_ERROR(ctx->succ->AppendMany(pos, batch));
       }
     }

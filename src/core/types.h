@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bit_matrix.h"
 #include "graph/digraph.h"
 #include "storage/replacement_policy.h"
 #include "succ/successor_list_store.h"
@@ -84,6 +85,12 @@ struct ExecOptions {
   // RunResult::spanning_trees (enables path reconstruction; see
   // core/paths.h).
   bool capture_trees = false;
+  // Matrix family only: which row-kernel backend combines packed rows
+  // (core/bit_matrix.h). Changes CPU cost only — closure output and model
+  // I/O counts are backend-invariant (pinned by the kernel differential
+  // tests). kScalar is the per-bit reference; kAuto picks the widest
+  // available (AVX2 when compiled in and supported, else uint64).
+  BitKernelBackend matrix_backend = BitKernelBackend::kAuto;
   uint64_t seed = 0x5eed;
 };
 

@@ -1,0 +1,34 @@
+#include "succ/succ_bitset.h"
+
+#include <algorithm>
+
+namespace tcdb {
+
+void SuccessorBitset::Resize(size_t capacity) {
+  capacity_ = capacity;
+  const size_t chunks =
+      (capacity + kSuccBitsetChunkBits - 1) / kSuccBitsetChunkBits;
+  words_.resize(chunks * kSuccBitsetChunkWords);
+  chunk_epochs_.assign(chunks, 0);
+  epoch_ = 1;
+}
+
+void SuccessorBitset::FreshenChunk(size_t chunk) {
+  std::fill_n(words_.begin() +
+                  static_cast<ptrdiff_t>(chunk * kSuccBitsetChunkWords),
+              kSuccBitsetChunkWords, uint64_t{0});
+  chunk_epochs_[chunk] = epoch_;
+}
+
+void SuccessorBitset::InsertSpan(std::span<const int32_t> values) {
+  for (const int32_t v : values) Insert(static_cast<size_t>(v));
+}
+
+void SuccessorBitset::MergeNew(std::span<const int32_t> values,
+                               std::vector<int32_t>* fresh) {
+  for (const int32_t v : values) {
+    if (InsertIfAbsent(static_cast<size_t>(v))) fresh->push_back(v);
+  }
+}
+
+}  // namespace tcdb

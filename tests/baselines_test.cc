@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/bit_matrix.h"
 #include "core/database.h"
 #include "graph/algorithms.h"
 #include "graph/generator.h"
@@ -79,6 +82,90 @@ TEST(MatrixVariantsTest, BlockingReducesMissesNotUnions) {
             blocked.value().metrics.list_unions);
   EXPECT_LE(blocked.value().metrics.TotalIo(),
             warren.value().metrics.TotalIo());
+}
+
+TEST(MatrixVariantsTest, TailWordColumnsAreExactAtUnalignedSizes) {
+  // Regression for the tail-word masking bug: at n % 64 != 0 the last
+  // word of each packed row has 64 - n%64 slack bits, and any garbage
+  // there used to leak into whole-word unions and popcounts — visible as
+  // phantom successors at columns >= n or inflated distinct counts. Pin
+  // the full closure against the reference at two unaligned sizes, for
+  // all three matrix variants and every kernel backend.
+  for (const NodeId n : {67, 127}) {
+    const GeneratorParams params{n, 4, n / 2, static_cast<uint64_t>(n)};
+    const ArcList arcs = GenerateDag(params);
+    const auto expected = ReferenceClosure(Digraph(n, arcs));
+    int64_t expected_tuples = 0;
+    for (const auto& row : expected) {
+      expected_tuples += static_cast<int64_t>(row.size());
+    }
+    auto db = TcDatabase::Create(arcs, n);
+    ASSERT_TRUE(db.ok());
+    for (const Algorithm algorithm :
+         {Algorithm::kWarshall, Algorithm::kWarren,
+          Algorithm::kWarrenBlocked}) {
+      for (const BitKernelBackend backend :
+           {BitKernelBackend::kScalar, BitKernelBackend::kUint64,
+            BitKernelBackend::kAvx2, BitKernelBackend::kAuto}) {
+        SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + "/" +
+                     BitKernelBackendName(backend) + "/n=" +
+                     std::to_string(n));
+        ExecOptions options;
+        options.buffer_pages = 8;
+        options.capture_answer = true;
+        options.matrix_backend = backend;
+        auto run =
+            db.value()->Execute(algorithm, QuerySpec::Full(), options);
+        ASSERT_TRUE(run.ok());
+        ASSERT_EQ(run.value().answer.size(), static_cast<size_t>(n));
+        for (const auto& [node, successors] : run.value().answer) {
+          EXPECT_EQ(successors, expected[node]) << "node " << node;
+          if (!successors.empty()) {
+            EXPECT_LT(successors.back(), n);  // no phantom tail columns
+          }
+        }
+        EXPECT_EQ(run.value().metrics.distinct_tuples, expected_tuples);
+      }
+    }
+  }
+}
+
+TEST(MatrixVariantsTest, BackendSwapLeavesModelMetricsUntouched) {
+  // The kernel backend may only change CPU cost: page I/O, tuple counts
+  // and union counts are model quantities and must be bit-identical
+  // across scalar / uint64 / AVX2 / auto.
+  const GeneratorParams params{300, 5, 75, 6};
+  auto db = TcDatabase::Create(GenerateDag(params), params.num_nodes);
+  ASSERT_TRUE(db.ok());
+  for (const Algorithm algorithm :
+       {Algorithm::kWarshall, Algorithm::kWarren,
+        Algorithm::kWarrenBlocked}) {
+    ExecOptions options;
+    options.buffer_pages = 10;
+    options.matrix_backend = BitKernelBackend::kScalar;
+    auto reference =
+        db.value()->Execute(algorithm, QuerySpec::Full(), options);
+    ASSERT_TRUE(reference.ok());
+    const RunMetrics& ref = reference.value().metrics;
+    for (const BitKernelBackend backend :
+         {BitKernelBackend::kUint64, BitKernelBackend::kAvx2,
+          BitKernelBackend::kAuto}) {
+      SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + "/" +
+                   BitKernelBackendName(backend));
+      options.matrix_backend = backend;
+      auto run = db.value()->Execute(algorithm, QuerySpec::Full(), options);
+      ASSERT_TRUE(run.ok());
+      const RunMetrics& m = run.value().metrics;
+      EXPECT_EQ(m.restructure_reads, ref.restructure_reads);
+      EXPECT_EQ(m.restructure_writes, ref.restructure_writes);
+      EXPECT_EQ(m.compute_reads, ref.compute_reads);
+      EXPECT_EQ(m.compute_writes, ref.compute_writes);
+      EXPECT_EQ(m.list_unions, ref.list_unions);
+      EXPECT_EQ(m.tuples_generated, ref.tuples_generated);
+      EXPECT_EQ(m.distinct_tuples, ref.distinct_tuples);
+      EXPECT_EQ(m.selected_tuples, ref.selected_tuples);
+    }
+  }
 }
 
 TEST(MatrixVariantsTest, MatrixHandlesWideRows) {

@@ -1,0 +1,234 @@
+// Kernel differential suite for the bit-parallel matrix backends: the
+// scalar per-bit loops, the portable uint64 word loops, and (when the
+// build and CPU provide it) AVX2 must produce bit-identical closures on
+// every graph shape, and every backend must preserve the tail-masking
+// invariant (no bit at column >= n survives any operation). Also pins the
+// ISSUE acceptance criterion: the uint64 kernels beat the scalar per-bit
+// baseline by >= 4x on a dense closure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/bit_matrix.h"
+#include "graph/algorithms.h"
+#include "graph/generator.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace tcdb {
+namespace {
+
+// The backends available in this build/CPU; kScalar first so the others
+// diff against it.
+std::vector<BitKernelBackend> AvailableBackends() {
+  std::vector<BitKernelBackend> backends = {BitKernelBackend::kScalar,
+                                            BitKernelBackend::kUint64};
+  if (Avx2Supported()) backends.push_back(BitKernelBackend::kAvx2);
+  return backends;
+}
+
+enum class Variant { kWarshall, kWarren, kWarrenBlocked };
+
+const char* VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kWarshall: return "Warshall";
+    case Variant::kWarren: return "Warren";
+    case Variant::kWarrenBlocked: return "WarrenBlocked";
+  }
+  return "?";
+}
+
+void RunClosure(BitMatrix* m, Variant variant, BitKernelBackend backend) {
+  switch (variant) {
+    case Variant::kWarshall: m->Warshall(backend); break;
+    case Variant::kWarren: m->Warren(backend); break;
+    case Variant::kWarrenBlocked: m->WarrenBlocked(backend, 64); break;
+  }
+}
+
+// The graph shapes of the differential sweep. Sizes are deliberately not
+// multiples of 64 so the tail word is always live.
+struct Shape {
+  const char* name;
+  NodeId n;
+  ArcList arcs;
+};
+
+std::vector<Shape> DifferentialShapes() {
+  std::vector<Shape> shapes;
+  // Dense: high fan-out, global locality.
+  shapes.push_back({"dense", 150, GenerateDag({150, 20, 150, 11})});
+  // Deep and narrow: long chains, fan-out 1.
+  shapes.push_back({"deep_narrow", 197, GenerateDag({197, 1, 5, 12})});
+  // Wide and shallow: every node points far forward, few levels.
+  shapes.push_back({"wide_shallow", 130, GenerateDag({130, 30, 130, 13})});
+  // Cyclic, with explicit self-loops: the matrix algorithms do not require
+  // acyclicity, and reflexive bits exercise the diagonal path.
+  ArcList cyclic = GenerateCyclicDigraph({150, 4, 40, 14}, 25);
+  cyclic.push_back({7, 7});
+  cyclic.push_back({149, 149});
+  std::sort(cyclic.begin(), cyclic.end());
+  cyclic.erase(std::unique(cyclic.begin(), cyclic.end()), cyclic.end());
+  shapes.push_back({"cyclic", 150, std::move(cyclic)});
+  return shapes;
+}
+
+TEST(BitMatrixKernelTest, AllBackendsProduceBitIdenticalClosures) {
+  for (const Shape& shape : DifferentialShapes()) {
+    const BitMatrix adjacency =
+        BitMatrix::FromDigraph(Digraph(shape.n, shape.arcs));
+    ASSERT_TRUE(adjacency.TailsClear());
+    for (const Variant variant :
+         {Variant::kWarshall, Variant::kWarren, Variant::kWarrenBlocked}) {
+      BitMatrix reference = adjacency;
+      RunClosure(&reference, variant, BitKernelBackend::kScalar);
+      EXPECT_TRUE(reference.TailsClear())
+          << shape.name << "/" << VariantName(variant) << "/scalar";
+      for (const BitKernelBackend backend : AvailableBackends()) {
+        if (backend == BitKernelBackend::kScalar) continue;
+        SCOPED_TRACE(std::string(shape.name) + "/" + VariantName(variant) +
+                     "/" + BitKernelBackendName(backend));
+        BitMatrix m = adjacency;
+        RunClosure(&m, variant, backend);
+        EXPECT_TRUE(m.TailsClear());
+        EXPECT_TRUE(m == reference);
+      }
+    }
+  }
+}
+
+TEST(BitMatrixKernelTest, ClosureMatchesGraphReference) {
+  for (const Shape& shape : DifferentialShapes()) {
+    SCOPED_TRACE(shape.name);
+    const Digraph graph(shape.n, shape.arcs);
+    const auto expected = ReferenceClosure(graph);
+    BitMatrix m = BitMatrix::FromDigraph(graph);
+    m.Warren(BitKernelBackend::kAuto);
+    for (NodeId v = 0; v < shape.n; ++v) {
+      std::vector<NodeId> row;
+      for (NodeId w = 0; w < shape.n; ++w) {
+        if (m.Test(v, w)) row.push_back(w);
+      }
+      EXPECT_EQ(row, expected[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(BitMatrixKernelTest, VariantsAgreeWithEachOther) {
+  const ArcList arcs = GenerateDag({321, 6, 80, 21});
+  const BitMatrix adjacency = BitMatrix::FromDigraph(Digraph(321, arcs));
+  BitMatrix warshall = adjacency, warren = adjacency, blocked = adjacency;
+  warshall.Warshall(BitKernelBackend::kAuto);
+  warren.Warren(BitKernelBackend::kAuto);
+  blocked.WarrenBlocked(BitKernelBackend::kAuto, 50);
+  EXPECT_TRUE(warshall == warren);
+  EXPECT_TRUE(warren == blocked);
+}
+
+TEST(BitMatrixKernelTest, TailMaskMatchesBitDefinition) {
+  for (const NodeId n : {1, 63, 64, 65, 67, 127, 128, 129, 2000}) {
+    const uint64_t mask = BitRowTailMask(n);
+    for (unsigned b = 0; b < 64; ++b) {
+      const size_t column = ((BitRowWords(n) - 1) << 6) + b;
+      EXPECT_EQ((mask >> b) & 1,
+                column < static_cast<size_t>(n) ? 1u : 0u)
+          << "n=" << n << " bit " << b;
+    }
+  }
+}
+
+TEST(BitMatrixKernelTest, UnionChangedAgreesAcrossBackends) {
+  // union_words_changed drives Warshall-style convergence checks; its
+  // boolean must agree bit-for-bit with the scalar definition, including
+  // the no-change case.
+  const size_t words = 7;
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> dst(words), src(words);
+    for (size_t w = 0; w < words; ++w) {
+      dst[w] = rng.Next();
+      // Occasionally make src a subset of dst so "no change" happens.
+      src[w] = trial % 5 == 0 ? (dst[w] & rng.Next()) : rng.Next();
+    }
+    std::vector<uint64_t> scalar_dst = dst;
+    const bool scalar_changed = ScalarKernelOps()->union_words_changed(
+        scalar_dst.data(), src.data(), words);
+    for (const BitKernelBackend backend : AvailableBackends()) {
+      if (backend == BitKernelBackend::kScalar) continue;
+      const BitKernelOps* ops = ResolveBitKernels(backend);
+      std::vector<uint64_t> out = dst;
+      const bool changed =
+          ops->union_words_changed(out.data(), src.data(), words);
+      EXPECT_EQ(changed, scalar_changed) << ops->name << " trial " << trial;
+      EXPECT_EQ(out, scalar_dst) << ops->name << " trial " << trial;
+    }
+  }
+}
+
+TEST(BitMatrixKernelTest, PopcountAgreesAcrossBackends) {
+  Rng rng(7);
+  for (const size_t words : {1u, 2u, 3u, 5u, 32u}) {
+    std::vector<uint64_t> row(words);
+    for (auto& w : row) w = rng.Next();
+    const int64_t expected =
+        ScalarKernelOps()->popcount_words(row.data(), words);
+    for (const BitKernelBackend backend : AvailableBackends()) {
+      const BitKernelOps* ops = backend == BitKernelBackend::kScalar
+                                    ? ScalarKernelOps()
+                                    : ResolveBitKernels(backend);
+      EXPECT_EQ(ops->popcount_words(row.data(), words), expected)
+          << ops->name << " words=" << words;
+    }
+  }
+}
+
+TEST(BitMatrixKernelTest, ResolveFallsBackWhenAvx2Unavailable) {
+  EXPECT_STREQ(ResolveBitKernels(BitKernelBackend::kScalar)->name, "scalar");
+  EXPECT_STREQ(ResolveBitKernels(BitKernelBackend::kUint64)->name, "uint64");
+  const BitKernelOps* avx2 = ResolveBitKernels(BitKernelBackend::kAvx2);
+  const BitKernelOps* autod = ResolveBitKernels(BitKernelBackend::kAuto);
+  if (Avx2Supported()) {
+    EXPECT_STREQ(avx2->name, "avx2");
+    EXPECT_STREQ(autod->name, "avx2");
+  } else {
+    EXPECT_STREQ(avx2->name, "uint64");
+    EXPECT_STREQ(autod->name, "uint64");
+  }
+}
+
+// The ISSUE acceptance criterion, scaled to test time: the uint64 word
+// kernels must beat the scalar per-bit baseline by >= 4x on a dense
+// closure. The real margin is ~50x (see bench_micro's n=2000 sweep);
+// asserting 4x at n=512 leaves an order of magnitude of slack for noisy
+// CI machines while still catching any accidental de-vectorization.
+TEST(BitMatrixKernelTest, Uint64KernelsBeatScalarByFourX) {
+  const NodeId n = 512;
+  const BitMatrix adjacency =
+      BitMatrix::FromDigraph(Digraph(n, GenerateDag({n, 20, n, 31})));
+
+  // One warm-up + best-of-3 on each side to shed scheduler noise.
+  auto time_backend = [&](BitKernelBackend backend, int reps) {
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+      BitMatrix m = adjacency;
+      CpuTimer timer;
+      m.Warshall(backend);
+      best = std::min(best, timer.ElapsedSeconds());
+      EXPECT_TRUE(m.TailsClear());
+    }
+    return best;
+  };
+
+  double scalar_s = 0, uint64_s = 0;
+  time_backend(BitKernelBackend::kUint64, 1);  // warm caches
+  uint64_s = time_backend(BitKernelBackend::kUint64, 3);
+  scalar_s = time_backend(BitKernelBackend::kScalar, 3);
+  EXPECT_GE(scalar_s, 4.0 * uint64_s)
+      << "scalar " << scalar_s << "s vs uint64 " << uint64_s << "s";
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -98,12 +98,86 @@ TEST(CyclicClosureTest, DuplicateSourcesInSameComponent) {
   EXPECT_EQ(run.value().answer[1].second, (std::vector<NodeId>{0, 1, 2}));
 }
 
+TEST(CyclicClosureTest, SelfLoopOnSingletonComponentIsKept) {
+  // Regression: condensation maps a self-loop arc (v, v) to the
+  // intra-component arc (c, c) and drops it; for a singleton component
+  // that used to erase the only evidence that v reaches itself.
+  const ArcList arcs = {{0, 1}, {1, 1}, {1, 2}, {3, 3}};
+  auto closure = CyclicClosure::Create(arcs, 4);
+  ASSERT_TRUE(closure.ok());
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run =
+      closure.value()->Execute(Algorithm::kBtc, QuerySpec::Full(), options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().answer.size(), 4u);
+  EXPECT_EQ(run.value().answer[0].second, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(run.value().answer[1].second, (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(run.value().answer[2].second.empty());
+  EXPECT_EQ(run.value().answer[3].second, (std::vector<NodeId>{3}));
+}
+
+// The single shared pin of diagonal (self-reachability) semantics: every
+// algorithm — matrix family and list family alike — must report v as its
+// own successor exactly when v lies on a cycle, whether that cycle is a
+// multi-node component or a length-1 self-loop. All of them compute the
+// irreflexive closure of the condensation DAG; CyclicClosure adds the
+// diagonal uniformly during expansion, so no algorithm can disagree.
+class DiagonalSemanticsTest : public testing::TestWithParam<Algorithm> {};
+
+TEST_P(DiagonalSemanticsTest, SelfReachabilityIsUniformAcrossAlgorithms) {
+  // A 3-cycle {0,1,2}, a self-loop singleton 3, and a plain acyclic tail
+  // 4 -> 5, chained 2 -> 3 -> 4.
+  const ArcList arcs = {{0, 1}, {1, 2}, {2, 0}, {2, 3},
+                        {3, 3}, {3, 4}, {4, 5}};
+  const NodeId n = 6;
+  auto closure = CyclicClosure::Create(arcs, n);
+  ASSERT_TRUE(closure.ok());
+  ExecOptions options;
+  options.capture_answer = true;
+  auto run =
+      closure.value()->Execute(GetParam(), QuerySpec::Full(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run.value().answer.size(), static_cast<size_t>(n));
+  const bool on_cycle[] = {true, true, true, true, false, false};
+  for (const auto& [node, successors] : run.value().answer) {
+    const bool has_self =
+        std::find(successors.begin(), successors.end(), node) !=
+        successors.end();
+    EXPECT_EQ(has_self, on_cycle[node]) << "node " << node;
+  }
+  // And the exact rows, so the diagonal is right for the right reason.
+  EXPECT_EQ(run.value().answer[0].second,
+            (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(run.value().answer[3].second, (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(run.value().answer[4].second, (std::vector<NodeId>{5}));
+  EXPECT_TRUE(run.value().answer[5].second.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatrixAndListFamilies, DiagonalSemanticsTest,
+    testing::Values(Algorithm::kBtc, Algorithm::kHyb, Algorithm::kSpn,
+                    Algorithm::kSeminaive, Algorithm::kWarshall,
+                    Algorithm::kWarren, Algorithm::kWarrenBlocked),
+    [](const testing::TestParamInfo<Algorithm>& info) {
+      std::string name = AlgorithmName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
 class CyclicPropertyTest
     : public testing::TestWithParam<std::tuple<Algorithm, uint64_t>> {};
 
 TEST_P(CyclicPropertyTest, MatchesDirectReference) {
   const auto [algorithm, seed] = GetParam();
-  const ArcList arcs = GenerateCyclicDigraph({150, 4, 40, seed}, 25);
+  // Self-loop arcs on a few nodes exercise the singleton-component
+  // diagonal path alongside the generator's multi-node cycles.
+  ArcList arcs = GenerateCyclicDigraph({150, 4, 40, seed}, 25);
+  for (const NodeId v : {3, 77, 149}) {
+    arcs.push_back({v, v});
+  }
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
   const Digraph graph(150, arcs);
   auto closure = CyclicClosure::Create(arcs, 150);
   ASSERT_TRUE(closure.ok());
@@ -134,11 +208,14 @@ INSTANTIATE_TEST_SUITE_P(
     AlgorithmsAndSeeds, CyclicPropertyTest,
     testing::Combine(testing::Values(Algorithm::kBtc, Algorithm::kBj,
                                      Algorithm::kSpn, Algorithm::kJkb2,
-                                     Algorithm::kSrch),
+                                     Algorithm::kSrch, Algorithm::kWarshall,
+                                     Algorithm::kWarren,
+                                     Algorithm::kWarrenBlocked),
                      testing::Values(1, 2, 3)),
     [](const testing::TestParamInfo<std::tuple<Algorithm, uint64_t>>& info) {
-      return std::string(AlgorithmName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+      std::string name = AlgorithmName(std::get<0>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
 
 }  // namespace

@@ -75,6 +75,21 @@ const Golden kGoldensG11[] = {
      282, 257, 5921, 3690, 2913268, 1268040, 8730},
 };
 
+// The dense matrix family on G5 instance 0 at M=20/LRU, recorded with the
+// default (kAuto) kernel backend — the backend is irrelevant by
+// construction, which MatrixBackendSwapKeepsGoldenCounters pins below.
+// distinct_tuples matches the BTC/JKB2/SRCH rows above: all full-closure
+// algorithms compute the same closure. The matrix family generates no
+// tuples (it flips bits), so tuples_generated is 0 by definition.
+const Golden kGoldensMatrix[] = {
+    {"WARSHALL", Algorithm::kWarshall, true,
+     289, 233, 501930, 231089, 0, 1497673, 1497673},
+    {"WARREN", Algorithm::kWarren, true,
+     289, 233, 208590, 1630, 0, 1497673, 1497673},
+    {"WARREN_BLOCKED", Algorithm::kWarrenBlocked, true,
+     289, 233, 202062, 267, 0, 1497673, 1497673},
+};
+
 void CheckGoldens(const char* family_name,
                   std::span<const Golden> goldens) {
   const GraphFamily& family = FamilyByName(family_name);
@@ -113,6 +128,48 @@ TEST(GoldenMetricsTest, G2CountersAreExactlyPinned) {
 
 TEST(GoldenMetricsTest, G11CountersAreExactlyPinned) {
   CheckGoldens("G11", kGoldensG11);
+}
+
+TEST(GoldenMetricsTest, G5MatrixCountersAreExactlyPinned) {
+  CheckGoldens("G5", kGoldensMatrix);
+}
+
+// The kernel backend (uint64 words vs AVX2 vs auto) may change only CPU
+// time. Every golden counter — page I/O, unions, tuple counts — is a
+// model quantity and must be bit-identical across backends at full
+// catalog scale. (The scalar per-bit backend is checked the same way at
+// smaller n in baselines_test, where its runtime is affordable.)
+TEST(GoldenMetricsTest, MatrixBackendSwapKeepsGoldenCounters) {
+  const GraphFamily& family = FamilyByName("G5");
+  auto db = MakeCatalogDatabase(family, 0);
+  ASSERT_TRUE(db.ok());
+  for (const Golden& golden : kGoldensMatrix) {
+    ExecOptions options;
+    options.buffer_pages = 20;
+    options.matrix_backend = BitKernelBackend::kUint64;
+    auto reference =
+        db.value()->Execute(golden.algorithm, QuerySpec::Full(), options);
+    ASSERT_TRUE(reference.ok());
+    const RunMetrics& ref = reference.value().metrics;
+    for (const BitKernelBackend backend :
+         {BitKernelBackend::kAvx2, BitKernelBackend::kAuto}) {
+      SCOPED_TRACE(std::string(golden.name) + "/" +
+                   BitKernelBackendName(backend));
+      options.matrix_backend = backend;
+      auto run =
+          db.value()->Execute(golden.algorithm, QuerySpec::Full(), options);
+      ASSERT_TRUE(run.ok());
+      const RunMetrics& m = run.value().metrics;
+      EXPECT_EQ(m.restructure_reads, ref.restructure_reads);
+      EXPECT_EQ(m.restructure_writes, ref.restructure_writes);
+      EXPECT_EQ(m.compute_reads, ref.compute_reads);
+      EXPECT_EQ(m.compute_writes, ref.compute_writes);
+      EXPECT_EQ(m.list_unions, ref.list_unions);
+      EXPECT_EQ(m.tuples_generated, ref.tuples_generated);
+      EXPECT_EQ(m.distinct_tuples, ref.distinct_tuples);
+      EXPECT_EQ(m.selected_tuples, ref.selected_tuples);
+    }
+  }
 }
 
 // The simulated-model counters the goldens above pin must be a function

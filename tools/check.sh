@@ -33,6 +33,21 @@ cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
 cmake --build "$SAN_DIR" -j "$(nproc)" --target tcdb_cli
 "$SAN_DIR"/tools/tcdb_cli stress --seeds 50 --base-seed 1
 
+# --- Sanitized bit-matrix kernel differential: the scalar / uint64 /
+# AVX2 backends compared bit-for-bit on every graph shape, under
+# ASan+UBSan so a tail-word overrun or misaligned vector load is an
+# error, not a silent wrong bit. Runs the full differential twice — once
+# with the AVX2 path eligible (the default build above) and once in a
+# uint64-only tree (-DTCDB_AVX2=OFF) so the portable path is exercised
+# even on AVX2 hardware.
+cmake --build "$SAN_DIR" -j "$(nproc)" --target bit_matrix_test
+"$SAN_DIR"/tests/bit_matrix_test
+NOAVX_DIR="${BUILD_DIR}-asan-noavx2"
+cmake -B "$NOAVX_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DTCDB_SANITIZE=address,undefined -DTCDB_AVX2=OFF
+cmake --build "$NOAVX_DIR" -j "$(nproc)" --target bit_matrix_test
+"$NOAVX_DIR"/tests/bit_matrix_test
+
 # --- Sanitized mutation differential: 50 randomized mixed
 # insert/delete/query traces through the full dynamic stack
 # (MutationLog -> DynamicReachService -> IndexRebuilder), every answer
