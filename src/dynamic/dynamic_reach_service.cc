@@ -49,7 +49,22 @@ Result<std::unique_ptr<DynamicReachService>> DynamicReachService::Create(
   service->stats_.snapshot_epoch = service->snapshot_epoch_;
   service->stats_.epoch = log->current_epoch();
   log->RebaseOverlay(service->snapshot_epoch_);
+  if (options.incremental) {
+    // The trees track the LIVE graph, not the snapshot — build them from
+    // the current arc set even on the recovery path, where the preloaded
+    // snapshot may sit behind replayed WAL mutations.
+    service->incremental_ = IncrementalIndex::Build(
+        log->SnapshotArcs().arcs, log->num_nodes(),
+        options.incremental_options);
+  }
   return service;
+}
+
+void DynamicReachService::SyncIncrementalStats() {
+  const IncrementalStats& inc = incremental_->stats();
+  stats_.incremental_repairs = inc.repairs();
+  stats_.incremental_repair_cost = inc.repair_arc_scans;
+  stats_.incremental_rebuilds_advised = inc.rebuilds_advised;
 }
 
 Result<DynamicReachService::Epoch> DynamicReachService::InsertArc(
@@ -58,6 +73,10 @@ Result<DynamicReachService::Epoch> DynamicReachService::InsertArc(
   ++stats_.arcs_inserted;
   stats_.epoch = epoch;
   cache_.BumpGeneration();
+  if (incremental_ != nullptr) {
+    incremental_->OnInsert(src, dst);
+    SyncIncrementalStats();
+  }
   return epoch;
 }
 
@@ -67,6 +86,10 @@ Result<DynamicReachService::Epoch> DynamicReachService::DeleteArc(
   ++stats_.arcs_deleted;
   stats_.epoch = epoch;
   cache_.BumpGeneration();
+  if (incremental_ != nullptr) {
+    incremental_->OnDelete(src, dst);
+    SyncIncrementalStats();
+  }
   return epoch;
 }
 
@@ -120,6 +143,13 @@ bool DynamicReachService::AdoptPublishedSnapshot() {
   cache_.BumpGeneration();
   probe_scratch_ = ReachIndex::SearchScratch();
   log_->RebaseOverlay(epoch);
+  if (incremental_ != nullptr) {
+    // The rebuild the repair budget was saving toward just landed: reset
+    // the cost accumulator and the advise flag. The trees need no work —
+    // they track the live graph, not the snapshot.
+    incremental_->OnSnapshotAdopted();
+    SyncIncrementalStats();
+  }
   return true;
 }
 
@@ -296,8 +326,19 @@ Result<DynamicReachService::Answer> DynamicReachService::Query(NodeId src,
       answer = {verdict == ReachIndex::Verdict::kYes, stage};
     }
   } else {
-    const ReachIndex::Verdict verdict = PatchedDecide(src, dst);
+    // Dirty overlay: cheapest exact tier first. The incremental trees
+    // are repaired inside every mutation, so their verdicts hold at the
+    // live epoch — no staleness to patch around, O(k) membership tests.
+    ReachIndex::Verdict verdict = ReachIndex::Verdict::kUnknown;
+    if (incremental_ != nullptr) {
+      verdict = incremental_->Decide(src, dst);
+    }
     if (verdict != ReachIndex::Verdict::kUnknown) {
+      ++stats_.incremental_served;
+      answer = {verdict == ReachIndex::Verdict::kYes,
+                ReachStage::kIncremental};
+    } else if ((verdict = PatchedDecide(src, dst)) !=
+               ReachIndex::Verdict::kUnknown) {
       ++stats_.overlay_served;
       answer = {verdict == ReachIndex::Verdict::kYes,
                 ReachStage::kOverlayPatched};

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dynamic/dynamic_stats.h"
+#include "dynamic/incremental.h"
 #include "dynamic/mutation_log.h"
 #include "reach/lru_cache.h"
 #include "reach/reach_service.h"
@@ -26,19 +27,34 @@ struct DynamicReachOptions {
   // LRU answer-cache entries; 0 disables. Entries are invalidated (via a
   // generation bump) by every mutation and every snapshot adoption.
   size_t cache_capacity = 4096;
+  // Maintain the incremental-decided tier: per-pivot forward/backward
+  // reachability trees repaired on every mutation, consulted as an O(k)
+  // exact decide between the frozen-snapshot ladder and the patched /
+  // live-BFS tiers. Off reproduces the pre-incremental three-tier
+  // ladder exactly (same answers, different CPU).
+  bool incremental = true;
+  IncrementalOptions incremental_options;
 };
 
 // Fully dynamic reachability serving over a MutationLog: a frozen
 // ReachCore snapshot answers the bulk of each query in O(1), and the
 // distance between the snapshot and the live graph — the DeltaOverlay —
-// is patched in at query time.
+// is patched in at query time. With the overlay non-empty, the
+// incremental-decided tier runs first: per-pivot forward/backward
+// reachability trees (IncrementalIndex) repaired inside every mutation
+// answer an O(k) battery of observations that is exact at the live
+// epoch, so most dirty-overlay queries never reach the patched BFS at
+// all. The full ladder is
+//   frozen snapshot (empty overlay) -> incremental-decided ->
+//   overlay-patched -> live BFS.
 //
-// Serving rule (DESIGN.md §11). Let S be the snapshot graph and L the
-// live graph, so L = S + inserted − deleted with (inserted, deleted) the
-// overlay. The patched path computes reachability in the
-// over-approximation O = S + inserted by a BFS whose nodes are "entry
-// points" (the query source plus heads of inserted arcs) and whose edges
-// are definite snapshot-reach probes into the tails of inserted arcs:
+// Serving rule of the patched tier (DESIGN.md §11). Let S be the
+// snapshot graph and L the live graph, so L = S + inserted − deleted
+// with (inserted, deleted) the overlay. The patched path computes
+// reachability in the over-approximation O = S + inserted by a BFS whose
+// nodes are "entry points" (the query source plus heads of inserted
+// arcs) and whose edges are definite snapshot-reach probes into the
+// tails of inserted arcs:
 //   - O says NO  ⇒ L says NO (L is a subgraph of O): definite.
 //   - O says YES and no deleted arc's source lies in u's O-cone ⇒ no
 //     u-path of O uses a deleted arc, so the witness survives in L:
@@ -99,6 +115,16 @@ class DynamicReachService {
   // rebased to the new epoch).
   bool AdoptPublishedSnapshot();
 
+  // True when the incremental tier's repair-cost estimate says a full
+  // rebuild is now cheaper than continuing to repair — the
+  // IndexRebuilder's advise hook (safe from any thread; always false
+  // with the tier disabled).
+  bool RebuildAdvised() const {
+    return incremental_ != nullptr && incremental_->rebuild_advised();
+  }
+  // The incremental tier, or null when disabled.
+  const IncrementalIndex* incremental() const { return incremental_.get(); }
+
   const DynamicStats& stats() const { return stats_; }
   // Per-stage serving breakdown; the dynamic paths record under
   // ReachStage::kOverlayPatched / kLiveBfs.
@@ -126,11 +152,18 @@ class DynamicReachService {
   // Escalation: BFS over the live paged adjacency, original node ids.
   Result<bool> LiveReaches(NodeId u, NodeId v);
 
+  // Mirrors the incremental tier's maintenance counters into stats_.
+  void SyncIncrementalStats();
+
   MutationLog* log_ = nullptr;
   DynamicReachOptions options_;
 
   std::shared_ptr<const ReachCore> snapshot_;
   Epoch snapshot_epoch_ = 0;
+
+  // The incremental-decided tier (null when options_.incremental is
+  // off): exact on the live graph, repaired inside every mutation.
+  std::unique_ptr<IncrementalIndex> incremental_;
 
   ReachAnswerCache cache_;
   ReachIndex::SearchScratch probe_scratch_;  // snapshot-probe BFS buffers

@@ -10,9 +10,13 @@ std::string DynamicStats::ToString() const {
       << arcs_inserted << " inserts / " << arcs_deleted << " deletes, "
       << "overlay +" << overlay_inserted << " -" << overlay_deleted << ", "
       << queries << " queries (" << snapshot_served << " snapshot, "
-      << overlay_served << " patched, " << escalations << " escalated, "
+      << incremental_served << " incremental, " << overlay_served
+      << " patched, " << escalations << " escalated, "
       << "rate " << EscalationRate() << "), " << overlay_probes
-      << " probes, " << snapshots_adopted << " swaps, rebuilds "
+      << " probes, " << incremental_repairs << " tree repairs ("
+      << incremental_repair_cost << " arc scans, "
+      << incremental_rebuilds_advised << " rebuilds advised), "
+      << snapshots_adopted << " swaps, rebuilds "
       << rebuild_seconds_total << "s total / " << last_rebuild_seconds
       << "s last\n";
   return out.str();

@@ -19,14 +19,25 @@ struct DynamicStats {
   int64_t arcs_deleted = 0;
 
   // Query traffic by path. snapshot_served: the overlay was empty and the
-  // pure frozen-snapshot ladder answered. overlay_served: the patched
+  // pure frozen-snapshot ladder answered. incremental_served: the
+  // incrementally maintained reachability trees decided (either
+  // polarity, exact at the live epoch). overlay_served: the patched
   // over-approximation BFS decided (either polarity). escalations: a
   // deletion touched the query's cone (or the patch budget ran out) and
   // the live graph was searched.
   int64_t queries = 0;
   int64_t snapshot_served = 0;
+  int64_t incremental_served = 0;
   int64_t overlay_served = 0;
   int64_t escalations = 0;
+
+  // Incremental-tier maintenance: tree repairs applied by mutations,
+  // their cumulative cost (arcs scanned — the unit the rebuild budget
+  // is denominated in), and how often that cost estimate crossed the
+  // budget and advised a full rebuild.
+  int64_t incremental_repairs = 0;
+  int64_t incremental_repair_cost = 0;
+  int64_t incremental_rebuilds_advised = 0;
 
   // Definite snapshot-reachability probes spent inside patched BFS and
   // escalation-relevance checks (the unit the patch budget bounds).

@@ -1,0 +1,146 @@
+#ifndef TCDB_DYNAMIC_INCREMENTAL_H_
+#define TCDB_DYNAMIC_INCREMENTAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/reach_trees.h"
+#include "graph/digraph.h"
+#include "reach/reach_index.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+struct IncrementalOptions {
+  // Supportive pivot vertices. Each pivot maintains one forward and one
+  // backward reachability tree over the live graph, giving one O(1)
+  // positive rule and two O(1) negative rules per pivot (plus exact
+  // decisions whenever the query endpoint IS a pivot). 0 disables the
+  // tier outright.
+  int32_t num_pivots = 8;
+  // Pivot candidates evaluated per slot (best forward x backward
+  // coverage on the base graph wins). Higher = better pivots, slower
+  // build.
+  int32_t pivot_candidates_per_slot = 4;
+  // Explicit pivots — used verbatim, overriding num_pivots and the
+  // candidate search. For tests that need to aim deletions at a known
+  // tree, and for benchmarks that want build determinism.
+  std::vector<NodeId> pinned_pivots;
+  // Rebuild policy: once the cumulative repair cost (arcs scanned by
+  // tree maintenance) since the last snapshot adoption exceeds
+  // rebuild_cost_ratio * (n + m), incremental repair is estimated to be
+  // losing to a from-scratch ReachCore build and rebuild_advised() turns
+  // on until the next adoption. <= 0 never advises.
+  double rebuild_cost_ratio = 4.0;
+  // Candidate-draw determinism.
+  uint64_t seed = 0x1cebeef;
+};
+
+// Maintenance counters of the incremental tier (owner-thread mutable,
+// mirrored into DynamicStats by the service).
+struct IncrementalStats {
+  int64_t inserts_applied = 0;
+  int64_t deletes_applied = 0;
+  // Repairs that actually changed a tree: insert extensions and
+  // affected-subtree delete repairs (a mutation may repair several
+  // trees; each counts once).
+  int64_t tree_extensions = 0;
+  int64_t subtree_repairs = 0;
+  int64_t nodes_attached = 0;
+  int64_t nodes_detached = 0;
+  // Arcs scanned by all repairs — the unit the rebuild policy budgets.
+  int64_t repair_arc_scans = 0;
+  // Decide outcomes.
+  int64_t decided_yes = 0;
+  int64_t decided_no = 0;
+  int64_t undecided = 0;
+  // Times the repair-cost estimate crossed the rebuild budget (one per
+  // adoption interval at most).
+  int64_t rebuilds_advised = 0;
+
+  int64_t repairs() const { return tree_extensions + subtree_repairs; }
+};
+
+// The incremental-decided tier: k supportive pivots, each with an exact
+// forward and backward reachability tree over the live graph, repaired
+// in place on every single-arc insert and delete (Hanauer–Henzinger,
+// "Faster Fully Dynamic Transitive Closure in Practice") and consulted
+// as an O(k) battery of observations in the O'Reach style:
+//
+//   YES  u in bwd(p) and v in fwd(p)        (u -> p -> v)
+//   NO   u in fwd(p) and v not in fwd(p)    (v would be in p's cone)
+//   NO   v in bwd(p) and u not in bwd(p)    (u would be in p's co-cone)
+//   exact when u or v IS a pivot (fwd/bwd is the full reachable set)
+//
+// Every rule is exact on the live graph at the current epoch — unlike
+// the frozen snapshot tiers there is no staleness to patch around —
+// so a kYes/kNo verdict is final and only kUnknown falls through to
+// the overlay-patched / live-BFS tiers.
+//
+// Thread safety: mutations and Decide belong to the owner thread.
+// rebuild_advised() is the one cross-thread read (the background
+// IndexRebuilder polls it), backed by an atomic.
+class IncrementalIndex {
+ public:
+  // Builds the adjacency mirror and the pivot trees from the live arc
+  // set. Endpoints must lie in [0, num_nodes).
+  static std::unique_ptr<IncrementalIndex> Build(
+      const ArcList& live_arcs, NodeId num_nodes,
+      const IncrementalOptions& options = {});
+
+  // Mutation hooks — called after the MutationLog accepted the arc, so
+  // preconditions (range, no self-loop, membership) already hold.
+  void OnInsert(NodeId src, NodeId dst);
+  void OnDelete(NodeId src, NodeId dst);
+
+  // O(k) decide on the live graph; kUnknown for the residue.
+  ReachIndex::Verdict Decide(NodeId u, NodeId v);
+
+  // True once the repair cost since the last adoption exceeds the
+  // rebuild budget. Safe from any thread.
+  bool rebuild_advised() const {
+    return rebuild_advised_.load(std::memory_order_relaxed);
+  }
+
+  // Owner thread, on snapshot adoption: the rebuild the budget was
+  // saving up for has happened — reset the accumulator and the advise
+  // flag. (The trees themselves never depend on the snapshot; they
+  // already track the live graph exactly.)
+  void OnSnapshotAdopted();
+
+  const IncrementalStats& stats() const { return stats_; }
+  const std::vector<NodeId>& pivots() const { return pivots_; }
+  NodeId num_nodes() const { return adj_.num_nodes(); }
+  const LiveAdjacency& adjacency() const { return adj_; }
+  // Tree introspection for tests: forward/backward membership of pivot
+  // slot `i`.
+  bool InForwardTree(int32_t i, NodeId v) const {
+    return fwd_[static_cast<size_t>(i)]->Contains(v);
+  }
+  bool InBackwardTree(int32_t i, NodeId v) const {
+    return bwd_[static_cast<size_t>(i)]->Contains(v);
+  }
+
+ private:
+  IncrementalIndex(NodeId num_nodes, const IncrementalOptions& options)
+      : options_(options), adj_(num_nodes) {}
+
+  void ChargeRepair(int64_t cost);
+
+  IncrementalOptions options_;
+  LiveAdjacency adj_;
+  std::vector<NodeId> pivots_;
+  std::vector<std::unique_ptr<ReachTree>> fwd_;
+  std::vector<std::unique_ptr<ReachTree>> bwd_;
+
+  IncrementalStats stats_;
+  int64_t repair_cost_since_adopt_ = 0;
+  std::atomic<bool> rebuild_advised_{false};
+};
+
+}  // namespace tcdb
+
+#endif  // TCDB_DYNAMIC_INCREMENTAL_H_

@@ -67,7 +67,8 @@ Status IndexRebuilder::MaybeRebuild(bool force) {
   }
   const MutationLog::Epoch now = log_->current_epoch();
   if (now <= last) return Status::Ok();  // nothing new since the last build
-  if (!force && now - last < options_.mutations_per_rebuild) {
+  if (!force && now - last < options_.mutations_per_rebuild &&
+      !(options_.rebuild_advised && options_.rebuild_advised())) {
     return Status::Ok();
   }
   const MutationLog::ArcSnapshot snap = log_->SnapshotArcs();

@@ -27,6 +27,13 @@ struct IndexRebuilderOptions {
   // that bootstraps from a checkpoint at epoch E passes E so the first
   // trigger fires after E + mutations_per_rebuild, not immediately.
   MutationLog::Epoch initial_published_epoch = 0;
+  // Optional advise hook polled alongside the epoch-batch threshold: when
+  // it returns true and the log has moved past the last published build,
+  // a rebuild fires even below mutations_per_rebuild. This is how the
+  // incremental tier turns the rebuilder into the slow path — its
+  // repair-cost estimator (DynamicReachService::RebuildAdvised) plugs in
+  // here. Must be safe to call from the rebuilder thread.
+  std::function<bool()> rebuild_advised;
 };
 
 // Background index maintenance: watches a MutationLog and, once enough

@@ -16,6 +16,16 @@
 namespace tcdb {
 namespace {
 
+// FNV-1a, folded 64 bits at a time byte-wise: the digest is a
+// configuration-independent fingerprint of the answer stream, so it must
+// be deterministic across platforms — no std::hash.
+void FoldDigest(uint64_t* digest, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    *digest ^= (value >> shift) & 0xff;
+    *digest *= 0x100000001b3ull;
+  }
+}
+
 // One seed's trace. Returns Ok or the diagnostic of the first divergence
 // (with *op_index set to the failing op, or -1 for setup/final checks).
 Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
@@ -38,6 +48,9 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
   // Small budgets force the escalation path to run often.
   service_options.overlay_probe_budget = rng.Uniform(64, 4096);
   service_options.cache_capacity = static_cast<size_t>(rng.Uniform(0, 256));
+  // Read AFTER the shared draws above so toggling the tier replays the
+  // bit-identical trace (the answer-digest diff depends on it).
+  service_options.incremental = options.incremental;
   TCDB_ASSIGN_OR_RETURN(
       std::unique_ptr<DynamicReachService> service,
       DynamicReachService::Create(log.get(), service_options));
@@ -59,6 +72,39 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
       reference.Insert(arc.src, arc.dst);
     }
   }
+
+  // Epoch-boundary validation: its pair draws come from a dedicated
+  // stream, so the cadence never perturbs the op trace above.
+  Rng validate_rng(seed ^ 0xda7a5eedull);
+  int64_t mutations_this_seed = 0;
+  const auto validate_epoch = [&]() -> Status {
+    ++report->epoch_validations;
+    for (int32_t i = 0; i < options.validate_pairs; ++i) {
+      const NodeId u = static_cast<NodeId>(validate_rng.Uniform(0, n - 1));
+      const NodeId v = static_cast<NodeId>(validate_rng.Uniform(0, n - 1));
+      TCDB_ASSIGN_OR_RETURN(const DynamicReachService::Answer answer,
+                            service->Query(u, v));
+      const bool expected = reference.Reaches(u, v);
+      if (answer.reachable != expected) {
+        return Status::Internal(
+            "epoch-boundary validation: reaches(" + std::to_string(u) +
+            ", " + std::to_string(v) + ") = " +
+            (answer.reachable ? "true" : "false") + " via " +
+            ReachStageName(answer.stage) + ", reference says " +
+            (expected ? "true" : "false") + " at epoch " +
+            std::to_string(log->current_epoch()));
+      }
+    }
+    return Status::Ok();
+  };
+  const auto after_mutation = [&]() -> Status {
+    ++mutations_this_seed;
+    if (options.validate_every > 0 &&
+        mutations_this_seed % options.validate_every == 0) {
+      return validate_epoch();
+    }
+    return Status::Ok();
+  };
 
   for (int64_t op = 0; op < options.ops_per_seed; ++op) {
     *op_index = op;
@@ -87,6 +133,7 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
         }
         reference.Insert(src, dst);
         ++report->inserts;
+        TCDB_RETURN_IF_ERROR(after_mutation());
         continue;
       }
     } else if (roll < options.insert_share + options.delete_share &&
@@ -103,6 +150,7 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
       }
       reference.Delete(arc.src, arc.dst);
       ++report->deletes;
+      TCDB_RETURN_IF_ERROR(after_mutation());
       continue;
     }
     // Query op (also the fallthrough when a draw found nothing to do).
@@ -120,6 +168,10 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
           std::to_string(log->current_epoch()));
     }
     ++report->queries;
+    FoldDigest(&report->answer_digest,
+               (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+                   static_cast<uint32_t>(v));
+    FoldDigest(&report->answer_digest, answer.reachable ? 1 : 0);
 
     if (options.rebuild_every > 0 &&
         (op + 1) % options.rebuild_every == 0) {
@@ -148,6 +200,7 @@ Status RunOneSeed(const MutationStressOptions& options, uint64_t seed,
 
   const DynamicStats& stats = service->stats();
   report->snapshot_served += stats.snapshot_served;
+  report->incremental_served += stats.incremental_served;
   report->overlay_served += stats.overlay_served;
   report->escalations += stats.escalations;
   report->snapshots_adopted += stats.snapshots_adopted;

@@ -32,6 +32,21 @@ struct MutationStressOptions {
   // Ops between synchronous RebuildNow calls (0 = never rebuild, pure
   // overlay growth).
   int32_t rebuild_every = 64;
+  // Epoch-boundary validation cadence: after every `validate_every`-th
+  // accepted mutation, `validate_pairs` sampled pairs are checked
+  // against the reference closure AT THAT EPOCH — so a bug that a later
+  // mutation would mask is caught at the epoch it happened, even in
+  // query-free stretches of the trace. 0 restores the old behaviour
+  // (validation only at the trace's own query ops and the final state).
+  // The sampling draws come from a stream independent of the op stream,
+  // so changing the cadence never changes the trace itself.
+  int32_t validate_every = 1;
+  int32_t validate_pairs = 8;
+  // Serve with the incremental-decided tier (per-pivot reachability
+  // trees). Forcing it off replays the identical trace through the
+  // legacy three-tier ladder — check.sh diffs the two answer digests to
+  // prove the tier changes CPU, not answers.
+  bool incremental = true;
   // Progress sink, called once per seed; may be empty.
   std::function<void(const std::string&)> log;
 };
@@ -55,9 +70,19 @@ struct MutationStressReport {
   int64_t deletes = 0;
   int64_t queries = 0;
   int64_t snapshot_served = 0;
+  int64_t incremental_served = 0;
   int64_t overlay_served = 0;
   int64_t escalations = 0;
   int64_t snapshots_adopted = 0;
+  // Epoch-boundary validations performed (one per validate_every-th
+  // mutation, each checking validate_pairs sampled pairs).
+  int64_t epoch_validations = 0;
+  // FNV-1a digest over every trace-op query (u, v, answer) triple, in
+  // trace order across all seeds. Identical traces must produce the
+  // identical digest regardless of serving configuration (incremental
+  // tier on/off, cache size, probe budgets) — only the stage mix and
+  // CPU may differ.
+  uint64_t answer_digest = 0x811c9dc5;
 };
 
 // Runs the sweep. Ok when every seed's trace matched the reference mirror

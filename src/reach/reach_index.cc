@@ -29,6 +29,8 @@ const char* ReachStageName(ReachStage stage) {
       return "pruned-bfs";
     case ReachStage::kSessionFallback:
       return "session-srch";
+    case ReachStage::kIncremental:
+      return "incremental";
     case ReachStage::kOverlayPatched:
       return "overlay-patched";
     case ReachStage::kLiveBfs:

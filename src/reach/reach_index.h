@@ -29,6 +29,9 @@ enum class ReachStage {
                         // (O(log out-degree) via the sorted CSR row)
   kPrunedBfs,           // bounded interval-pruned BFS fallback
   kSessionFallback,     // TcSession SRCH query (the closure machinery)
+  kIncremental,         // dynamic: decided by the incrementally maintained
+                        // per-pivot reachability trees (exact on the live
+                        // graph at the current epoch)
   kOverlayPatched,      // dynamic: snapshot answer patched through the
                         // inserted-arc overlay (DynamicReachService)
   kLiveBfs,             // dynamic: escalated search on the live graph

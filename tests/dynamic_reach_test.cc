@@ -161,6 +161,17 @@ bool MustQuery(DynamicReachService* service, NodeId u, NodeId v,
   return answer.value().reachable;
 }
 
+// The four stage-expectation tests below pin the legacy three-tier
+// ladder (snapshot / overlay-patched / live-BFS), so they opt out of the
+// incremental tier — with it on, the O(k) decide would intercept these
+// queries first. Answer correctness with the tier on is covered by the
+// differential sweeps in incremental_reach_test.cc and below.
+DynamicReachOptions LegacyLadder() {
+  DynamicReachOptions options;
+  options.incremental = false;
+  return options;
+}
+
 TEST(DynamicReachServiceTest, EmptyOverlayServesFromSnapshot) {
   auto log = MustOpen({{0, 1}, {1, 2}}, 4);
   auto service = MustCreate(log.get());
@@ -174,7 +185,7 @@ TEST(DynamicReachServiceTest, EmptyOverlayServesFromSnapshot) {
 
 TEST(DynamicReachServiceTest, InsertIsVisibleImmediatelyViaOverlay) {
   auto log = MustOpen({{0, 1}, {2, 3}}, 4);
-  auto service = MustCreate(log.get());
+  auto service = MustCreate(log.get(), LegacyLadder());
   EXPECT_FALSE(MustQuery(service.get(), 0, 3));
   ASSERT_TRUE(service->InsertArc(1, 2).ok());
   ReachStage stage;
@@ -188,7 +199,7 @@ TEST(DynamicReachServiceTest, InsertIsVisibleImmediatelyViaOverlay) {
 
 TEST(DynamicReachServiceTest, DeleteEscalatesAndAnswersCorrectly) {
   auto log = MustOpen({{0, 1}, {1, 2}, {3, 2}}, 4);
-  auto service = MustCreate(log.get());
+  auto service = MustCreate(log.get(), LegacyLadder());
   EXPECT_TRUE(MustQuery(service.get(), 0, 2));
   ASSERT_TRUE(service->DeleteArc(1, 2).ok());
   ReachStage stage;
@@ -204,7 +215,7 @@ TEST(DynamicReachServiceTest, DeletionOutsideConeStaysPatched) {
   // queries off the patched path (the relevance scan sees the deleted
   // arc's source is outside the query cone).
   auto log = MustOpen({{0, 1}, {2, 3}}, 4);
-  auto service = MustCreate(log.get());
+  auto service = MustCreate(log.get(), LegacyLadder());
   ASSERT_TRUE(service->DeleteArc(2, 3).ok());
   ReachStage stage;
   EXPECT_TRUE(MustQuery(service.get(), 0, 1, &stage));
@@ -213,7 +224,7 @@ TEST(DynamicReachServiceTest, DeletionOutsideConeStaysPatched) {
 }
 
 TEST(DynamicReachServiceTest, ZeroBudgetEscalatesNonEmptyOverlay) {
-  DynamicReachOptions options;
+  DynamicReachOptions options = LegacyLadder();
   options.overlay_probe_budget = 0;
   auto log = MustOpen({{0, 1}}, 4);
   auto service = MustCreate(log.get(), options);
@@ -306,6 +317,63 @@ TEST(DynamicDifferentialTest, TenThousandMixedOpsAcrossFamilies) {
   EXPECT_GT(report.escalations, 0);
   EXPECT_GT(report.overlay_served, 0);
   EXPECT_GT(report.snapshots_adopted, 0);
+}
+
+// Regression for the epoch-skipping hole: MutationStress used to
+// validate answers only at the trace's own query ops, so an epoch whose
+// damage a later mutation repaired was never checked. A mutation-heavy
+// trace (~5% queries) now still validates EVERY intermediate epoch by
+// default, and validate_every=0 is pinned as the legacy behaviour.
+TEST(DynamicDifferentialTest, EpochBoundaryValidationCoversQuietEpochs) {
+  MutationStressOptions options;
+  options.num_seeds = 3;
+  options.base_seed = 11;
+  options.ops_per_seed = 200;
+  options.insert_share = 0.55;
+  options.delete_share = 0.40;  // leaves ~5% query ops
+  MutationStressReport report;
+  MutationStressFailure failure;
+  ASSERT_TRUE(RunMutationStress(options, &report, &failure).ok())
+      << failure.ToString();
+  EXPECT_GT(report.inserts + report.deletes, 0);
+  // validate_every = 1 (the default): one boundary validation per
+  // accepted mutation, query-free stretches included.
+  EXPECT_EQ(report.epoch_validations, report.inserts + report.deletes);
+
+  options.validate_every = 0;  // legacy: trace queries + final state only
+  MutationStressReport legacy;
+  ASSERT_TRUE(RunMutationStress(options, &legacy, &failure).ok())
+      << failure.ToString();
+  EXPECT_EQ(legacy.epoch_validations, 0);
+  // The boundary checks ride a dedicated RNG stream, so the op traces —
+  // and hence the answer digests — are identical either way.
+  EXPECT_EQ(legacy.inserts, report.inserts);
+  EXPECT_EQ(legacy.deletes, report.deletes);
+  EXPECT_EQ(legacy.answer_digest, report.answer_digest);
+}
+
+// The tier on/off proof at unit scale (check.sh repeats it 50-seed under
+// ASan/UBSan): identical traces with the incremental tier on and forced
+// off must produce the identical answer digest — the tier may only
+// change which stage answers, never what it answers.
+TEST(DynamicDifferentialTest, IncrementalTierPreservesAnswerDigest) {
+  MutationStressOptions options;
+  options.num_seeds = 5;
+  options.base_seed = 21;
+  options.ops_per_seed = 400;
+  MutationStressReport on_report;
+  MutationStressFailure failure;
+  ASSERT_TRUE(RunMutationStress(options, &on_report, &failure).ok())
+      << failure.ToString();
+  EXPECT_GT(on_report.incremental_served, 0);
+
+  options.incremental = false;
+  MutationStressReport off_report;
+  ASSERT_TRUE(RunMutationStress(options, &off_report, &failure).ok())
+      << failure.ToString();
+  EXPECT_EQ(off_report.incremental_served, 0);
+  EXPECT_EQ(off_report.queries, on_report.queries);
+  EXPECT_EQ(off_report.answer_digest, on_report.answer_digest);
 }
 
 }  // namespace

@@ -242,7 +242,19 @@ TEST(RebuilderRaceTest, BackgroundPublishNeverServesStaleAnswers) {
       if (answer.value().reachable != reaches(u, v)) ++mismatches;
     }
   }
+  // The incremental tier makes the trace finish in a few milliseconds,
+  // so the 1 ms rebuild poll may never have fired yet; wait (bounded)
+  // for one publication so the liveness assertions below are not a race
+  // against thread start-up. A publication is guaranteed eventually:
+  // the log is thousands of epochs past the last build.
+  for (int spin = 0; spin < 5000 && rebuilder.rebuilds_published() == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   rebuilder.Stop();
+  // The final publication may have landed after the last query; drain
+  // the slot explicitly so the adoption counter reflects it.
+  serving->AdoptPublishedSnapshot();
   EXPECT_EQ(mismatches, 0);
   EXPECT_GT(rebuilder.rebuilds_published(), 0);
   EXPECT_GT(serving->stats().snapshots_adopted, 0);

@@ -51,8 +51,23 @@ cmake --build "$NOAVX_DIR" -j "$(nproc)" --target bit_matrix_test
 # --- Sanitized mutation differential: 50 randomized mixed
 # insert/delete/query traces through the full dynamic stack
 # (MutationLog -> DynamicReachService -> IndexRebuilder), every answer
-# checked against a reference closure at that epoch.
-"$SAN_DIR"/tools/tcdb_cli mutate-stress --seeds 50 --base-seed 1
+# checked against a reference closure at that epoch AND at every epoch
+# boundary (validate-every defaults to 1). Runs twice — incremental
+# tier on (the default) and forced off — over bit-identical traces; the
+# printed answer digests must match, proving the tier changes only which
+# stage (and how much CPU) answers, never what is answered.
+on_out=$("$SAN_DIR"/tools/tcdb_cli mutate-stress --seeds 50 --base-seed 1)
+echo "${on_out}"
+off_out=$("$SAN_DIR"/tools/tcdb_cli mutate-stress --seeds 50 --base-seed 1 \
+    --no-incremental)
+echo "${off_out}"
+on_digest=$(grep '^answer digest' <<<"${on_out}")
+off_digest=$(grep '^answer digest' <<<"${off_out}")
+if [[ -z "${on_digest}" || "${on_digest}" != "${off_digest}" ]]; then
+  echo "error: incremental tier changed answers" \
+       "(on: '${on_digest}', off: '${off_digest}')"
+  exit 1
+fi
 
 # --- Sanitized crash differential: 50 randomized kill-and-recover runs
 # through the durable stack (WAL + checkpoints on a fault-injecting
@@ -77,6 +92,6 @@ cmake --build "$NOAVX_DIR" -j "$(nproc)" --target bit_matrix_test
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-    --target reach_server_test snapshot_swap_test persist_serving_test \
-    replica_test tcdb_cli
+    --target reach_server_test snapshot_swap_test incremental_swap_test \
+    persist_serving_test replica_test tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -51,9 +51,9 @@ void Usage() {
        tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
        tcdb_cli mutate-bench <graph> [--ops N] [--update-ratio R]
                 [--delete-share D] [--rebuild-every K] [--budget B]
-                [--seed S]
+                [--seed S] [--no-incremental]
        tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N]
-                [--verbose]
+                [--validate-every K] [--no-incremental] [--verbose]
        tcdb_cli checkpoint <dir> [--graph <graph>] [--mutate N,SEED]
        tcdb_cli recover <dir> [--mutate N,SEED] [--query S,D] [--checkpoint]
        tcdb_cli crash-stress [--seeds N] [--base-seed S] [--ops N]
@@ -128,15 +128,25 @@ mutate-bench subcommand (dynamic serving under a mixed update workload):
     --budget B             overlay probe budget per patched query
                            (default 4096)
     --seed S               workload seed (default 42)
+    --no-incremental       disable the incremental-decided tier (legacy
+                           three-tier ladder; same answers, more CPU)
     prints ops/second, the dynamic counters (overlay size, escalation
-    rate, snapshots adopted) and the per-stage decision table
+    rate, snapshots adopted, incremental repairs) and the per-stage
+    decision table
 
 mutate-stress subcommand (randomized differential mutation stress):
-  tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N] [--verbose]
+  tcdb_cli mutate-stress [--seeds N] [--base-seed S] [--ops N]
+           [--validate-every K] [--no-incremental] [--verbose]
     replays N randomized mixed insert/delete/query traces across the
     generator's graph families, checking every answer bit-for-bit
     against a reference closure at that epoch, with background rebuilds
     racing the trace; exits 1 with a repro line on failure
+    --validate-every K     also validate sampled pairs at every K-th
+                           epoch boundary (default 1 = every mutation;
+                           0 = only at trace query ops and trace end)
+    --no-incremental       replay the identical traces with the
+                           incremental tier off; the printed answer
+                           digest must match the default run's
 
 checkpoint subcommand (initialize a durable database on disk):
   tcdb_cli checkpoint <dir> [--graph <graph>] [--mutate N,SEED]
@@ -440,6 +450,7 @@ int RunMutateBench(int argc, char** argv) {
   int64_t rebuild_every = 256;
   int64_t budget = 4096;
   uint64_t seed = 42;
+  bool incremental = true;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -461,6 +472,8 @@ int RunMutateBench(int argc, char** argv) {
       budget = std::atoll(next());
     } else if (flag == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--no-incremental") {
+      incremental = false;
     } else {
       std::fprintf(stderr, "unknown mutate-bench flag '%s'\n", flag.c_str());
       return 2;
@@ -490,6 +503,7 @@ int RunMutateBench(int argc, char** argv) {
   }
   DynamicReachOptions options;
   options.overlay_probe_budget = budget;
+  options.incremental = incremental;
   auto service = DynamicReachService::Create(log.value().get(), options);
   if (!service.ok()) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
@@ -499,6 +513,9 @@ int RunMutateBench(int argc, char** argv) {
 
   IndexRebuilderOptions rebuild_options;
   rebuild_options.mutations_per_rebuild = rebuild_every;
+  rebuild_options.rebuild_advised = [serving] {
+    return serving->RebuildAdvised();
+  };
   IndexRebuilder rebuilder(
       log.value().get(),
       [serving](std::shared_ptr<const ReachCore> core,
@@ -607,6 +624,10 @@ int RunMutateStress(int argc, char** argv) {
       options.base_seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (flag == "--ops") {
       options.ops_per_seed = std::atoll(next());
+    } else if (flag == "--validate-every") {
+      options.validate_every = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--no-incremental") {
+      options.incremental = false;
     } else if (flag == "--verbose") {
       verbose = true;
     } else {
@@ -633,16 +654,22 @@ int RunMutateStress(int argc, char** argv) {
   }
   std::printf(
       "mutate-stress: %lld seeds, %lld inserts, %lld deletes, %lld queries "
-      "(%lld snapshot, %lld overlay, %lld escalated), %lld snapshots "
-      "adopted, all answers match\n",
+      "(%lld snapshot, %lld incremental, %lld overlay, %lld escalated), "
+      "%lld snapshots adopted, %lld epoch validations, all answers match\n",
       static_cast<long long>(report.seeds),
       static_cast<long long>(report.inserts),
       static_cast<long long>(report.deletes),
       static_cast<long long>(report.queries),
       static_cast<long long>(report.snapshot_served),
+      static_cast<long long>(report.incremental_served),
       static_cast<long long>(report.overlay_served),
       static_cast<long long>(report.escalations),
-      static_cast<long long>(report.snapshots_adopted));
+      static_cast<long long>(report.snapshots_adopted),
+      static_cast<long long>(report.epoch_validations));
+  // Configuration-independent fingerprint of the answer stream: check.sh
+  // diffs this line between the incremental-on and forced-off sweeps.
+  std::printf("answer digest %016llx\n",
+              static_cast<unsigned long long>(report.answer_digest));
   return 0;
 }
 
