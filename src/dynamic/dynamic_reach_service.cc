@@ -158,7 +158,7 @@ bool DynamicReachService::SnapshotReaches(NodeId cu, NodeId cv) {
   if (cu == cv) return true;
   const ReachCore& core = *snapshot_;
   ReachStage stage;
-  ReachIndex::Verdict verdict = core.index.TryDecide(cu, cv, &stage);
+  ReachIndex::Verdict verdict = core.DecideCondensed(cu, cv, &stage);
   if (verdict == ReachIndex::Verdict::kUnknown) {
     const std::span<const NodeId> successors = core.dag.Successors(cu);
     if (std::binary_search(successors.begin(), successors.end(), cv)) {
@@ -262,8 +262,8 @@ Result<bool> DynamicReachService::LiveReaches(NodeId u, NodeId v) {
       live_visited_.Insert(static_cast<size_t>(y));
       if (can_prune) {
         const NodeId cy = cmap[static_cast<size_t>(y)];
-        if (cy != cv &&
-            core.index.TryDecide(cy, cv) == ReachIndex::Verdict::kNo) {
+        if (cy != cv && core.DecideCondensed(cy, cv, nullptr) ==
+                            ReachIndex::Verdict::kNo) {
           continue;  // provably dead end even in the (larger) snapshot
         }
       }
@@ -308,7 +308,7 @@ Result<DynamicReachService::Answer> DynamicReachService::Query(NodeId src,
       answer = {true, ReachStage::kTrivial};
     } else {
       ReachStage stage = ReachStage::kTrivial;
-      ReachIndex::Verdict verdict = core.index.TryDecide(cu, cdst, &stage);
+      ReachIndex::Verdict verdict = core.DecideCondensed(cu, cdst, &stage);
       if (verdict == ReachIndex::Verdict::kUnknown) {
         const std::span<const NodeId> successors = core.dag.Successors(cu);
         if (std::binary_search(successors.begin(), successors.end(),

@@ -22,6 +22,31 @@ Digraph::Digraph(NodeId num_nodes, const ArcList& arcs) {
   }
 }
 
+Digraph Digraph::FromCsr(std::vector<int64_t> offsets,
+                         std::vector<NodeId> targets) {
+  TCDB_CHECK(!offsets.empty());
+  TCDB_CHECK_EQ(offsets.front(), 0);
+  TCDB_CHECK_EQ(offsets.back(), static_cast<int64_t>(targets.size()));
+  const NodeId num_nodes = static_cast<NodeId>(offsets.size()) - 1;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    TCDB_CHECK_LE(offsets[v], offsets[v + 1]);
+  }
+  for (const NodeId w : targets) {
+    TCDB_CHECK(w >= 0 && w < num_nodes) << "target out of range";
+  }
+#ifndef NDEBUG
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (int64_t i = offsets[v] + 1; i < offsets[v + 1]; ++i) {
+      TCDB_DCHECK(targets[i - 1] <= targets[i]) << "row not sorted";
+    }
+  }
+#endif
+  Digraph graph;
+  graph.offsets_ = std::move(offsets);
+  graph.targets_ = std::move(targets);
+  return graph;
+}
+
 ArcList Digraph::ToArcs() const {
   ArcList arcs;
   arcs.reserve(targets_.size());

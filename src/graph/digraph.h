@@ -25,6 +25,17 @@ class Digraph {
   // Arcs need not be sorted; parallel arcs are preserved as given.
   Digraph(NodeId num_nodes, const ArcList& arcs);
 
+  // Adopts prebuilt CSR arrays without copying: `offsets` has one entry
+  // per node plus a trailing total, is monotone, and starts at zero;
+  // `targets` holds each row's successors, already sorted ascending (the
+  // class invariant every reader relies on). This is the entry point for
+  // streaming builders (scale generators, the condensation pass) that
+  // produce sorted rows directly and cannot afford an intermediate
+  // ArcList. Structural invariants are checked; per-row sortedness only
+  // in debug builds.
+  static Digraph FromCsr(std::vector<int64_t> offsets,
+                         std::vector<NodeId> targets);
+
   NodeId NumNodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
   int64_t NumArcs() const { return static_cast<int64_t>(targets_.size()); }
 

@@ -1,0 +1,256 @@
+#include "graph/scale_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tcdb {
+
+namespace {
+
+// Hub spacing of the scale-free family: node ids divisible by this
+// collect the power-law in-degrees.
+constexpr int64_t kHubStride = 64;
+
+// Emits `src -> dst` after validating the family kept its promise.
+void Emit(const ArcSink& sink, int64_t src, int64_t dst) {
+  sink(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+}
+
+void StreamLayered(NodeId n, int32_t width, int32_t degree, Rng* rng,
+                   const ArcSink& sink) {
+  const int64_t take = std::min<int64_t>(degree, width);
+  // Reused per node: the distinct predecessors drawn so far.
+  std::vector<int64_t> drawn;
+  for (int64_t v = width; v < n; ++v) {
+    const int64_t layer_begin = (v / width - 1) * width;  // previous layer
+    if (take <= 0) continue;
+    if (take >= width) {
+      // Degenerate budget: every previous-layer node is a predecessor.
+      for (int64_t p = layer_begin; p < layer_begin + width; ++p) {
+        Emit(sink, p, v);
+      }
+      continue;
+    }
+    drawn.clear();
+    // Same-index spine first. With purely destination-side sampling a
+    // previous-layer node is left successorless with probability
+    // (1 - degree/width)^width per layer; those dead-cone nodes are
+    // mutually unreachable, so the graph's antichain width would accrete
+    // ~width * e^-degree nodes per layer instead of staying at the layer
+    // width the family advertises. The spine pins every node's forward
+    // cone alive and makes width == `width` exactly (the spines are a
+    // covering set of `width` chains).
+    const int64_t spine = layer_begin + (v % width);
+    drawn.push_back(spine);
+    Emit(sink, spine, v);
+    while (static_cast<int64_t>(drawn.size()) < take) {
+      const int64_t p = layer_begin + rng->Uniform(0, width - 1);
+      if (std::find(drawn.begin(), drawn.end(), p) != drawn.end()) continue;
+      drawn.push_back(p);
+      Emit(sink, p, v);
+    }
+  }
+}
+
+void StreamDeepNarrow(NodeId n, int32_t width, int32_t degree, Rng* rng,
+                      const ArcSink& sink) {
+  std::vector<int64_t> drawn;
+  for (int64_t v = 0; v < n; ++v) {
+    const int64_t spine = v + width;
+    if (spine < n) Emit(sink, v, spine);
+    const int64_t window_end = std::min<int64_t>(v + 2 * width, n - 1);
+    if (window_end <= v) continue;
+    drawn.clear();
+    // degree-1 cross arcs; duplicates (of each other or the spine) are
+    // skipped, not redrawn, so the per-node draw count stays bounded.
+    for (int32_t j = 0; j + 1 < degree; ++j) {
+      const int64_t t = v + rng->Uniform(1, window_end - v);
+      if (t == spine) continue;
+      if (std::find(drawn.begin(), drawn.end(), t) != drawn.end()) continue;
+      drawn.push_back(t);
+      Emit(sink, v, t);
+    }
+  }
+}
+
+void StreamScaleFree(NodeId n, int32_t degree, int32_t locality, Rng* rng,
+                     const ArcSink& sink) {
+  if (degree <= 0) return;
+  const int64_t cap = 8 * static_cast<int64_t>(degree);
+  std::vector<int64_t> drawn;
+  for (int64_t v = 0; v + 1 < n; ++v) {
+    const int64_t span = std::min<int64_t>(locality, n - 1 - v);
+    drawn.clear();
+    // Lane spine v -> v + locality first. Without it, the source-side
+    // draws leave a constant fraction of nodes with zero in-degree;
+    // those are pairwise unreachable, so the graph's antichain width —
+    // and the label bill of any chain decomposition — would grow
+    // linearly with n. The spine guarantees every node past the first
+    // window an in-arc, pinning the width to ~locality as advertised.
+    if (span == locality) {
+      drawn.push_back(v + locality);
+      Emit(sink, v, v + locality);
+    }
+    // Heavy-tailed out-degree: double the base budget with probability
+    // 1/4 per step (a discrete power-law-ish tail), capped at 8x.
+    int64_t d = degree;
+    while (d < cap && rng->Bernoulli(0.25)) d *= 2;
+    d = std::min(d, span);
+    for (int64_t j = 0; j < d; ++j) {
+      int64_t t = -1;
+      if (rng->Bernoulli(0.25)) {
+        // Hub-attracted arc: a uniformly chosen hub inside the window.
+        const int64_t first_hub = (v / kHubStride + 1) * kHubStride;
+        if (first_hub <= v + span) {
+          const int64_t num_hubs = (v + span - first_hub) / kHubStride + 1;
+          t = first_hub + kHubStride * rng->Uniform(0, num_hubs - 1);
+        }
+      }
+      if (t < 0) {
+        // Near-biased arc: min of two uniform offsets densifies short
+        // spans, which is what keeps chains extendable.
+        t = v + std::min(rng->Uniform(1, span), rng->Uniform(1, span));
+      }
+      if (std::find(drawn.begin(), drawn.end(), t) != drawn.end()) continue;
+      drawn.push_back(t);
+      Emit(sink, v, t);
+    }
+  }
+}
+
+void StreamKronecker(NodeId n, int32_t degree, Rng* rng,
+                     const ArcSink& sink) {
+  if (n < 2 || degree <= 0) return;
+  int32_t scale = 1;
+  while ((int64_t{1} << scale) < n) ++scale;
+  const int64_t draws = static_cast<int64_t>(n) * degree;
+  for (int64_t i = 0; i < draws; ++i) {
+    int64_t r = 0;
+    int64_t c = 0;
+    for (int32_t level = 0; level < scale; ++level) {
+      // R-MAT quadrant probabilities (a, b, c, d) = (.45, .22, .22, .11).
+      const double u = rng->NextDouble();
+      r <<= 1;
+      c <<= 1;
+      if (u < 0.45) {
+      } else if (u < 0.67) {
+        c |= 1;
+      } else if (u < 0.89) {
+        r |= 1;
+      } else {
+        r |= 1;
+        c |= 1;
+      }
+    }
+    if (r == c || r >= n || c >= n) continue;  // reject; keeps the DAG
+    Emit(sink, std::min(r, c), std::max(r, c));
+  }
+}
+
+}  // namespace
+
+const char* ScaleFamilyName(ScaleFamily family) {
+  switch (family) {
+    case ScaleFamily::kLayered:
+      return "layered";
+    case ScaleFamily::kDeepNarrow:
+      return "deep-narrow";
+    case ScaleFamily::kWideShallow:
+      return "wide-shallow";
+    case ScaleFamily::kScaleFree:
+      return "scale-free";
+    case ScaleFamily::kKronecker:
+      return "kronecker";
+  }
+  return "unknown";
+}
+
+Result<ScaleFamily> ParseScaleFamily(std::string_view name) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    if (name == ScaleFamilyName(family)) return family;
+  }
+  return Status::InvalidArgument("unknown scale family: " +
+                                 std::string(name));
+}
+
+void StreamScaleArcs(const ScaleGraphParams& params, const ArcSink& sink) {
+  TCDB_CHECK_GE(params.num_nodes, 0);
+  TCDB_CHECK_GE(params.width, 1);
+  TCDB_CHECK_GE(params.degree, 0);
+  TCDB_CHECK_GE(params.locality, 1);
+  TCDB_CHECK_GE(params.num_back_arcs, 0);
+  const NodeId n = params.num_nodes;
+  Rng rng(params.seed);
+  switch (params.family) {
+    case ScaleFamily::kLayered:
+      StreamLayered(n, params.width, params.degree, &rng, sink);
+      break;
+    case ScaleFamily::kDeepNarrow:
+      StreamDeepNarrow(n, params.width, params.degree, &rng, sink);
+      break;
+    case ScaleFamily::kWideShallow: {
+      // The transpose of kDeepNarrow: a fixed, small depth and a layer
+      // size that grows with n.
+      const int32_t layer = static_cast<int32_t>(
+          (static_cast<int64_t>(n) + kWideShallowDepth - 1) /
+          kWideShallowDepth);
+      StreamLayered(n, std::max(layer, 1), params.degree, &rng, sink);
+      break;
+    }
+    case ScaleFamily::kScaleFree:
+      StreamScaleFree(n, params.degree, params.locality, &rng, sink);
+      break;
+    case ScaleFamily::kKronecker:
+      StreamKronecker(n, params.degree, &rng, sink);
+      break;
+  }
+  if (params.num_back_arcs > 0 && n >= 2) {
+    // Independent stream so the forward family is bit-identical with and
+    // without the cyclic wrapper (same constant as GenerateCyclicDigraph).
+    Rng back(params.seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int32_t i = 0; i < params.num_back_arcs; ++i) {
+      const int64_t dst = back.Uniform(0, n - 2);
+      const int64_t src = back.Uniform(dst + 1, n - 1);
+      Emit(sink, src, dst);
+    }
+  }
+}
+
+int64_t CountScaleArcs(const ScaleGraphParams& params) {
+  int64_t count = 0;
+  StreamScaleArcs(params, [&count](NodeId, NodeId) { ++count; });
+  return count;
+}
+
+Digraph BuildScaleGraph(const ScaleGraphParams& params) {
+  const NodeId n = params.num_nodes;
+  // Pass 1: per-source degrees straight into the offset array.
+  std::vector<int64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  StreamScaleArcs(params,
+                  [&offsets](NodeId src, NodeId) { ++offsets[src + 1]; });
+  for (size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  // Pass 2: fill each row (the stream replays identically), then sort
+  // rows to restore the Digraph invariant.
+  std::vector<NodeId> targets(static_cast<size_t>(offsets.back()));
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  StreamScaleArcs(params, [&targets, &cursor](NodeId src, NodeId dst) {
+    targets[static_cast<size_t>(cursor[src]++)] = dst;
+  });
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(targets.begin() + offsets[v], targets.begin() + offsets[v + 1]);
+  }
+  return Digraph::FromCsr(std::move(offsets), std::move(targets));
+}
+
+ArcList ScaleArcList(const ScaleGraphParams& params) {
+  ArcList arcs;
+  StreamScaleArcs(params, [&arcs](NodeId src, NodeId dst) {
+    arcs.push_back(Arc{src, dst});
+  });
+  return arcs;
+}
+
+}  // namespace tcdb

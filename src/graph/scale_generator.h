@@ -1,0 +1,106 @@
+#ifndef TCDB_GRAPH_SCALE_GENERATOR_H_
+#define TCDB_GRAPH_SCALE_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "graph/digraph.h"
+#include "relation/arc.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// Million-node graph families for the scale substrate. The paper
+// generator (graph/generator.h) materializes an ArcList, sorts it and
+// dedups — fine at n = 2000, ruinous at n = 10^6. These families are pure
+// functions of their parameters instead: StreamScaleArcs replays the
+// exact same arc sequence on every call, so a CSR is built with two
+// streaming passes (count degrees, then fill rows) and no arc list ever
+// exists in memory.
+//
+// Every family emits only forward arcs (src < dst), so the graph is a DAG
+// by construction and node-id order is a topological order. Setting
+// `num_back_arcs` appends that many uniformly random back arcs (src >
+// dst) to exercise the SCC-condensation front with genuinely cyclic
+// input.
+
+enum class ScaleFamily {
+  // ceil(n/width) layers of `width` nodes; every node outside the first
+  // layer draws `degree` distinct predecessors from the previous layer.
+  // Antichain width == layer width, so the chain-index label cost is
+  // directly tunable.
+  kLayered = 0,
+  // `width` parallel lanes of depth ~n/width: a spine arc down each lane
+  // (v -> v + width) plus degree-1 short random forward arcs within a
+  // 2*width window. Very deep, very narrow.
+  kDeepNarrow,
+  // kWideShallowDepth layers of ~n/kWideShallowDepth nodes each — the
+  // transpose of kDeepNarrow's shape (width >> depth).
+  kWideShallow,
+  // Heavy-tailed out-degrees (geometric doubling of `degree`, capped at
+  // 8x) with near-biased targets and hub attraction inside a forward
+  // window of `locality` nodes, plus a lane spine v -> v + locality that
+  // guarantees every node past the first window an in-arc. The hubs (ids
+  // divisible by 64) collect power-law in-degrees; the spine + window
+  // keep the antichain width at ~locality.
+  kScaleFree,
+  // R-MAT quadrant sampling (Chakrabarti et al.) with n*degree edge
+  // draws; each edge is oriented low id -> high id, self-loops and
+  // out-of-range endpoints are rejected. Duplicate arcs are kept, as in
+  // the original generator.
+  kKronecker,
+};
+
+inline constexpr int32_t kWideShallowDepth = 8;
+
+// Short stable name, e.g. "layered" (CLI flags, bench tables).
+const char* ScaleFamilyName(ScaleFamily family);
+// Inverse of ScaleFamilyName; InvalidArgument on an unknown name.
+Result<ScaleFamily> ParseScaleFamily(std::string_view name);
+// All families, for sweeping tests/benches.
+inline constexpr ScaleFamily kAllScaleFamilies[] = {
+    ScaleFamily::kLayered, ScaleFamily::kDeepNarrow,
+    ScaleFamily::kWideShallow, ScaleFamily::kScaleFree,
+    ScaleFamily::kKronecker,
+};
+
+struct ScaleGraphParams {
+  ScaleFamily family = ScaleFamily::kLayered;
+  NodeId num_nodes = 100000;
+  // Layer size (kLayered) / lane count (kDeepNarrow). Ignored by the
+  // other families (kWideShallow derives its layer size from n).
+  int32_t width = 64;
+  // Per-node arc budget: exact distinct in-degree for the layered
+  // families, the base of the heavy-tailed out-degree for kScaleFree,
+  // arcs-per-node for kKronecker.
+  int32_t degree = 4;
+  // Forward target window of kScaleFree (the antichain-width knob).
+  int32_t locality = 256;
+  // Appended uniformly random back arcs; > 0 makes the graph cyclic.
+  int32_t num_back_arcs = 0;
+  uint64_t seed = 1;
+};
+
+using ArcSink = std::function<void(NodeId src, NodeId dst)>;
+
+// Streams the family's arc sequence into `sink`. Deterministic: the same
+// params produce the byte-identical sequence on every call — this is the
+// contract the two-pass CSR build and the determinism tests rely on.
+// Arcs are NOT grouped by source.
+void StreamScaleArcs(const ScaleGraphParams& params, const ArcSink& sink);
+
+// Number of arcs StreamScaleArcs will emit (one counting pass).
+int64_t CountScaleArcs(const ScaleGraphParams& params);
+
+// Two streaming passes -> CSR Digraph with sorted rows. Peak memory is
+// the CSR itself plus O(n) offsets; no intermediate ArcList.
+Digraph BuildScaleGraph(const ScaleGraphParams& params);
+
+// Materialized arc list, for moderate n only (differential tests feed it
+// to ReachCore::Build). Defeats the streaming point at full scale.
+ArcList ScaleArcList(const ScaleGraphParams& params);
+
+}  // namespace tcdb
+
+#endif  // TCDB_GRAPH_SCALE_GENERATOR_H_

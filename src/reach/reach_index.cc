@@ -25,6 +25,8 @@ const char* ReachStageName(ReachStage stage) {
       return "supportive-no";
     case ReachStage::kAdjacency:
       return "adjacency";
+    case ReachStage::kChainFrontier:
+      return "chain-frontier";
     case ReachStage::kPrunedBfs:
       return "pruned-bfs";
     case ReachStage::kSessionFallback:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "scale/chain_index.h"
 #include "util/bit_vector.h"
 #include "util/codec.h"
 #include "util/status.h"
@@ -27,6 +28,8 @@ enum class ReachStage {
   kSupportiveNegative,  // a pivot separates u from v: "no"
   kAdjacency,           // (u, v) is an arc of the graph: "yes"
                         // (O(log out-degree) via the sorted CSR row)
+  kChainFrontier,       // chain-decomposition frontier labels (the kChain
+                        // backend; exact, so always definitive)
   kPrunedBfs,           // bounded interval-pruned BFS fallback
   kSessionFallback,     // TcSession SRCH query (the closure machinery)
   kIncremental,         // dynamic: decided by the incrementally maintained
@@ -43,7 +46,21 @@ inline constexpr int kNumReachStages =
 // table).
 const char* ReachStageName(ReachStage stage);
 
+// Which label structure a ReachCore builds over the condensation.
+enum class ReachBackend : uint8_t {
+  // The partial O(1) rules below plus the BFS/session fallback ladder —
+  // the default, tuned for the paper-scale graphs.
+  kLabels = 0,
+  // scale/chain_index.h frontier labels: exact O(1) answers, ~O(n + m*k)
+  // build, n*k label bytes. The million-node backend; no fallback rungs
+  // ever run.
+  kChain = 1,
+};
+
 struct ReachIndexOptions {
+  ReachBackend backend = ReachBackend::kLabels;
+  // kChain backend: label memory guard (see ChainIndexOptions).
+  ChainIndexOptions chain;
   // Number of supportive pivot vertices. Each pivot stores one forward and
   // one backward reachability bit-set (2 * n bits), giving one O(1)
   // positive rule and two O(1) negative rules per pivot. 0 disables the

@@ -37,12 +37,29 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Build(
     ++core->scc_size[component];
   }
 
-  TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Build(core->dag, options));
+  if (options.backend == ReachBackend::kChain) {
+    core->backend = ReachBackend::kChain;
+    TCDB_ASSIGN_OR_RETURN(core->chain,
+                          ChainIndex::Build(core->dag, options.chain));
+  } else {
+    TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Build(core->dag, options));
+  }
   return std::shared_ptr<const ReachCore>(std::move(core));
+}
+
+ReachIndex::Verdict ReachCore::DecideCondensed(NodeId csrc, NodeId cdst,
+                                               ReachStage* stage) const {
+  if (backend == ReachBackend::kChain) {
+    if (stage != nullptr) *stage = ReachStage::kChainFrontier;
+    return chain.Reaches(csrc, cdst) ? ReachIndex::Verdict::kYes
+                                     : ReachIndex::Verdict::kNo;
+  }
+  return index.TryDecide(csrc, cdst, stage);
 }
 
 void ReachCore::SerializeAppend(std::string* out) const {
   codec::PutI32(out, num_input_nodes);
+  codec::PutU8(out, static_cast<uint8_t>(backend));
   const NodeId dag_nodes = dag.NumNodes();
   codec::PutI32(out, dag_nodes);
   const ArcList arcs = dag.ToArcs();
@@ -53,7 +70,11 @@ void ReachCore::SerializeAppend(std::string* out) const {
   }
   for (const NodeId component : node_map) codec::PutI32(out, component);
   for (const int32_t size : scc_size) codec::PutI32(out, size);
-  index.SerializeAppend(out);
+  if (backend == ReachBackend::kChain) {
+    chain.SerializeAppend(out);
+  } else {
+    index.SerializeAppend(out);
+  }
 }
 
 Result<std::shared_ptr<const ReachCore>> ReachCore::Deserialize(
@@ -61,12 +82,15 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Deserialize(
   auto core = std::make_shared<ReachCore>();
   NodeId dag_nodes = 0;
   uint64_t num_arcs = 0;
+  uint8_t backend_byte = 0;
   if (!reader->ReadI32(&core->num_input_nodes) ||
-      !reader->ReadI32(&dag_nodes) || !reader->ReadU64(&num_arcs) ||
-      core->num_input_nodes < 0 || dag_nodes < 0 ||
-      dag_nodes > core->num_input_nodes) {
+      !reader->ReadU8(&backend_byte) || !reader->ReadI32(&dag_nodes) ||
+      !reader->ReadU64(&num_arcs) || core->num_input_nodes < 0 ||
+      dag_nodes < 0 || dag_nodes > core->num_input_nodes ||
+      backend_byte > static_cast<uint8_t>(ReachBackend::kChain)) {
     return Status::Corruption("reach core image truncated");
   }
+  core->backend = static_cast<ReachBackend>(backend_byte);
   // 8 bytes per arc: reject oversized counts before allocating.
   if (num_arcs * 8 > reader->remaining()) {
     return Status::Corruption("reach core arc count exceeds image");
@@ -95,9 +119,16 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Deserialize(
       return Status::Corruption("reach core scc sizes invalid");
     }
   }
-  TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Deserialize(reader));
-  if (core->index.num_nodes() != dag_nodes) {
-    return Status::Corruption("reach core index size mismatch");
+  if (core->backend == ReachBackend::kChain) {
+    TCDB_ASSIGN_OR_RETURN(core->chain, ChainIndex::Deserialize(reader));
+    if (core->chain.num_nodes() != dag_nodes) {
+      return Status::Corruption("reach core chain index size mismatch");
+    }
+  } else {
+    TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Deserialize(reader));
+    if (core->index.num_nodes() != dag_nodes) {
+      return Status::Corruption("reach core index size mismatch");
+    }
   }
   return std::shared_ptr<const ReachCore>(std::move(core));
 }
@@ -156,7 +187,7 @@ ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
     return ReachIndex::Verdict::kYes;
   }
   ReachStage stage = ReachStage::kTrivial;
-  ReachIndex::Verdict verdict = core_->index.TryDecide(csrc, cdst, &stage);
+  ReachIndex::Verdict verdict = core_->DecideCondensed(csrc, cdst, &stage);
   if (verdict == ReachIndex::Verdict::kUnknown) {
     // Last cheap rung: a direct arc (binary search over the sorted CSR
     // row). Covers the non-tree arcs the interval labels cannot witness.

@@ -43,11 +43,23 @@ struct ReachCore {
   Digraph dag;                    // condensation (== input when acyclic)
   std::vector<NodeId> node_map;   // input node -> condensation node
   std::vector<int32_t> scc_size;  // condensation node -> member count
+  // Which of the two label structures below is populated. kLabels fills
+  // `index` (partial rules + fallback ladder); kChain fills `chain`
+  // (exact frontier labels, no fallback ever runs). The other member
+  // stays empty.
+  ReachBackend backend = ReachBackend::kLabels;
   ReachIndex index;
+  ChainIndex chain;
 
   // True when the input contained a cycle (queries run on the
   // condensation).
   bool condensed() const { return dag.NumNodes() != num_input_nodes; }
+
+  // Exact reachability between condensation nodes, whatever the backend
+  // answers it: reflexive, never unknown for kChain; kUnknown only for
+  // the kLabels residue (which the service ladder then searches).
+  ReachIndex::Verdict DecideCondensed(NodeId csrc, NodeId cdst,
+                                      ReachStage* stage) const;
 
   // `arcs` may be cyclic and unsorted; endpoints must lie in
   // [0, num_nodes).

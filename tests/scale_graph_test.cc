@@ -1,0 +1,223 @@
+// Tests of the streaming scale-graph generators (graph/scale_generator.h):
+// determinism of the arc stream (the contract the two-pass CSR build rests
+// on), DAG-by-construction, and the per-family shape invariants each
+// generator promises.
+
+#include "graph/scale_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+
+namespace tcdb {
+namespace {
+
+ScaleGraphParams SmallParams(ScaleFamily family) {
+  ScaleGraphParams params;
+  params.family = family;
+  params.num_nodes = 3000;
+  params.width = 24;
+  params.degree = 3;
+  params.locality = 96;
+  params.seed = 42;
+  return params;
+}
+
+TEST(ScaleGeneratorTest, FamilyNamesRoundTrip) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    auto parsed = ParseScaleFamily(ScaleFamilyName(family));
+    ASSERT_TRUE(parsed.ok()) << ScaleFamilyName(family);
+    EXPECT_EQ(parsed.value(), family);
+  }
+  EXPECT_EQ(ParseScaleFamily("no-such-family").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScaleGeneratorTest, StreamIsDeterministic) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    for (const int32_t back_arcs : {0, 40}) {
+      ScaleGraphParams params = SmallParams(family);
+      params.num_back_arcs = back_arcs;
+      const ArcList first = ScaleArcList(params);
+      const ArcList second = ScaleArcList(params);
+      EXPECT_EQ(first, second)
+          << ScaleFamilyName(family) << " back_arcs=" << back_arcs;
+
+      ScaleGraphParams reseeded = params;
+      reseeded.seed = params.seed + 1;
+      EXPECT_NE(first, ScaleArcList(reseeded)) << ScaleFamilyName(family);
+    }
+  }
+}
+
+TEST(ScaleGeneratorTest, CountMatchesStreamAndBuild) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    ScaleGraphParams params = SmallParams(family);
+    params.num_back_arcs = 17;
+    const int64_t count = CountScaleArcs(params);
+    EXPECT_EQ(count, static_cast<int64_t>(ScaleArcList(params).size()))
+        << ScaleFamilyName(family);
+    const Digraph graph = BuildScaleGraph(params);
+    EXPECT_EQ(graph.NumNodes(), params.num_nodes);
+    EXPECT_EQ(graph.NumArcs(), count) << ScaleFamilyName(family);
+  }
+}
+
+TEST(ScaleGeneratorTest, ForwardStreamsAreDags) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    const ScaleGraphParams params = SmallParams(family);
+    StreamScaleArcs(params, [&](NodeId src, NodeId dst) {
+      ASSERT_LT(src, dst) << ScaleFamilyName(family);
+      ASSERT_GE(src, 0);
+      ASSERT_LT(dst, params.num_nodes);
+    });
+    EXPECT_TRUE(IsAcyclic(BuildScaleGraph(params))) << ScaleFamilyName(family);
+  }
+}
+
+// The cyclic wrapper appends exactly num_back_arcs backward arcs after a
+// forward substream that is bit-identical to the acyclic run.
+TEST(ScaleGeneratorTest, BackArcsExtendForwardStream) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    ScaleGraphParams cyclic = SmallParams(family);
+    cyclic.num_back_arcs = 25;
+    ScaleGraphParams acyclic = cyclic;
+    acyclic.num_back_arcs = 0;
+    const ArcList forward = ScaleArcList(acyclic);
+    const ArcList all = ScaleArcList(cyclic);
+    ASSERT_EQ(all.size(), forward.size() + 25u) << ScaleFamilyName(family);
+    EXPECT_TRUE(std::equal(forward.begin(), forward.end(), all.begin()))
+        << ScaleFamilyName(family);
+    for (size_t i = forward.size(); i < all.size(); ++i) {
+      EXPECT_GT(all[i].src, all[i].dst) << ScaleFamilyName(family);
+    }
+  }
+}
+
+TEST(ScaleGeneratorTest, LayeredShape) {
+  ScaleGraphParams params = SmallParams(ScaleFamily::kLayered);
+  const int32_t width = params.width;
+  std::vector<int32_t> in_degree(params.num_nodes, 0);
+  StreamScaleArcs(params, [&](NodeId src, NodeId dst) {
+    // Arcs join consecutive layers only.
+    ASSERT_EQ(src / width, dst / width - 1);
+    ++in_degree[dst];
+  });
+  // Every node past the first layer draws exactly `degree` distinct
+  // predecessors; first-layer nodes are sources.
+  for (NodeId v = 0; v < params.num_nodes; ++v) {
+    EXPECT_EQ(in_degree[v], v < width ? 0 : params.degree) << "v=" << v;
+  }
+  // Distinctness: realized arcs carry no duplicates.
+  const ArcList arcs = ScaleArcList(params);
+  std::set<Arc> distinct(arcs.begin(), arcs.end());
+  EXPECT_EQ(distinct.size(), arcs.size());
+}
+
+TEST(ScaleGeneratorTest, LayeredTakesWholeLayerWhenDegreeExceedsWidth) {
+  ScaleGraphParams params = SmallParams(ScaleFamily::kLayered);
+  params.num_nodes = 64;
+  params.width = 4;
+  params.degree = 9;  // > width: every previous-layer node is a predecessor
+  std::vector<int32_t> in_degree(params.num_nodes, 0);
+  StreamScaleArcs(params,
+                  [&](NodeId, NodeId dst) { ++in_degree[dst]; });
+  for (NodeId v = params.width; v < params.num_nodes; ++v) {
+    EXPECT_EQ(in_degree[v], params.width) << "v=" << v;
+  }
+}
+
+TEST(ScaleGeneratorTest, DeepNarrowShape) {
+  const ScaleGraphParams params = SmallParams(ScaleFamily::kDeepNarrow);
+  const Digraph graph = BuildScaleGraph(params);
+  for (NodeId v = 0; v < params.num_nodes; ++v) {
+    const NodeId spine = v + params.width;
+    if (spine < params.num_nodes) {
+      // The lane spine is always present...
+      const auto succ = graph.Successors(v);
+      EXPECT_TRUE(std::binary_search(succ.begin(), succ.end(), spine))
+          << "v=" << v;
+    }
+    for (const NodeId t : graph.Successors(v)) {
+      // ...and every arc stays within the 2*width forward window.
+      EXPECT_LE(t - v, 2 * params.width) << "v=" << v;
+    }
+    EXPECT_LE(graph.OutDegree(v), params.degree);
+  }
+}
+
+TEST(ScaleGeneratorTest, WideShallowShape) {
+  ScaleGraphParams params = SmallParams(ScaleFamily::kWideShallow);
+  params.num_nodes = 4000;
+  const int32_t layer =
+      (params.num_nodes + kWideShallowDepth - 1) / kWideShallowDepth;
+  StreamScaleArcs(params, [&](NodeId src, NodeId dst) {
+    ASSERT_EQ(src / layer, dst / layer - 1);
+  });
+  // Depth is the fixed constant: the last node sits in layer
+  // kWideShallowDepth - 1.
+  EXPECT_EQ((params.num_nodes - 1) / layer, kWideShallowDepth - 1);
+}
+
+TEST(ScaleGeneratorTest, ScaleFreeShape) {
+  ScaleGraphParams params = SmallParams(ScaleFamily::kScaleFree);
+  std::vector<int32_t> out_degree(params.num_nodes, 0);
+  StreamScaleArcs(params, [&](NodeId src, NodeId dst) {
+    // Targets stay inside the locality window.
+    ASSERT_LE(dst - src, params.locality);
+    ++out_degree[src];
+  });
+  int32_t max_out = 0;
+  for (const int32_t d : out_degree) max_out = std::max(max_out, d);
+  // The doubling tail is capped at 8x the base budget (+1 for the lane
+  // spine)...
+  EXPECT_LE(max_out, 8 * params.degree + 1);
+  // ...and actually produces heavy nodes (some node beyond the base).
+  EXPECT_GT(max_out, params.degree + 1);
+
+  // The lane spine: every node with a full forward window emits
+  // v -> v + locality, so every node past the first window has an
+  // in-arc — the guarantee that pins the antichain width to ~locality.
+  const Digraph graph = BuildScaleGraph(params);
+  for (NodeId v = 0; v + params.locality + 1 < params.num_nodes; ++v) {
+    const auto succ = graph.Successors(v);
+    EXPECT_TRUE(std::binary_search(succ.begin(), succ.end(),
+                                   v + params.locality))
+        << "v=" << v;
+  }
+}
+
+TEST(ScaleGeneratorTest, KroneckerShape) {
+  const ScaleGraphParams params = SmallParams(ScaleFamily::kKronecker);
+  int64_t arcs = 0;
+  StreamScaleArcs(params, [&](NodeId src, NodeId dst) {
+    ASSERT_LT(src, dst);
+    ASSERT_LT(dst, params.num_nodes);
+    ++arcs;
+  });
+  // Rejection (self-loops, out-of-range ids) only removes draws.
+  EXPECT_LE(arcs, static_cast<int64_t>(params.num_nodes) * params.degree);
+  EXPECT_GT(arcs, 0);
+}
+
+TEST(ScaleGeneratorTest, EmptyAndTinyGraphs) {
+  for (const ScaleFamily family : kAllScaleFamilies) {
+    ScaleGraphParams params = SmallParams(family);
+    params.num_nodes = 0;
+    EXPECT_EQ(CountScaleArcs(params), 0) << ScaleFamilyName(family);
+    EXPECT_EQ(BuildScaleGraph(params).NumNodes(), 0);
+
+    params.num_nodes = 1;
+    const Digraph one = BuildScaleGraph(params);
+    EXPECT_EQ(one.NumNodes(), 1);
+    EXPECT_EQ(one.NumArcs(), 0) << ScaleFamilyName(family);
+  }
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -1,0 +1,56 @@
+#ifndef TCDB_TESTS_SCALE_ORACLE_H_
+#define TCDB_TESTS_SCALE_ORACLE_H_
+
+// Sampled differential oracle for large graphs. The full ReferenceClosure
+// is O(n^2) time and memory — exactly the wall the scale substrate
+// removes, so scale tests must not reintroduce it through their oracle.
+// Instead, K sources are sampled deterministically, their exact cones are
+// computed with ReferencePartialClosure (K BFS passes), and the index
+// under test is probed on every (source, v) pair: K*n O(1) probes, linear
+// in the graph, independent of the closure size.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "graph/generator.h"
+
+namespace tcdb {
+
+// `reaches(u, v)` must implement reflexive reachability on `graph`'s own
+// node ids (callers serving from a condensation translate through their
+// node map first). Deterministic in `seed`.
+template <typename ReachesFn>
+::testing::AssertionResult VerifySampledReachability(
+    const Digraph& graph, int32_t num_sources, uint64_t seed,
+    const ReachesFn& reaches) {
+  const NodeId n = graph.NumNodes();
+  if (n == 0) return ::testing::AssertionSuccess();
+  const std::vector<NodeId> sources = SampleSourceNodes(
+      n, std::min(num_sources, static_cast<int32_t>(n)), seed);
+  const std::vector<std::vector<NodeId>> cones =
+      ReferencePartialClosure(graph, sources);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId u = sources[i];
+    const std::vector<NodeId>& cone = cones[i];
+    for (NodeId v = 0; v < n; ++v) {
+      const bool expected =
+          u == v || std::binary_search(cone.begin(), cone.end(), v);
+      const bool actual = reaches(u, v);
+      if (actual != expected) {
+        return ::testing::AssertionFailure()
+               << "reaches(" << u << ", " << v << ") = "
+               << (actual ? "true" : "false") << ", reference says "
+               << (expected ? "true" : "false");
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace tcdb
+
+#endif  // TCDB_TESTS_SCALE_ORACLE_H_

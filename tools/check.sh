@@ -83,15 +83,28 @@ fi
 # a post-failover write trace of its own.
 "$SAN_DIR"/tools/tcdb_cli failover-stress --seeds 50 --base-seed 1
 
+# --- Sanitized scale smoke: a 10^5-node ChainIndex build plus sampled
+# differential against the exact BFS cones (--check), once on a pure DAG
+# family and once through the SCC-condensation front, so an index-side
+# overflow or uninitialized frontier row at real scale trips the
+# sanitizers rather than a lucky assertion.
+"$SAN_DIR"/tools/tcdb_cli scale-bench --family layered --n 100000 \
+    --width 64 --degree 4 --queries 50000 --seed 1 --check 4
+"$SAN_DIR"/tools/tcdb_cli scale-bench --family scale-free --n 100000 \
+    --locality 64 --degree 4 --cyclic 500 --queries 50000 --seed 1 \
+    --check 4
+
 # --- Concurrency tier under ThreadSanitizer: the multi-threaded
 # ReachServer tests, the epoch-swap-under-load tests, the
 # checkpoint-under-rebuild persistence test, the follower-catchup
-# replication tests, and the CLI smokes that drive worker/rebuilder/
-# apply threads rerun in a separate TSan tree — TSan cannot share a
-# build with ASan, hence the third directory.
+# replication tests, the chain-backend ReachServer differential
+# (concurrent clients over a kChain core, scale_backend_test), and the
+# CLI smokes that drive worker/rebuilder/apply threads rerun in a
+# separate TSan tree — TSan cannot share a build with ASan, hence the
+# third directory.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
     --target reach_server_test snapshot_swap_test incremental_swap_test \
-    persist_serving_test replica_test tcdb_cli
+    persist_serving_test replica_test scale_backend_test tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -8,6 +8,7 @@
 //   tcdb_cli --graph g.txt --analyze
 //   tcdb_cli --generate 2000,50,200,1 --advise --sources 1,2,3,4,5
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,10 @@
 
 #include "bench_support/stress.h"
 #include "core/advisor.h"
+#include "graph/algorithms.h"
+#include "graph/scale_generator.h"
+#include "scale/chain_index.h"
+#include "util/timer.h"
 #include "dynamic/dynamic_reach_service.h"
 #include "dynamic/index_rebuilder.h"
 #include "dynamic/mutation_log.h"
@@ -63,6 +68,9 @@ void Usage() {
                 [--group-commit N] [--seed S]
        tcdb_cli failover-stress [--seeds N] [--base-seed S] [--ops N]
                 [--verbose]
+       tcdb_cli scale-bench [--family F] [--n N] [--width W] [--degree D]
+                [--locality L] [--cyclic B] [--queries Q] [--seed S]
+                [--check K]
 
 graph input (one of):
   --graph FILE             arc-list file ("src dst" lines, '# nodes N' header)
@@ -202,6 +210,29 @@ failover-stress subcommand (randomized kill-primary-and-failover):
     and successor lists), the rest re-attach to the promoted primary,
     and the trace continues; exits 1 with a repro line on failure. This
     is the sweep check.sh runs under ASan/UBSan.
+
+scale-bench subcommand (chain-decomposition index over a streamed family):
+  tcdb_cli scale-bench [--family F] [--n N] [--width W] [--degree D]
+           [--locality L] [--cyclic B] [--queries Q] [--seed S] [--check K]
+    streams one large-graph family (no arc list is materialized for the
+    acyclic path), builds the ChainIndex — condensing first when --cyclic
+    makes the input cyclic — times a uniform point-query volley and emits
+    one JSON line with n, arcs, num_chains, build_s, bytes_per_node and
+    query p50/p99
+    --family F             layered | deep-narrow | wide-shallow |
+                           scale-free | kronecker (default layered)
+    --n N                  nodes (default 100000)
+    --width W              layer size / lane count (default 64)
+    --degree D             per-node arc budget (default 4)
+    --locality L           scale-free forward window (default 64)
+    --cyclic B             append B random back arcs; the build then runs
+                           through the SCC-condensation front (default 0)
+    --queries Q            query volley size (default 100000)
+    --seed S               generator seed (default 1)
+    --check K              verify the index against the exact BFS cones of
+                           K sampled sources before reporting; exits 1 on
+                           any mismatch. This is the differential smoke
+                           check.sh runs under the sanitizers.
 )");
 }
 
@@ -1040,6 +1071,151 @@ int RunFailoverStressCmd(int argc, char** argv) {
   return 0;
 }
 
+// `tcdb_cli scale-bench [flags]`: streams one large-graph family, builds
+// the ChainIndex over it (condensing first when --cyclic makes the input
+// cyclic), times a uniform point-query volley and emits one JSON line.
+// --check K first verifies the index against the exact BFS cones of K
+// sampled sources and exits 1 on any mismatch — the sanitizer smoke in
+// check.sh runs in this mode.
+int RunScaleBench(int argc, char** argv) {
+  ScaleGraphParams params;
+  params.locality = 64;
+  int64_t num_queries = 100000;
+  int32_t check_sources = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--family") {
+      auto parsed = ParseScaleFamily(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      params.family = parsed.value();
+    } else if (flag == "--n") {
+      params.num_nodes = static_cast<NodeId>(std::atoll(next()));
+    } else if (flag == "--width") {
+      params.width = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--degree") {
+      params.degree = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--locality") {
+      params.locality = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--cyclic") {
+      params.num_back_arcs = static_cast<int32_t>(std::atoll(next()));
+    } else if (flag == "--queries") {
+      num_queries = std::atoll(next());
+    } else if (flag == "--seed") {
+      params.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--check") {
+      check_sources = static_cast<int32_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown scale-bench flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  WallTimer timer;
+  const Digraph graph = BuildScaleGraph(params);
+  const double gen_seconds = timer.ElapsedSeconds();
+  const NodeId n = graph.NumNodes();
+
+  // With back arcs the input is cyclic and the build runs through the
+  // condensation front; the acyclic path indexes the graph directly so
+  // build_s stays a pure ChainIndex number.
+  timer.Restart();
+  Condensation cond;
+  const bool condensed = params.num_back_arcs > 0;
+  if (condensed) cond = Condense(graph);
+  auto built = ChainIndex::Build(condensed ? cond.dag : graph);
+  const double build_seconds = timer.ElapsedSeconds();
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const ChainIndex& index = built.value();
+  const auto reaches = [&](NodeId u, NodeId v) {
+    return condensed ? index.Reaches(cond.node_map[u], cond.node_map[v])
+                     : index.Reaches(u, v);
+  };
+
+  if (check_sources > 0 && n > 0) {
+    const std::vector<NodeId> sources = SampleSourceNodes(
+        n, std::min<NodeId>(check_sources, n), params.seed * 31 + 5);
+    const auto cones = ReferencePartialClosure(graph, sources);
+    for (size_t s = 0; s < sources.size(); ++s) {
+      const NodeId src = sources[s];
+      for (NodeId v = 0; v < n; ++v) {
+        const bool expected =
+            src == v ||
+            std::binary_search(cones[s].begin(), cones[s].end(), v);
+        if (reaches(src, v) != expected) {
+          std::fprintf(stderr,
+                       "scale-bench check FAILED: family=%s n=%d seed=%llu "
+                       "cyclic=%d pair (%d, %d): index=%d reference=%d\n",
+                       ScaleFamilyName(params.family), n,
+                       static_cast<unsigned long long>(params.seed),
+                       params.num_back_arcs, src, v, expected ? 0 : 1,
+                       expected ? 1 : 0);
+          return 1;
+        }
+      }
+    }
+  }
+
+  // Per-query latency over uniform pairs, timed in 64-query blocks (the
+  // block mean is the per-query cost at ~ns granularity). The positive
+  // count is reported so the loop stays observable.
+  double p50_s = 0;
+  double p99_s = 0;
+  int64_t positive = 0;
+  if (n > 0 && num_queries > 0) {
+    Rng rng(params.seed ^ 0xc0ffee);
+    std::vector<std::pair<NodeId, NodeId>> pairs(
+        static_cast<size_t>(num_queries));
+    for (auto& [u, v] : pairs) {
+      u = static_cast<NodeId>(rng.Uniform(0, n - 1));
+      v = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    }
+    constexpr int64_t kBlock = 64;
+    std::vector<double> block_s;
+    block_s.reserve(static_cast<size_t>(num_queries / kBlock) + 1);
+    for (int64_t begin = 0; begin < num_queries; begin += kBlock) {
+      const int64_t end = std::min(begin + kBlock, num_queries);
+      WallTimer block_timer;
+      for (int64_t i = begin; i < end; ++i) {
+        positive += reaches(pairs[static_cast<size_t>(i)].first,
+                            pairs[static_cast<size_t>(i)].second)
+                        ? 1
+                        : 0;
+      }
+      block_s.push_back(block_timer.ElapsedSeconds() /
+                        static_cast<double>(end - begin));
+    }
+    std::sort(block_s.begin(), block_s.end());
+    p50_s = block_s[block_s.size() / 2];
+    p99_s = block_s[block_s.size() * 99 / 100];
+  }
+
+  std::printf(
+      "{\"family\": \"%s\", \"n\": %d, \"arcs\": %lld, \"cyclic\": %d, "
+      "\"num_chains\": %d, \"gen_s\": %.6f, \"build_s\": %.6f, "
+      "\"bytes_per_node\": %.2f, \"queries\": %lld, \"positive\": %lld, "
+      "\"query_p50_s\": %.9f, \"query_p99_s\": %.9f, "
+      "\"checked_sources\": %d}\n",
+      ScaleFamilyName(params.family), n,
+      static_cast<long long>(graph.NumArcs()), params.num_back_arcs,
+      index.num_chains(), gen_seconds, build_seconds, index.BytesPerNode(),
+      static_cast<long long>(num_queries), static_cast<long long>(positive),
+      p50_s, p99_s, check_sources);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "reach") == 0) {
     return RunReach(argc - 1, argv + 1);
@@ -1067,6 +1243,9 @@ int Run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "replicate-bench") == 0) {
     return RunReplicateBench(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "scale-bench") == 0) {
+    return RunScaleBench(argc - 1, argv + 1);
   }
   if (argc >= 2 && std::strcmp(argv[1], "failover-stress") == 0) {
     return RunFailoverStressCmd(argc - 1, argv + 1);
