@@ -1,0 +1,550 @@
+#include "oreach/observation_battery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "scale/topo_order.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tcdb {
+
+namespace {
+
+// Seed-stream tags so the orders, cuts, pivot sampling, and synthetic
+// traffic draw from disjoint pseudo-random streams of one user seed.
+constexpr uint64_t kOrderStream = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kCutStream = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kSampleStream = 0x94d049bb133111ebULL;
+
+// Forward BFS from `root` over `graph`, marking every reachable node
+// (root included) in `out`. Returns the number of newly set bits.
+int64_t FillCone(const Digraph& graph, NodeId root, BitVector* out,
+                 std::vector<NodeId>* scratch) {
+  scratch->clear();
+  int64_t count = 0;
+  if (!out->TestAndSet(static_cast<size_t>(root))) return count;
+  ++count;
+  scratch->push_back(root);
+  while (!scratch->empty()) {
+    const NodeId v = scratch->back();
+    scratch->pop_back();
+    for (const NodeId s : graph.Successors(v)) {
+      if (out->TestAndSet(static_cast<size_t>(s))) {
+        ++count;
+        scratch->push_back(s);
+      }
+    }
+  }
+  return count;
+}
+
+void AppendI32Vector(const std::vector<int32_t>& v, std::string* out) {
+  for (const int32_t x : v) codec::PutI32(out, x);
+}
+
+bool ReadI32Vector(codec::Reader* reader, size_t n, std::vector<int32_t>* v) {
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!reader->ReadI32(&(*v)[i])) return false;
+  }
+  return true;
+}
+
+void AppendBitVector(const BitVector& bits, std::string* out) {
+  for (const uint64_t w : bits.Words()) codec::PutU64(out, w);
+}
+
+bool ReadBitVector(codec::Reader* reader, size_t size, BitVector* bits) {
+  std::vector<uint64_t> words((size + 63) / 64);
+  for (uint64_t& w : words) {
+    if (!reader->ReadU64(&w)) return false;
+  }
+  *bits = BitVector::FromWords(size, std::move(words));
+  return true;
+}
+
+}  // namespace
+
+Result<ObservationBattery> ObservationBattery::Build(
+    const Digraph& dag, const ObservationBatteryOptions& options,
+    std::span<const std::pair<NodeId, NodeId>> traffic,
+    const DecideProbe& already_decided) {
+  const NodeId n = dag.NumNodes();
+  ObservationBattery battery;
+  battery.n_ = n;
+  if (n == 0) return battery;
+
+  // One FIFO order validates acyclicity and drives the level passes.
+  TCDB_ASSIGN_OR_RETURN(const std::vector<NodeId> base_order,
+                        FifoTopoOrder(dag));
+
+  // Longest-path levels. Forward: arcs strictly raise fwd_level, so
+  // fwd_level[u] >= fwd_level[v] refutes u ~> v. Backward symmetrically.
+  battery.fwd_level_.assign(static_cast<size_t>(n), 0);
+  battery.bwd_level_.assign(static_cast<size_t>(n), 0);
+  for (const NodeId v : base_order) {
+    for (const NodeId s : dag.Successors(v)) {
+      battery.fwd_level_[s] =
+          std::max(battery.fwd_level_[s], battery.fwd_level_[v] + 1);
+    }
+  }
+  for (auto it = base_order.rbegin(); it != base_order.rend(); ++it) {
+    const NodeId v = *it;
+    for (const NodeId s : dag.Successors(v)) {
+      battery.bwd_level_[v] =
+          std::max(battery.bwd_level_[v], battery.bwd_level_[s] + 1);
+    }
+  }
+
+  // Weakly connected components via union-find, renumbered densely in
+  // first-occurrence order so the label is deterministic.
+  {
+    std::vector<NodeId> parent(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) parent[v] = v;
+    auto find = [&parent](NodeId v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId s : dag.Successors(v)) {
+        const NodeId a = find(v);
+        const NodeId b = find(s);
+        if (a != b) parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+    battery.weak_comp_.assign(static_cast<size_t>(n), -1);
+    int32_t next_comp = 0;
+    std::vector<int32_t> comp_of_root(static_cast<size_t>(n), -1);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId root = find(v);
+      if (comp_of_root[root] < 0) comp_of_root[root] = next_comp++;
+      battery.weak_comp_[v] = comp_of_root[root];
+    }
+  }
+
+  // Extra topological orders: rank-driven Kahn over per-order
+  // pseudo-random ranks, then the same two sandwich passes the base index
+  // runs over its own order.
+  const int32_t num_orders = std::max<int32_t>(options.num_orders, 0);
+  battery.orders_.reserve(static_cast<size_t>(num_orders));
+  for (int32_t t = 0; t < num_orders; ++t) {
+    Rng rng(options.seed + kOrderStream * static_cast<uint64_t>(t + 1));
+    std::vector<uint64_t> rank(static_cast<size_t>(n));
+    for (uint64_t& r : rank) r = rng.Next();
+    TCDB_ASSIGN_OR_RETURN(const std::vector<NodeId> order,
+                          RankedTopoOrder(dag, rank));
+    OrderLabels labels;
+    labels.pos.assign(static_cast<size_t>(n), 0);
+    for (size_t i = 0; i < order.size(); ++i) {
+      labels.pos[order[i]] = static_cast<int32_t>(i);
+    }
+    labels.max_reach = labels.pos;
+    labels.min_origin = labels.pos;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      for (const NodeId s : dag.Successors(v)) {
+        labels.max_reach[v] = std::max(labels.max_reach[v],
+                                       labels.max_reach[s]);
+      }
+    }
+    for (const NodeId v : order) {
+      for (const NodeId s : dag.Successors(v)) {
+        labels.min_origin[s] = std::min(labels.min_origin[s],
+                                        labels.min_origin[v]);
+      }
+    }
+    battery.orders_.push_back(std::move(labels));
+  }
+
+  // Negative cuts: unions of random forward cones are successor-closed
+  // (everything reachable from a member is a member), so membership of u
+  // without v refutes u ~> v; backward cones over the reversed graph give
+  // the predecessor-closed duals. Each cut grows toward half the graph —
+  // that maximizes |C| * (n - |C|), the number of pairs it can kill — but
+  // skips cones that would swallow nearly everything.
+  const int32_t num_cuts = std::max<int32_t>(options.num_cuts, 0);
+  if (num_cuts > 0) {
+    const Digraph reversed = dag.Reversed();
+    const int64_t target = n / 2;
+    const int64_t overshoot_cap = n - n / 8;  // skip cones past ~7n/8
+    std::vector<NodeId> bfs_scratch;
+    std::vector<NodeId> cone;
+    EpochSet visiting;
+    visiting.Resize(static_cast<size_t>(n));
+    auto grow_cut = [&](const Digraph& graph, uint64_t seed) {
+      Rng rng(seed);
+      BitVector cut;
+      cut.Resize(static_cast<size_t>(n));
+      int64_t size = 0;
+      int32_t misses = 0;
+      while (size < target && misses < 16) {
+        const NodeId root = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        if (cut.Test(static_cast<size_t>(root))) {
+          ++misses;
+          continue;
+        }
+        // Measure the cone before committing: BFS pruned at nodes the cut
+        // already contains (their cones are already inside).
+        cone.clear();
+        visiting.ClearAll();
+        bfs_scratch.clear();
+        bfs_scratch.push_back(root);
+        visiting.Insert(static_cast<size_t>(root));
+        cone.push_back(root);
+        while (!bfs_scratch.empty()) {
+          const NodeId v = bfs_scratch.back();
+          bfs_scratch.pop_back();
+          for (const NodeId s : graph.Successors(v)) {
+            if (cut.Test(static_cast<size_t>(s)) ||
+                visiting.Contains(static_cast<size_t>(s))) {
+              continue;
+            }
+            visiting.Insert(static_cast<size_t>(s));
+            cone.push_back(s);
+            bfs_scratch.push_back(s);
+          }
+        }
+        if (size + static_cast<int64_t>(cone.size()) > overshoot_cap) {
+          ++misses;
+          continue;
+        }
+        for (const NodeId v : cone) cut.Set(static_cast<size_t>(v));
+        size += static_cast<int64_t>(cone.size());
+        misses = 0;
+      }
+      return cut;
+    };
+    for (int32_t j = 0; j < num_cuts; ++j) {
+      battery.fwd_cuts_.push_back(grow_cut(
+          dag, options.seed + kCutStream * static_cast<uint64_t>(2 * j + 1)));
+      battery.bwd_cuts_.push_back(
+          grow_cut(reversed, options.seed + kCutStream *
+                                               static_cast<uint64_t>(2 * j + 2)));
+    }
+  }
+
+  // Traffic-trained pivots: greedy coverage against the sample's
+  // undecided residue.
+  const int32_t num_pivots =
+      std::min<int32_t>(std::max<int32_t>(options.num_pivots, 0), n);
+  if (num_pivots > 0) {
+    // The training sample: the supplied traffic, or a synthetic uniform
+    // mix when the caller has none.
+    std::vector<std::pair<NodeId, NodeId>> sample;
+    if (!traffic.empty()) {
+      sample.reserve(traffic.size());
+      for (const auto& [u, v] : traffic) {
+        if (u >= 0 && u < n && v >= 0 && v < n && u != v) {
+          sample.emplace_back(u, v);
+        }
+      }
+    } else {
+      Rng rng(options.seed + kSampleStream);
+      const int64_t count = std::max<int64_t>(options.synthetic_sample, 0);
+      sample.reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        const NodeId v = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        if (u != v) sample.emplace_back(u, v);
+      }
+    }
+
+    // Residue: pairs neither the caller's probe nor the battery's own
+    // (pivot-free, at this point) observations decide, deduplicated.
+    std::vector<std::pair<NodeId, NodeId>> residue;
+    for (const auto& [u, v] : sample) {
+      if (already_decided && already_decided(u, v)) continue;
+      if (battery.TryDecide(u, v) != Verdict::kUnknown) continue;
+      residue.emplace_back(u, v);
+    }
+    std::sort(residue.begin(), residue.end());
+    residue.erase(std::unique(residue.begin(), residue.end()),
+                  residue.end());
+
+    // Candidate pool: the residue's most frequent endpoints first — a
+    // pivot sitting on a residue source (or destination) decides that
+    // node's pairs outright — topped up with degree-product hubs.
+    const int32_t pool_size = std::min<int32_t>(
+        std::max<int32_t>(options.candidate_pool, num_pivots), n);
+    std::vector<NodeId> candidates;
+    {
+      std::vector<int32_t> endpoint_count(static_cast<size_t>(n), 0);
+      for (const auto& [u, v] : residue) {
+        ++endpoint_count[u];
+        ++endpoint_count[v];
+      }
+      std::vector<NodeId> by_frequency;
+      for (NodeId v = 0; v < n; ++v) {
+        if (endpoint_count[v] > 0) by_frequency.push_back(v);
+      }
+      std::sort(by_frequency.begin(), by_frequency.end(),
+                [&endpoint_count](NodeId a, NodeId b) {
+                  return endpoint_count[a] != endpoint_count[b]
+                             ? endpoint_count[a] > endpoint_count[b]
+                             : a < b;
+                });
+      if (static_cast<int32_t>(by_frequency.size()) > pool_size) {
+        by_frequency.resize(pool_size);
+      }
+      BitVector in_pool;
+      in_pool.Resize(static_cast<size_t>(n));
+      for (const NodeId v : by_frequency) {
+        in_pool.Set(static_cast<size_t>(v));
+        candidates.push_back(v);
+      }
+      if (static_cast<int32_t>(candidates.size()) < pool_size) {
+        const Digraph reversed = dag.Reversed();
+        std::vector<NodeId> hubs(static_cast<size_t>(n));
+        for (NodeId v = 0; v < n; ++v) hubs[v] = v;
+        std::sort(hubs.begin(), hubs.end(), [&](NodeId a, NodeId b) {
+          const int64_t score_a = static_cast<int64_t>(dag.OutDegree(a) + 1) *
+                                  (reversed.OutDegree(a) + 1);
+          const int64_t score_b = static_cast<int64_t>(dag.OutDegree(b) + 1) *
+                                  (reversed.OutDegree(b) + 1);
+          return score_a != score_b ? score_a > score_b : a < b;
+        });
+        for (const NodeId v : hubs) {
+          if (static_cast<int32_t>(candidates.size()) >= pool_size) break;
+          if (in_pool.TestAndSet(static_cast<size_t>(v))) {
+            candidates.push_back(v);
+          }
+        }
+      }
+    }
+
+    // Evaluate each candidate's forward/backward cones once.
+    struct Candidate {
+      NodeId node = -1;
+      BitVector fwd;
+      BitVector bwd;
+      int64_t coverage = 0;  // fwd cone * bwd cone, the traffic-free score
+      bool used = false;
+    };
+    const Digraph reversed = dag.Reversed();
+    std::vector<Candidate> evaluated(candidates.size());
+    {
+      std::vector<NodeId> scratch;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        Candidate& c = evaluated[i];
+        c.node = candidates[i];
+        c.fwd.Resize(static_cast<size_t>(n));
+        c.bwd.Resize(static_cast<size_t>(n));
+        const int64_t fwd_count = FillCone(dag, c.node, &c.fwd, &scratch);
+        const int64_t bwd_count =
+            FillCone(reversed, c.node, &c.bwd, &scratch);
+        c.coverage = fwd_count * bwd_count;
+      }
+    }
+
+    auto decides = [](const BitVector& fwd, const BitVector& bwd, NodeId u,
+                      NodeId v) {
+      const bool u_reaches_p = bwd.Test(static_cast<size_t>(u));
+      const bool p_reaches_v = fwd.Test(static_cast<size_t>(v));
+      if (u_reaches_p && p_reaches_v) return true;  // u ~> p ~> v
+      const bool p_reaches_u = fwd.Test(static_cast<size_t>(u));
+      if (p_reaches_u && !p_reaches_v) return true;  // forward separation
+      const bool v_reaches_p = bwd.Test(static_cast<size_t>(v));
+      if (v_reaches_p && !u_reaches_p) return true;  // backward separation
+      return false;
+    };
+
+    // Greedy rounds: keep the candidate deciding the most still-undecided
+    // residue pairs; once the residue is exhausted, fill the remaining
+    // slots by raw cone coverage so the pivots still generalize.
+    std::vector<std::pair<NodeId, NodeId>> undecided = residue;
+    for (int32_t round = 0; round < num_pivots; ++round) {
+      int64_t best_gain = -1;
+      int64_t best_coverage = -1;
+      size_t best = evaluated.size();
+      for (size_t i = 0; i < evaluated.size(); ++i) {
+        const Candidate& c = evaluated[i];
+        if (c.used) continue;
+        int64_t gain = 0;
+        for (const auto& [u, v] : undecided) {
+          if (decides(c.fwd, c.bwd, u, v)) ++gain;
+        }
+        // Ties (notably gain == 0 after the residue dries up) fall back
+        // to coverage, then to the smaller node id.
+        if (gain > best_gain ||
+            (gain == best_gain && (c.coverage > best_coverage ||
+                                   (c.coverage == best_coverage &&
+                                    best < evaluated.size() &&
+                                    c.node < evaluated[best].node)))) {
+          best_gain = gain;
+          best_coverage = c.coverage;
+          best = i;
+        }
+      }
+      if (best >= evaluated.size()) break;
+      Candidate& winner = evaluated[best];
+      winner.used = true;
+      battery.pivots_.push_back(winner.node);
+      battery.pivot_fwd_.push_back(std::move(winner.fwd));
+      battery.pivot_bwd_.push_back(std::move(winner.bwd));
+      if (best_gain > 0) {
+        const BitVector& fwd = battery.pivot_fwd_.back();
+        const BitVector& bwd = battery.pivot_bwd_.back();
+        undecided.erase(
+            std::remove_if(undecided.begin(), undecided.end(),
+                           [&](const std::pair<NodeId, NodeId>& pair) {
+                             return decides(fwd, bwd, pair.first,
+                                            pair.second);
+                           }),
+            undecided.end());
+      }
+    }
+  }
+
+  return battery;
+}
+
+ObservationBattery::Verdict ObservationBattery::TryDecide(
+    NodeId u, NodeId v, ReachRule* rule) const {
+  // A default-constructed battery carries no observations and decides
+  // nothing; don't range-check against n_ == 0.
+  if (n_ == 0) return Verdict::kUnknown;
+  TCDB_DCHECK(u >= 0 && u < n_);
+  TCDB_DCHECK(v >= 0 && v < n_);
+  // Reflexive pairs are the trivial rung's job; every negative
+  // observation below would mis-fire on them.
+  if (u == v) return Verdict::kUnknown;
+  auto decide = [&](Verdict verdict, ReachRule r) {
+    if (rule != nullptr) *rule = r;
+    return verdict;
+  };
+  if (weak_comp_[u] != weak_comp_[v]) {
+    return decide(Verdict::kNo, ReachRule::kObsWeakComponent);
+  }
+  if (fwd_level_[u] >= fwd_level_[v] || bwd_level_[u] <= bwd_level_[v]) {
+    return decide(Verdict::kNo, ReachRule::kObsLevel);
+  }
+  for (const OrderLabels& order : orders_) {
+    const int32_t pu = order.pos[u];
+    const int32_t pv = order.pos[v];
+    if (pv < pu) return decide(Verdict::kNo, ReachRule::kObsTopoOrder);
+    if (pv > order.max_reach[u] || pu < order.min_origin[v]) {
+      return decide(Verdict::kNo, ReachRule::kObsSandwich);
+    }
+  }
+  for (const BitVector& cut : fwd_cuts_) {
+    if (cut.Test(static_cast<size_t>(u)) &&
+        !cut.Test(static_cast<size_t>(v))) {
+      return decide(Verdict::kNo, ReachRule::kObsForwardCut);
+    }
+  }
+  for (const BitVector& cut : bwd_cuts_) {
+    if (cut.Test(static_cast<size_t>(v)) &&
+        !cut.Test(static_cast<size_t>(u))) {
+      return decide(Verdict::kNo, ReachRule::kObsBackwardCut);
+    }
+  }
+  for (size_t i = 0; i < pivots_.size(); ++i) {
+    const bool u_reaches_p = pivot_bwd_[i].Test(static_cast<size_t>(u));
+    const bool p_reaches_v = pivot_fwd_[i].Test(static_cast<size_t>(v));
+    if (u_reaches_p && p_reaches_v) {
+      return decide(Verdict::kYes, ReachRule::kObsPivotThrough);
+    }
+    const bool p_reaches_u = pivot_fwd_[i].Test(static_cast<size_t>(u));
+    if (p_reaches_u && !p_reaches_v) {
+      return decide(Verdict::kNo, ReachRule::kObsPivotFwdCut);
+    }
+    const bool v_reaches_p = pivot_bwd_[i].Test(static_cast<size_t>(v));
+    if (v_reaches_p && !u_reaches_p) {
+      return decide(Verdict::kNo, ReachRule::kObsPivotBwdCut);
+    }
+  }
+  return Verdict::kUnknown;
+}
+
+void ObservationBattery::SerializeAppend(std::string* out) const {
+  const uint32_t n = static_cast<uint32_t>(n_);
+  codec::PutU32(out, n);
+  codec::PutU32(out, static_cast<uint32_t>(orders_.size()));
+  for (const OrderLabels& order : orders_) {
+    AppendI32Vector(order.pos, out);
+    AppendI32Vector(order.max_reach, out);
+    AppendI32Vector(order.min_origin, out);
+  }
+  AppendI32Vector(fwd_level_, out);
+  AppendI32Vector(bwd_level_, out);
+  AppendI32Vector(weak_comp_, out);
+  codec::PutU32(out, static_cast<uint32_t>(fwd_cuts_.size()));
+  for (const BitVector& cut : fwd_cuts_) AppendBitVector(cut, out);
+  for (const BitVector& cut : bwd_cuts_) AppendBitVector(cut, out);
+  codec::PutU32(out, static_cast<uint32_t>(pivots_.size()));
+  AppendI32Vector(pivots_, out);
+  for (size_t i = 0; i < pivots_.size(); ++i) {
+    AppendBitVector(pivot_fwd_[i], out);
+    AppendBitVector(pivot_bwd_[i], out);
+  }
+}
+
+Result<ObservationBattery> ObservationBattery::Deserialize(
+    codec::Reader* reader) {
+  ObservationBattery battery;
+  uint32_t n = 0;
+  uint32_t num_orders = 0;
+  if (!reader->ReadU32(&n) || !reader->ReadU32(&num_orders)) {
+    return Status::Corruption("observation battery image truncated");
+  }
+  battery.n_ = static_cast<NodeId>(n);
+  // Each order is 12 bytes per node: reject oversized counts early.
+  if (static_cast<uint64_t>(num_orders) * n * 12 > reader->remaining()) {
+    return Status::Corruption("observation battery order count exceeds image");
+  }
+  battery.orders_.resize(num_orders);
+  bool ok = true;
+  for (OrderLabels& order : battery.orders_) {
+    ok = ok && ReadI32Vector(reader, n, &order.pos) &&
+         ReadI32Vector(reader, n, &order.max_reach) &&
+         ReadI32Vector(reader, n, &order.min_origin);
+  }
+  ok = ok && ReadI32Vector(reader, n, &battery.fwd_level_) &&
+       ReadI32Vector(reader, n, &battery.bwd_level_) &&
+       ReadI32Vector(reader, n, &battery.weak_comp_);
+  uint32_t num_cuts = 0;
+  ok = ok && reader->ReadU32(&num_cuts);
+  if (ok && static_cast<uint64_t>(num_cuts) * 2 * ((n + 63) / 64) * 8 >
+                reader->remaining()) {
+    return Status::Corruption("observation battery cut count exceeds image");
+  }
+  if (ok) {
+    battery.fwd_cuts_.resize(num_cuts);
+    battery.bwd_cuts_.resize(num_cuts);
+    for (BitVector& cut : battery.fwd_cuts_) {
+      ok = ok && ReadBitVector(reader, n, &cut);
+    }
+    for (BitVector& cut : battery.bwd_cuts_) {
+      ok = ok && ReadBitVector(reader, n, &cut);
+    }
+  }
+  uint32_t num_pivots = 0;
+  ok = ok && reader->ReadU32(&num_pivots);
+  if (ok && static_cast<uint64_t>(num_pivots) *
+                    (4 + 2 * ((n + 63) / 64) * 8) >
+                reader->remaining()) {
+    return Status::Corruption("observation battery pivot count exceeds image");
+  }
+  if (ok) {
+    ok = ReadI32Vector(reader, num_pivots, &battery.pivots_);
+    battery.pivot_fwd_.resize(num_pivots);
+    battery.pivot_bwd_.resize(num_pivots);
+    for (uint32_t i = 0; ok && i < num_pivots; ++i) {
+      ok = ReadBitVector(reader, n, &battery.pivot_fwd_[i]) &&
+           ReadBitVector(reader, n, &battery.pivot_bwd_[i]);
+    }
+  }
+  if (!ok) return Status::Corruption("observation battery image truncated");
+  for (const NodeId p : battery.pivots_) {
+    if (p < 0 || static_cast<uint32_t>(p) >= n) {
+      return Status::Corruption("observation battery pivot out of range");
+    }
+  }
+  return battery;
+}
+
+}  // namespace tcdb

@@ -51,6 +51,32 @@ std::vector<std::pair<NodeId, NodeId>> MakeServingWorkload(
   return pairs;
 }
 
+std::vector<std::pair<NodeId, NodeId>> MakeModelWorkload(
+    const Digraph& graph, const TrafficModelOptions& options, int64_t count,
+    WorkloadDecideProbe probe) {
+  if (graph.NumNodes() <= 0 || count <= 0) return {};
+  TrafficModel model(graph, options, std::move(probe));
+  return model.Take(count);
+}
+
+WorkloadDecideProbe MakeLadderProbe(std::shared_ptr<const ReachCore> core) {
+  return [core = std::move(core)](NodeId u, NodeId v) {
+    const NodeId cu = core->node_map[static_cast<size_t>(u)];
+    const NodeId cv = core->node_map[static_cast<size_t>(v)];
+    if (cu == cv) return true;
+    ReachStage stage;
+    if (core->DecideCondensed(cu, cv, &stage) !=
+        ReachIndex::Verdict::kUnknown) {
+      return true;
+    }
+    const std::span<const NodeId> succ = core->dag.Successors(cu);
+    if (std::binary_search(succ.begin(), succ.end(), cv)) return true;
+    return core->has_battery &&
+           core->battery.TryDecide(cu, cv) !=
+               ObservationBattery::Verdict::kUnknown;
+  };
+}
+
 Result<LoadReport> RunServingLoad(
     ReachServer* server, std::span<const std::pair<NodeId, NodeId>> pairs,
     int32_t num_clients, size_t batch_size) {

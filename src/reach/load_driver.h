@@ -9,6 +9,7 @@
 #include "graph/digraph.h"
 #include "reach/reach_server.h"
 #include "util/status.h"
+#include "workload/traffic_model.h"
 
 namespace tcdb {
 
@@ -22,6 +23,24 @@ namespace tcdb {
 // repeats of a small hot set (exercises the per-shard answer caches).
 std::vector<std::pair<NodeId, NodeId>> MakeServingWorkload(
     const Digraph& graph, int64_t count, uint64_t seed);
+
+// A workload drawn from the TrafficModel (workload/traffic_model.h):
+// Zipf-skewed, hot-pair, adversarial, or mixed query streams with
+// deterministic replay. `probe` feeds the adversarial miner; the other
+// kinds ignore it. This is the model-driven superset of
+// MakeServingWorkload, which predates the model and stays for the
+// benches pinned to its exact mix.
+std::vector<std::pair<NodeId, NodeId>> MakeModelWorkload(
+    const Digraph& graph, const TrafficModelOptions& options, int64_t count,
+    WorkloadDecideProbe probe = nullptr);
+
+// The serving ladder's O(1) rungs as a predicate over input-node pairs:
+// trivial rules, index labels, adjacency, and the observation battery
+// when the core carries one — ReachService::TryServeFast minus the
+// answer cache. This is what the adversarial miner probes: pairs it
+// cannot decide are exactly the fallback residue. The returned closure
+// shares ownership of `core`.
+WorkloadDecideProbe MakeLadderProbe(std::shared_ptr<const ReachCore> core);
 
 struct LoadReport {
   int64_t queries = 0;

@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "oreach/observation_battery.h"
+#include "reach/reach_rule.h"
 #include "scale/chain_index.h"
 #include "util/bit_vector.h"
 #include "util/codec.h"
@@ -15,8 +18,8 @@
 namespace tcdb {
 
 // The rung of the serving ladder that decided a reachability query. The
-// first six are O(1) label lookups; the last two are the fallbacks for the
-// residue the labels leave undecided.
+// stages through kObservation are O(1) label lookups; pruned BFS and the
+// session are the fallbacks for the residue the labels leave undecided.
 enum class ReachStage {
   kCache = 0,           // LRU answer cache hit (ReachService only)
   kTrivial,             // u == v, or u and v share a strongly connected
@@ -28,6 +31,8 @@ enum class ReachStage {
   kSupportiveNegative,  // a pivot separates u from v: "no"
   kAdjacency,           // (u, v) is an arc of the graph: "yes"
                         // (O(log out-degree) via the sorted CSR row)
+  kObservation,         // O'Reach observation battery (src/oreach/):
+                        // extra orders, levels, cuts, traffic pivots
   kChainFrontier,       // chain-decomposition frontier labels (the kChain
                         // backend; exact, so always definitive)
   kPrunedBfs,           // bounded interval-pruned BFS fallback
@@ -70,6 +75,17 @@ struct ReachIndexOptions {
   // forward x backward coverage wins). Higher = better pivots, slower
   // build.
   int32_t pivot_candidates_per_slot = 4;
+  // O'Reach observation battery (src/oreach/): a second bank of O(1)
+  // labels consulted between the rules above and the search fallbacks
+  // (serving stage kObservation). kLabels backend only; off by default —
+  // it earns its memory on skewed/adversarial mixes, which the benches
+  // opt into explicitly.
+  bool oreach = false;
+  ObservationBatteryOptions oreach_options;
+  // Sampled query traffic (input-node ids) for the battery's
+  // coverage-greedy pivot selection. Empty: the battery trains on a
+  // synthetic uniform sample instead.
+  std::vector<std::pair<NodeId, NodeId>> oreach_traffic;
 };
 
 // Precomputed O(1) reachability labels over a DAG — the paper's machinery
@@ -114,8 +130,10 @@ class ReachIndex {
   };
 
   // O(1): answers from the labels alone, or kUnknown for the residue.
-  // When decided and `stage` is non-null, *stage names the deciding rule.
-  Verdict TryDecide(NodeId u, NodeId v, ReachStage* stage = nullptr) const;
+  // When decided, non-null `stage`/`rule` out-params name the deciding
+  // rule at stage granularity and at per-rule granularity respectively.
+  Verdict TryDecide(NodeId u, NodeId v, ReachStage* stage = nullptr,
+                    ReachRule* rule = nullptr) const;
 
   // Fallback: BFS from `u` toward `v` over `dag` (which must be the graph
   // the index was built from), pruning every node whose labels prove it

@@ -43,18 +43,50 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Build(
                           ChainIndex::Build(core->dag, options.chain));
   } else {
     TCDB_ASSIGN_OR_RETURN(core->index, ReachIndex::Build(core->dag, options));
+    if (options.oreach) {
+      // Battery pivot training sees the traffic in condensation ids and
+      // treats everything the base ladder (rules + adjacency) already
+      // decides as covered, so the greedy selection spends its pivots on
+      // the true fallback residue.
+      std::vector<std::pair<NodeId, NodeId>> traffic;
+      traffic.reserve(options.oreach_traffic.size());
+      for (const auto& [src, dst] : options.oreach_traffic) {
+        if (src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes) {
+          continue;
+        }
+        const NodeId csrc = core->node_map[src];
+        const NodeId cdst = core->node_map[dst];
+        if (csrc != cdst) traffic.emplace_back(csrc, cdst);
+      }
+      const ReachIndex& index = core->index;
+      const Digraph& dag = core->dag;
+      auto base_decides = [&index, &dag](NodeId u, NodeId v) {
+        if (index.TryDecide(u, v) != ReachIndex::Verdict::kUnknown) {
+          return true;
+        }
+        const std::span<const NodeId> successors = dag.Successors(u);
+        return std::binary_search(successors.begin(), successors.end(), v);
+      };
+      TCDB_ASSIGN_OR_RETURN(
+          core->battery,
+          ObservationBattery::Build(core->dag, options.oreach_options,
+                                    traffic, base_decides));
+      core->has_battery = true;
+    }
   }
   return std::shared_ptr<const ReachCore>(std::move(core));
 }
 
 ReachIndex::Verdict ReachCore::DecideCondensed(NodeId csrc, NodeId cdst,
-                                               ReachStage* stage) const {
+                                               ReachStage* stage,
+                                               ReachRule* rule) const {
   if (backend == ReachBackend::kChain) {
     if (stage != nullptr) *stage = ReachStage::kChainFrontier;
+    if (rule != nullptr) *rule = ReachRule::kChainFrontier;
     return chain.Reaches(csrc, cdst) ? ReachIndex::Verdict::kYes
                                      : ReachIndex::Verdict::kNo;
   }
-  return index.TryDecide(csrc, cdst, stage);
+  return index.TryDecide(csrc, cdst, stage, rule);
 }
 
 void ReachCore::SerializeAppend(std::string* out) const {
@@ -74,6 +106,8 @@ void ReachCore::SerializeAppend(std::string* out) const {
     chain.SerializeAppend(out);
   } else {
     index.SerializeAppend(out);
+    codec::PutU8(out, has_battery ? 1 : 0);
+    if (has_battery) battery.SerializeAppend(out);
   }
 }
 
@@ -129,6 +163,18 @@ Result<std::shared_ptr<const ReachCore>> ReachCore::Deserialize(
     if (core->index.num_nodes() != dag_nodes) {
       return Status::Corruption("reach core index size mismatch");
     }
+    uint8_t battery_byte = 0;
+    if (!reader->ReadU8(&battery_byte) || battery_byte > 1) {
+      return Status::Corruption("reach core battery flag invalid");
+    }
+    if (battery_byte != 0) {
+      TCDB_ASSIGN_OR_RETURN(core->battery,
+                            ObservationBattery::Deserialize(reader));
+      if (core->battery.num_nodes() != dag_nodes) {
+        return Status::Corruption("reach core battery size mismatch");
+      }
+      core->has_battery = true;
+    }
   }
   return std::shared_ptr<const ReachCore>(std::move(core));
 }
@@ -173,10 +219,12 @@ Status ReachService::AdoptCore(std::shared_ptr<const ReachCore> core) {
 }
 
 ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
-                                               Answer* answer) {
+                                               Answer* answer,
+                                               ReachRule* rule) {
   bool cached = false;
   if (cache_.Lookup(src, dst, &cached)) {
     *answer = {cached, ReachStage::kCache};
+    *rule = ReachRule::kCacheHit;
     return cached ? ReachIndex::Verdict::kYes : ReachIndex::Verdict::kNo;
   }
   const NodeId csrc = core_->node_map[src];
@@ -184,24 +232,40 @@ ReachIndex::Verdict ReachService::TryServeFast(NodeId src, NodeId dst,
   // src == dst (reflexivity) or one shared strongly connected component.
   if (csrc == cdst) {
     *answer = {true, ReachStage::kTrivial};
+    *rule = src == dst ? ReachRule::kSelf : ReachRule::kSameScc;
     return ReachIndex::Verdict::kYes;
   }
   ReachStage stage = ReachStage::kTrivial;
-  ReachIndex::Verdict verdict = core_->DecideCondensed(csrc, cdst, &stage);
+  ReachIndex::Verdict verdict =
+      core_->DecideCondensed(csrc, cdst, &stage, rule);
   if (verdict == ReachIndex::Verdict::kUnknown) {
-    // Last cheap rung: a direct arc (binary search over the sorted CSR
+    // Next cheap rung: a direct arc (binary search over the sorted CSR
     // row). Covers the non-tree arcs the interval labels cannot witness.
     const std::span<const NodeId> successors = core_->dag.Successors(csrc);
     if (std::binary_search(successors.begin(), successors.end(), cdst)) {
       verdict = ReachIndex::Verdict::kYes;
       stage = ReachStage::kAdjacency;
+      *rule = ReachRule::kAdjacency;
+    }
+  }
+  if (verdict == ReachIndex::Verdict::kUnknown && core_->has_battery) {
+    // Observation battery: the last O(1) rung before the search
+    // fallbacks.
+    const ObservationBattery::Verdict observed =
+        core_->battery.TryDecide(csrc, cdst, rule);
+    if (observed != ObservationBattery::Verdict::kUnknown) {
+      verdict = observed == ObservationBattery::Verdict::kYes
+                    ? ReachIndex::Verdict::kYes
+                    : ReachIndex::Verdict::kNo;
+      stage = ReachStage::kObservation;
     }
   }
   if (verdict != ReachIndex::Verdict::kUnknown) {
+    // Deliberately NOT inserted into the answer cache: an O(1)-decided
+    // answer re-derives in nanoseconds, so caching it only evicts the
+    // fallback answers whose recomputation actually costs something.
+    // Fallback answers are inserted at the fallback sites instead.
     *answer = {verdict == ReachIndex::Verdict::kYes, stage};
-    if (cache_.Insert(src, dst, answer->reachable)) {
-      ++stats_.cache_insertions;
-    }
   }
   return verdict;
 }
@@ -223,8 +287,11 @@ Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
   }
   const double start = NowSeconds();
   Answer answer;
-  if (TryServeFast(src, dst, &answer) != ReachIndex::Verdict::kUnknown) {
-    stats_.Record(answer.stage, answer.reachable, NowSeconds() - start);
+  ReachRule rule = ReachRule::kFallback;
+  if (TryServeFast(src, dst, &answer, &rule) !=
+      ReachIndex::Verdict::kUnknown) {
+    stats_.Record(answer.stage, rule, answer.reachable,
+                  NowSeconds() - start);
     return answer;
   }
   TCDB_ASSIGN_OR_RETURN(answer,
@@ -232,7 +299,8 @@ Result<ReachService::Answer> ReachService::Query(NodeId src, NodeId dst) {
   if (cache_.Insert(src, dst, answer.reachable)) {
     ++stats_.cache_insertions;
   }
-  stats_.Record(answer.stage, answer.reachable, NowSeconds() - start);
+  stats_.Record(answer.stage, ReachRule::kFallback, answer.reachable,
+                NowSeconds() - start);
   return answer;
 }
 
@@ -317,9 +385,10 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
   std::unordered_map<NodeId, double> residue_pass1_seconds;
   for (size_t i = 0; i < pairs.size(); ++i) {
     const double start = NowSeconds();
-    if (TryServeFast(pairs[i].first, pairs[i].second, &answers[i]) !=
+    ReachRule rule = ReachRule::kFallback;
+    if (TryServeFast(pairs[i].first, pairs[i].second, &answers[i], &rule) !=
         ReachIndex::Verdict::kUnknown) {
-      stats_.Record(answers[i].stage, answers[i].reachable,
+      stats_.Record(answers[i].stage, rule, answers[i].reachable,
                     NowSeconds() - start);
       continue;
     }
@@ -388,7 +457,8 @@ Result<std::vector<ReachService::Answer>> ReachService::QueryBatch(
         if (cache_.Insert(pairs[i].first, pairs[i].second, reached[t])) {
           ++stats_.cache_insertions;
         }
-        stats_.Record(stage, reached[t], per_query_seconds);
+        stats_.Record(stage, ReachRule::kFallback, reached[t],
+                      per_query_seconds);
       }
     }
   }

@@ -50,6 +50,12 @@ struct ReachCore {
   ReachBackend backend = ReachBackend::kLabels;
   ReachIndex index;
   ChainIndex chain;
+  // O'Reach observation battery (options.oreach): a second bank of O(1)
+  // labels consulted when the kLabels rules come up unknown, before the
+  // service ladder falls back to searching. Never populated for kChain
+  // (frontier labels are already total).
+  bool has_battery = false;
+  ObservationBattery battery;
 
   // True when the input contained a cycle (queries run on the
   // condensation).
@@ -57,9 +63,11 @@ struct ReachCore {
 
   // Exact reachability between condensation nodes, whatever the backend
   // answers it: reflexive, never unknown for kChain; kUnknown only for
-  // the kLabels residue (which the service ladder then searches).
+  // the kLabels residue (which the service ladder then searches). The
+  // out-params name the deciding stage and individual rule.
   ReachIndex::Verdict DecideCondensed(NodeId csrc, NodeId cdst,
-                                      ReachStage* stage) const;
+                                      ReachStage* stage,
+                                      ReachRule* rule = nullptr) const;
 
   // `arcs` may be cyclic and unsorted; endpoints must lie in
   // [0, num_nodes).
@@ -159,8 +167,10 @@ class ReachService {
   ReachService() : cache_(0) {}
 
   // Label-only attempt (cache, trivial, O(1) index rules) on original ids.
-  // Returns kUnknown for the fallback residue.
-  ReachIndex::Verdict TryServeFast(NodeId src, NodeId dst, Answer* answer);
+  // Returns kUnknown for the fallback residue; *rule names the deciding
+  // rule otherwise.
+  ReachIndex::Verdict TryServeFast(NodeId src, NodeId dst, Answer* answer,
+                                   ReachRule* rule);
 
   // Definitive fallback for one condensed pair (BFS then session).
   Result<Answer> ServeFallback(NodeId csrc, NodeId cdst);

@@ -19,8 +19,26 @@ TablePrinter ReachStats::ToTable() const {
   return table;
 }
 
+TablePrinter ReachStats::RuleTable() const {
+  TablePrinter table({"rule", "decided", "share %"});
+  int64_t attributed = 0;
+  for (int r = 0; r < kNumReachRules; ++r) attributed += rule_decided[r];
+  for (int r = 0; r < kNumReachRules; ++r) {
+    const int64_t count = rule_decided[r];
+    if (count == 0) continue;
+    table.NewRow()
+        .AddCell(std::string(ReachRuleName(static_cast<ReachRule>(r))))
+        .AddCell(count)
+        .AddCell(attributed == 0 ? 0.0 : 100.0 * count / attributed, 1);
+  }
+  return table;
+}
+
 void ReachStats::Print(std::ostream& out) const {
   ToTable().Print(out);
+  int64_t attributed = 0;
+  for (int r = 0; r < kNumReachRules; ++r) attributed += rule_decided[r];
+  if (attributed > 0) RuleTable().Print(out);
   out << "queries " << queries << " (" << positive_answers
       << " reachable), batches " << batches << ", decided without fallback "
       << DecidedWithoutFallback();
@@ -44,6 +62,9 @@ void ReachStats::Merge(const ReachStats& other) {
   for (int s = 0; s < kNumReachStages; ++s) {
     decided[s] += other.decided[s];
     seconds[s] += other.seconds[s];
+  }
+  for (int r = 0; r < kNumReachRules; ++r) {
+    rule_decided[r] += other.rule_decided[r];
   }
   cache_insertions += other.cache_insertions;
   bfs_expansions += other.bfs_expansions;

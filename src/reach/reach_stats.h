@@ -26,6 +26,15 @@ struct ReachStats {
   int64_t decided[kNumReachStages] = {};
   double seconds[kNumReachStages] = {};
 
+  // rule_decided[r]: queries decided by the individual rule r — one level
+  // finer than the stage counters (kTrivial splits into self/same-scc,
+  // the observation battery into per-observation rules), so decided-rate
+  // reporting is attribution, not guesswork. Populated by the rule-aware
+  // Record overload; the legacy overload leaves it untouched, so
+  // sum(rule_decided) == queries only holds for owners (ReachService,
+  // ReachServer) that attribute every query.
+  int64_t rule_decided[kNumReachRules] = {};
+
   int64_t cache_insertions = 0;
   int64_t bfs_expansions = 0;    // total pruned-BFS node expansions
   int64_t session_queries = 0;   // SRCH runs issued by the fallback
@@ -37,8 +46,25 @@ struct ReachStats {
     seconds[static_cast<int>(stage)] += elapsed_seconds;
   }
 
+  void Record(ReachStage stage, ReachRule rule, bool reachable,
+              double elapsed_seconds) {
+    Record(stage, reachable, elapsed_seconds);
+    rule_decided[static_cast<int>(rule)] += 1;
+  }
+
   int64_t Decided(ReachStage stage) const {
     return decided[static_cast<int>(stage)];
+  }
+
+  int64_t RuleDecided(ReachRule rule) const {
+    return rule_decided[static_cast<int>(rule)];
+  }
+
+  // Share of all queries served straight from the answer cache.
+  double CacheHitRate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(Decided(ReachStage::kCache)) /
+                              static_cast<double>(queries);
   }
 
   // Queries the O(1) labels (or the cache) answered — everything except
@@ -57,6 +83,9 @@ struct ReachStats {
   // One row per stage: decided count, share of all queries, cumulative and
   // mean latency.
   TablePrinter ToTable() const;
+  // One row per populated rule: decided count and share of attributed
+  // queries (empty when no rule-aware owner recorded anything).
+  TablePrinter RuleTable() const;
   void Print(std::ostream& out) const;
   std::string ToString() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "scale/topo_order.h"
 #include "util/check.h"
 
 namespace tcdb {
@@ -19,8 +20,7 @@ Result<ChainIndex> ChainIndex::Build(const Digraph& dag,
     for (const NodeId w : dag.Successors(v)) ++in_degree[w];
   }
 
-  // Reverse CSR (predecessor lists), built before Kahn consumes the
-  // in-degrees.
+  // Reverse CSR (predecessor lists).
   std::vector<int64_t> pred_begin(static_cast<size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
     pred_begin[v + 1] = pred_begin[v] + in_degree[v];
@@ -35,26 +35,14 @@ Result<ChainIndex> ChainIndex::Build(const Digraph& dag,
     }
   }
 
-  // Kahn FIFO topological pass: O(n + m). TopologicalSort's min-heap
-  // order costs an extra log factor that is real money at 10^6 nodes;
-  // FIFO over ascending seed ids is just as deterministic.
-  std::vector<NodeId> order;
-  order.reserve(static_cast<size_t>(n));
-  for (NodeId v = 0; v < n; ++v) {
-    if (in_degree[v] == 0) order.push_back(v);
-  }
+  // Kahn FIFO topological pass (scale/topo_order.h): O(n + m).
+  // TopologicalSort's min-heap order costs an extra log factor that is
+  // real money at 10^6 nodes; FIFO over ascending seed ids is just as
+  // deterministic.
+  TCDB_ASSIGN_OR_RETURN(const std::vector<NodeId> order, FifoTopoOrder(dag));
   std::vector<int32_t> topo_pos(static_cast<size_t>(n), -1);
-  for (size_t head = 0; head < order.size(); ++head) {
-    const NodeId v = order[head];
-    topo_pos[v] = static_cast<int32_t>(head);
-    for (const NodeId w : dag.Successors(v)) {
-      if (--in_degree[w] == 0) order.push_back(w);
-    }
-  }
-  if (order.size() != static_cast<size_t>(n)) {
-    return Status::InvalidArgument(
-        "chain index requires an acyclic graph; condense cyclic inputs "
-        "first");
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    topo_pos[order[rank]] = static_cast<int32_t>(rank);
   }
 
   index.chain_id_.assign(static_cast<size_t>(n), 0);

@@ -1,0 +1,238 @@
+#include "workload/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tcdb {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return "uniform";
+    case WorkloadKind::kZipf:
+      return "zipf";
+    case WorkloadKind::kHotPair:
+      return "hot-pair";
+    case WorkloadKind::kAdversarial:
+      return "adversarial";
+    case WorkloadKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* kind) {
+  for (const WorkloadKind k :
+       {WorkloadKind::kUniform, WorkloadKind::kZipf, WorkloadKind::kHotPair,
+        WorkloadKind::kAdversarial, WorkloadKind::kMixed}) {
+    if (name == WorkloadKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool UsesZipf(WorkloadKind kind) { return kind != WorkloadKind::kUniform; }
+
+bool UsesHotSet(WorkloadKind kind) {
+  return kind == WorkloadKind::kHotPair || kind == WorkloadKind::kMixed;
+}
+
+}  // namespace
+
+TrafficModel::TrafficModel(const Digraph& graph,
+                           const TrafficModelOptions& options,
+                           WorkloadDecideProbe probe)
+    : graph_(graph),
+      options_(options),
+      probe_(std::move(probe)),
+      rng_(options.seed) {
+  const NodeId n = graph_.NumNodes();
+  if (n <= 0) return;
+  if (UsesZipf(options_.kind) && options_.zipf_s > 0) {
+    // Popularity permutation from a setup-only stream, so reseeding the
+    // query stream does not reshuffle which nodes are popular.
+    Rng setup(options_.seed * 0x9e3779b97f4a7c15ULL + 1);
+    rank_to_node_.resize(static_cast<size_t>(n));
+    for (NodeId v = 0; v < n; ++v) rank_to_node_[v] = v;
+    for (NodeId i = n - 1; i > 0; --i) {
+      const int64_t j = setup.Uniform(0, i);
+      std::swap(rank_to_node_[i], rank_to_node_[j]);
+    }
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double total = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), options_.zipf_s);
+      zipf_cdf_[r] = total;
+    }
+    for (double& c : zipf_cdf_) c /= total;
+  }
+  if (UsesHotSet(options_.kind) && options_.hot_set_size > 0 &&
+      options_.hot_fraction > 0) {
+    hot_set_.reserve(static_cast<size_t>(options_.hot_set_size));
+    for (int32_t i = 0; i < options_.hot_set_size; ++i) {
+      hot_set_.push_back(BasePair());
+    }
+  }
+}
+
+NodeId TrafficModel::ZipfSource() {
+  const NodeId n = graph_.NumNodes();
+  if (zipf_cdf_.empty()) return static_cast<NodeId>(rng_.Uniform(0, n - 1));
+  const double d = rng_.NextDouble();
+  const size_t rank = static_cast<size_t>(
+      std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), d) -
+      zipf_cdf_.begin());
+  return rank_to_node_[std::min(rank, zipf_cdf_.size() - 1)];
+}
+
+NodeId TrafficModel::WalkTarget(NodeId src) {
+  NodeId cur = src;
+  const int64_t steps = rng_.Uniform(1, std::max<int32_t>(
+                                            options_.walk_length, 1));
+  for (int64_t i = 0; i < steps; ++i) {
+    const std::span<const NodeId> succ = graph_.Successors(cur);
+    if (succ.empty()) break;
+    cur = succ[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(succ.size()) - 1))];
+  }
+  return cur;
+}
+
+std::pair<NodeId, NodeId> TrafficModel::BasePair() {
+  const NodeId n = graph_.NumNodes();
+  if (options_.kind == WorkloadKind::kUniform) {
+    return {static_cast<NodeId>(rng_.Uniform(0, n - 1)),
+            static_cast<NodeId>(rng_.Uniform(0, n - 1))};
+  }
+  const NodeId src = ZipfSource();
+  const NodeId dst = rng_.Bernoulli(options_.positive_bias)
+                         ? WalkTarget(src)
+                         : static_cast<NodeId>(rng_.Uniform(0, n - 1));
+  return {src, dst};
+}
+
+std::pair<NodeId, NodeId> TrafficModel::MinePair() {
+  ++mined_total_;
+  std::pair<NodeId, NodeId> pair = BasePair();
+  if (!probe_) return pair;  // no probe: degenerate to the base mix
+  for (int32_t attempt = 0;
+       attempt < std::max<int32_t>(options_.miner_attempts, 1); ++attempt) {
+    if (!probe_(pair.first, pair.second)) {
+      ++mined_undecided_;
+      return pair;
+    }
+    pair = BasePair();
+  }
+  return pair;  // every probe was decidable; emit the last one anyway
+}
+
+void TrafficModel::MaybeChurnHotSet() {
+  if (hot_set_.empty() || options_.churn_every <= 0) return;
+  if (emitted_ % options_.churn_every != 0) return;
+  hot_set_[churn_cursor_ % hot_set_.size()] = BasePair();
+  ++churn_cursor_;
+}
+
+std::pair<NodeId, NodeId> TrafficModel::Next() {
+  if (graph_.NumNodes() <= 0) return {0, 0};
+  ++emitted_;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    return burst_pair_;
+  }
+  switch (options_.kind) {
+    case WorkloadKind::kUniform:
+    case WorkloadKind::kZipf:
+      return BasePair();
+    case WorkloadKind::kAdversarial:
+      if (rng_.Bernoulli(options_.adversarial_fill)) return MinePair();
+      return BasePair();
+    case WorkloadKind::kHotPair:
+    case WorkloadKind::kMixed:
+      break;
+  }
+  MaybeChurnHotSet();
+  if (!hot_set_.empty()) {
+    // hot_fraction is the target share of *queries*; a trigger expands
+    // into a burst averaging (1 + burst_length) / 2 repeats, so the
+    // trigger probability is scaled down by that factor.
+    const double avg_burst =
+        (1.0 + std::max<int32_t>(options_.burst_length, 1)) / 2.0;
+    if (rng_.Bernoulli(std::min(1.0, options_.hot_fraction / avg_burst))) {
+      burst_pair_ = hot_set_[static_cast<size_t>(rng_.Uniform(
+          0, static_cast<int64_t>(hot_set_.size()) - 1))];
+      burst_remaining_ = static_cast<int32_t>(rng_.Uniform(
+                             1, std::max<int32_t>(options_.burst_length, 1))) -
+                         1;
+      return burst_pair_;
+    }
+  }
+  return BasePair();
+}
+
+std::vector<std::pair<NodeId, NodeId>> TrafficModel::Take(int64_t count) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<size_t>(std::max<int64_t>(count, 0)));
+  for (int64_t i = 0; i < count; ++i) pairs.push_back(Next());
+  return pairs;
+}
+
+void WriteTrace(std::ostream& out, const WorkloadTrace& trace) {
+  out << "# tcdb-trace v1 kind=" << WorkloadKindName(trace.kind)
+      << " seed=" << trace.seed << " count=" << trace.pairs.size() << "\n";
+  for (const auto& [src, dst] : trace.pairs) {
+    out << src << " " << dst << "\n";
+  }
+}
+
+Result<WorkloadTrace> ReadTrace(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("trace is empty");
+  }
+  std::istringstream tokens(header);
+  std::string hash, magic, version, kind_token, seed_token, count_token;
+  tokens >> hash >> magic >> version >> kind_token >> seed_token >>
+      count_token;
+  if (hash != "#" || magic != "tcdb-trace" || version != "v1" ||
+      kind_token.rfind("kind=", 0) != 0 ||
+      seed_token.rfind("seed=", 0) != 0 ||
+      count_token.rfind("count=", 0) != 0) {
+    return Status::InvalidArgument("malformed trace header: " + header);
+  }
+  WorkloadTrace trace;
+  if (!ParseWorkloadKind(kind_token.substr(5), &trace.kind)) {
+    return Status::InvalidArgument("unknown trace workload kind: " +
+                                   kind_token.substr(5));
+  }
+  auto parse_u64 = [](const std::string& text, uint64_t* out) {
+    char* end = nullptr;
+    *out = std::strtoull(text.c_str(), &end, 10);
+    return end != text.c_str() && *end == '\0';
+  };
+  uint64_t count = 0;
+  if (!parse_u64(seed_token.substr(5), &trace.seed) ||
+      !parse_u64(count_token.substr(6), &count)) {
+    return Status::InvalidArgument("malformed trace header: " + header);
+  }
+  trace.pairs.reserve(count);
+  NodeId src = 0;
+  NodeId dst = 0;
+  while (in >> src >> dst) trace.pairs.emplace_back(src, dst);
+  if (trace.pairs.size() != count) {
+    return Status::InvalidArgument(
+        "trace pair count mismatch: header says " + std::to_string(count) +
+        ", file has " + std::to_string(trace.pairs.size()));
+  }
+  return trace;
+}
+
+}  // namespace tcdb

@@ -1,0 +1,127 @@
+#ifndef TCDB_WORKLOAD_TRAFFIC_MODEL_H_
+#define TCDB_WORKLOAD_TRAFFIC_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tcdb {
+
+// The shape of a generated query mix.
+enum class WorkloadKind : uint8_t {
+  kUniform = 0,     // independent uniform (src, dst) pairs
+  kZipf,            // Zipf-skewed sources, positive-bias-mixed targets
+  kHotPair,         // Zipf base + hot-pair bursts with temporal locality
+  kAdversarial,     // mined pairs the supplied probe cannot decide
+  kMixed,           // zipf + bursts + positive bias: "looks like traffic"
+};
+
+// "workload" CLI/bench spelling, e.g. "hot-pair". nullptr for unknown
+// names; ParseWorkloadKind is the inverse.
+const char* WorkloadKindName(WorkloadKind kind);
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* kind);
+
+// Decides whether cheap machinery already answers (u, v) — the
+// adversarial miner keeps only pairs where this returns false, so the
+// emitted mix concentrates on the serving ladder's expensive residue.
+using WorkloadDecideProbe = std::function<bool(NodeId u, NodeId v)>;
+
+struct TrafficModelOptions {
+  WorkloadKind kind = WorkloadKind::kMixed;
+  uint64_t seed = 1;
+  // Zipf exponent for source popularity: sources are ranked by a seeded
+  // permutation and rank r drawn with probability ~ (r + 1)^-s. 0 = flat.
+  double zipf_s = 1.1;
+  // Probability that a pair's destination is drawn by a short forward
+  // walk from the source (likely reachable) rather than uniformly
+  // (mostly unreachable on sparse graphs). The positive/negative mix dial.
+  double positive_bias = 0.3;
+  int32_t walk_length = 6;  // maximum forward-walk steps
+  // Hot-pair machinery (kHotPair / kMixed): the target share of queries
+  // that replay a pair from the hot set. Hot queries arrive in bursts of
+  // 1..burst_length repeats (temporal locality), and every churn_every
+  // emissions one hot pair is replaced, so the hot set drifts.
+  double hot_fraction = 0.25;
+  int32_t hot_set_size = 64;
+  int32_t burst_length = 8;
+  int32_t churn_every = 512;
+  // Adversarial miner (kAdversarial): the share of emitted pairs that are
+  // mined, and how many base-mix probes the miner spends per mined pair
+  // before giving up and emitting the last probe.
+  double adversarial_fill = 0.9;
+  int32_t miner_attempts = 64;
+};
+
+// Deterministic, replayable query-mix generator: one instance is a
+// stateful stream over a fixed graph, options, and seed — the same triple
+// always yields the same pair sequence, so a bench line is reproducible
+// from its parameters alone and a trace file (WriteTrace/ReadTrace) can
+// replay a mix bit-exactly somewhere else. Plugged into load_driver
+// (MakeModelWorkload), bench_reach_mt, and `tcdb_cli serve-bench` /
+// `workload-bench`.
+class TrafficModel {
+ public:
+  // `graph` must outlive the model. The probe is only consulted by the
+  // adversarial miner; the other kinds ignore it.
+  TrafficModel(const Digraph& graph, const TrafficModelOptions& options,
+               WorkloadDecideProbe probe = nullptr);
+
+  // The next (src, dst) query of the stream.
+  std::pair<NodeId, NodeId> Next();
+
+  // The next `count` queries.
+  std::vector<std::pair<NodeId, NodeId>> Take(int64_t count);
+
+  // Miner telemetry: pairs the probe failed to decide / total mined
+  // emissions. A high ratio means the mix really is adversarial.
+  int64_t mined_undecided() const { return mined_undecided_; }
+  int64_t mined_total() const { return mined_total_; }
+
+  const TrafficModelOptions& options() const { return options_; }
+
+ private:
+  NodeId ZipfSource();
+  NodeId WalkTarget(NodeId src);
+  std::pair<NodeId, NodeId> BasePair();
+  std::pair<NodeId, NodeId> MinePair();
+  void MaybeChurnHotSet();
+
+  const Digraph& graph_;
+  TrafficModelOptions options_;
+  WorkloadDecideProbe probe_;
+  Rng rng_;
+  std::vector<NodeId> rank_to_node_;  // seeded popularity permutation
+  std::vector<double> zipf_cdf_;
+  std::vector<std::pair<NodeId, NodeId>> hot_set_;
+  std::pair<NodeId, NodeId> burst_pair_ = {0, 0};
+  int32_t burst_remaining_ = 0;
+  int64_t emitted_ = 0;
+  size_t churn_cursor_ = 0;
+  int64_t mined_undecided_ = 0;
+  int64_t mined_total_ = 0;
+};
+
+// Trace replay format — a text header line then one "src dst" line per
+// query:
+//   # tcdb-trace v1 kind=<name> seed=<seed> count=<n>
+// WriteTrace emits it; ReadTrace parses and validates (InvalidArgument on
+// a malformed header, count mismatch, or non-numeric pair line).
+struct WorkloadTrace {
+  WorkloadKind kind = WorkloadKind::kUniform;
+  uint64_t seed = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+void WriteTrace(std::ostream& out, const WorkloadTrace& trace);
+Result<WorkloadTrace> ReadTrace(std::istream& in);
+
+}  // namespace tcdb
+
+#endif  // TCDB_WORKLOAD_TRAFFIC_MODEL_H_

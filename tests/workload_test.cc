@@ -1,0 +1,231 @@
+// Tests of the trace-driven workload subsystem (workload/traffic_model.h):
+// deterministic replay, kind name round-trips, Zipf source skew, hot-pair
+// bursts, the positive-bias dial, the adversarial miner's residue
+// targeting, the trace file format, and the MakeModelWorkload guards.
+
+#include "workload/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "graph/generator.h"
+#include "reach/load_driver.h"
+
+namespace tcdb {
+namespace {
+
+Digraph MakeTestDag(NodeId n = 500, int32_t degree = 5, uint64_t seed = 9) {
+  GeneratorParams params;
+  params.num_nodes = n;
+  params.avg_out_degree = degree;
+  params.locality = n / 10;
+  params.seed = seed;
+  return Digraph(n, GenerateDag(params));
+}
+
+TEST(WorkloadKindTest, NamesRoundTrip) {
+  const WorkloadKind kinds[] = {WorkloadKind::kUniform, WorkloadKind::kZipf,
+                                WorkloadKind::kHotPair,
+                                WorkloadKind::kAdversarial,
+                                WorkloadKind::kMixed};
+  for (const WorkloadKind kind : kinds) {
+    const char* name = WorkloadKindName(kind);
+    ASSERT_NE(name, nullptr);
+    WorkloadKind parsed;
+    ASSERT_TRUE(ParseWorkloadKind(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+  }
+  WorkloadKind parsed;
+  EXPECT_FALSE(ParseWorkloadKind("definitely-not-a-workload", &parsed));
+  EXPECT_FALSE(ParseWorkloadKind("", &parsed));
+}
+
+// Same (graph, options, seed) triple => bit-identical stream. This is
+// the replayability contract every bench line and trace file rests on.
+TEST(TrafficModelTest, DeterministicReplay) {
+  const Digraph graph = MakeTestDag();
+  for (const WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kZipf, WorkloadKind::kHotPair,
+        WorkloadKind::kMixed}) {
+    TrafficModelOptions options;
+    options.kind = kind;
+    options.seed = 77;
+    TrafficModel a(graph, options);
+    TrafficModel b(graph, options);
+    const std::vector<std::pair<NodeId, NodeId>> stream = a.Take(2000);
+    EXPECT_EQ(stream, b.Take(2000)) << WorkloadKindName(kind);
+
+    options.seed = 78;
+    EXPECT_NE(stream, TrafficModel(graph, options).Take(2000))
+        << "different seed should move the stream for "
+        << WorkloadKindName(kind);
+  }
+}
+
+// Zipf sources are heavy-headed: the most popular source takes a share
+// orders of magnitude above the uniform 1/n.
+TEST(TrafficModelTest, ZipfSourceSkew) {
+  const Digraph graph = MakeTestDag();
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kZipf;
+  options.seed = 5;
+  options.zipf_s = 1.1;
+  TrafficModel model(graph, options);
+  std::map<NodeId, int64_t> counts;
+  const int64_t total = 20000;
+  for (const auto& [src, dst] : model.Take(total)) counts[src] += 1;
+  int64_t top = 0;
+  for (const auto& [node, count] : counts) top = std::max(top, count);
+  // Uniform expectation is total/n = 40; the Zipf head should dominate.
+  EXPECT_GT(top, total / 20) << "top source share below 5%";
+}
+
+// Hot-pair mixes replay pairs in bursts: the stream must contain
+// back-to-back repeats and some pair far above its uniform frequency.
+TEST(TrafficModelTest, HotPairBurstsRepeat) {
+  const Digraph graph = MakeTestDag();
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kHotPair;
+  options.seed = 11;
+  options.hot_fraction = 0.5;
+  TrafficModel model(graph, options);
+  const std::vector<std::pair<NodeId, NodeId>> pairs = model.Take(5000);
+  int64_t consecutive_repeats = 0;
+  std::map<std::pair<NodeId, NodeId>, int64_t> counts;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    counts[pairs[i]] += 1;
+    if (i > 0 && pairs[i] == pairs[i - 1]) ++consecutive_repeats;
+  }
+  int64_t top = 0;
+  for (const auto& [pair, count] : counts) top = std::max(top, count);
+  EXPECT_GT(consecutive_repeats, 100) << "no temporal locality";
+  EXPECT_GT(top, 50) << "no hot pair emerged";
+}
+
+// positive_bias = 1 forces every destination onto a forward walk from
+// its source, so every emitted pair is reachable (reflexively when the
+// walk starts at a sink).
+TEST(TrafficModelTest, FullPositiveBiasYieldsReachablePairs) {
+  const Digraph graph = MakeTestDag(300);
+  const std::vector<std::vector<NodeId>> closure = ReferenceClosure(graph);
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kZipf;
+  options.seed = 3;
+  options.positive_bias = 1.0;
+  TrafficModel model(graph, options);
+  for (const auto& [src, dst] : model.Take(3000)) {
+    const bool reachable =
+        src == dst || std::binary_search(closure[src].begin(),
+                                         closure[src].end(), dst);
+    ASSERT_TRUE(reachable) << src << " -> " << dst;
+  }
+}
+
+// The miner concentrates the stream on pairs the probe cannot decide.
+TEST(TrafficModelTest, AdversarialMinerTargetsResidue) {
+  const Digraph graph = MakeTestDag();
+  // Arbitrary cheap probe: "decided" unless src is a multiple of 5 —
+  // roughly 1/5 of the base mix is residue, so 64 attempts find one with
+  // overwhelming probability.
+  const WorkloadDecideProbe probe = [](NodeId u, NodeId v) {
+    (void)v;
+    return u % 5 != 0;
+  };
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kAdversarial;
+  options.seed = 21;
+  TrafficModel model(graph, options, probe);
+  const std::vector<std::pair<NodeId, NodeId>> pairs = model.Take(4000);
+  EXPECT_GT(model.mined_total(), 0);
+  EXPECT_GT(static_cast<double>(model.mined_undecided()) /
+                static_cast<double>(model.mined_total()),
+            0.95);
+  int64_t undecided = 0;
+  for (const auto& [src, dst] : pairs) {
+    if (!probe(src, dst)) ++undecided;
+  }
+  // adversarial_fill defaults to 0.9; the rest of the stream is base mix.
+  EXPECT_GT(static_cast<double>(undecided) /
+                static_cast<double>(pairs.size()),
+            0.8);
+}
+
+// Without a probe the miner cannot filter; the stream must still be
+// well-formed and deterministic rather than erroring or spinning.
+TEST(TrafficModelTest, AdversarialWithoutProbeStillStreams) {
+  const Digraph graph = MakeTestDag(100);
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kAdversarial;
+  options.seed = 2;
+  TrafficModel a(graph, options);
+  TrafficModel b(graph, options);
+  const std::vector<std::pair<NodeId, NodeId>> pairs = a.Take(500);
+  EXPECT_EQ(pairs.size(), 500u);
+  EXPECT_EQ(pairs, b.Take(500));
+}
+
+TEST(WorkloadTraceTest, RoundTrip) {
+  WorkloadTrace trace;
+  trace.kind = WorkloadKind::kHotPair;
+  trace.seed = 314159;
+  trace.pairs = {{0, 1}, {7, 7}, {123, 4}, {2, 99}};
+  std::stringstream stream;
+  WriteTrace(stream, trace);
+  auto read = ReadTrace(stream);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().kind, trace.kind);
+  EXPECT_EQ(read.value().seed, trace.seed);
+  EXPECT_EQ(read.value().pairs, trace.pairs);
+}
+
+TEST(WorkloadTraceTest, GeneratedMixSurvivesTheFormat) {
+  const Digraph graph = MakeTestDag(200);
+  TrafficModelOptions options;
+  options.kind = WorkloadKind::kMixed;
+  options.seed = 17;
+  WorkloadTrace trace;
+  trace.kind = options.kind;
+  trace.seed = options.seed;
+  trace.pairs = TrafficModel(graph, options).Take(1000);
+  std::stringstream stream;
+  WriteTrace(stream, trace);
+  auto read = ReadTrace(stream);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().pairs, trace.pairs);
+}
+
+TEST(WorkloadTraceTest, RejectsMalformedInput) {
+  const auto expect_invalid = [](const std::string& text) {
+    std::stringstream stream(text);
+    auto read = ReadTrace(stream);
+    EXPECT_FALSE(read.ok()) << "accepted: " << text;
+  };
+  expect_invalid("");
+  expect_invalid("not a trace\n1 2\n");
+  expect_invalid("# tcdb-trace v2 kind=uniform seed=1 count=1\n1 2\n");
+  expect_invalid("# tcdb-trace v1 kind=nope seed=1 count=1\n1 2\n");
+  // Count says two pairs, body has one.
+  expect_invalid("# tcdb-trace v1 kind=uniform seed=1 count=2\n1 2\n");
+  // Non-numeric pair line.
+  expect_invalid("# tcdb-trace v1 kind=uniform seed=1 count=1\nx y\n");
+}
+
+TEST(MakeModelWorkloadTest, GuardsDegenerateInputs) {
+  TrafficModelOptions options;
+  EXPECT_TRUE(MakeModelWorkload(Digraph(), options, 100).empty());
+  const Digraph graph = MakeTestDag(50);
+  EXPECT_TRUE(MakeModelWorkload(graph, options, 0).empty());
+  EXPECT_TRUE(MakeModelWorkload(graph, options, -5).empty());
+  EXPECT_EQ(MakeModelWorkload(graph, options, 64).size(), 64u);
+}
+
+}  // namespace
+}  // namespace tcdb

@@ -94,17 +94,35 @@ fi
     --locality 64 --degree 4 --cyclic 500 --queries 50000 --seed 1 \
     --check 4
 
+# --- Sanitized observation-battery differential: the battery's full
+# label bank (extra topological orders, levels, negative cuts,
+# traffic-trained pivots) verified sound against the BFS reference
+# closure across the generator and scale families, plus the CLI's
+# workload-bench --check smoke, which serves an adversarial mined mix on
+# battery-off and battery-on cores and requires bit-identical answers
+# that match a DFS reference — all under ASan+UBSan so an off-by-one in
+# a cut bit-set or pivot cone is a crash, not a wrong "no".
+cmake --build "$SAN_DIR" -j "$(nproc)" --target oreach_battery_test
+"$SAN_DIR"/tests/oreach_battery_test
+"$SAN_DIR"/tools/tcdb_cli workload-bench gen:800,5,160,3 \
+    --workload adversarial --queries 5000 --seed 1 --check 800
+"$SAN_DIR"/tools/tcdb_cli workload-bench gen:600,4,120,9 \
+    --workload mixed --queries 5000 --seed 2 --check 600
+
 # --- Concurrency tier under ThreadSanitizer: the multi-threaded
 # ReachServer tests, the epoch-swap-under-load tests, the
 # checkpoint-under-rebuild persistence test, the follower-catchup
 # replication tests, the chain-backend ReachServer differential
-# (concurrent clients over a kChain core, scale_backend_test), and the
-# CLI smokes that drive worker/rebuilder/apply threads rerun in a
-# separate TSan tree — TSan cannot share a build with ASan, hence the
-# third directory.
+# (concurrent clients over a kChain core, scale_backend_test), the
+# battery-core sharded-serving tests (oreach_server_test — the battery is
+# shared read-only by every shard, so a missing happens-before is a TSan
+# report here), and the CLI smokes that drive worker/rebuilder/apply
+# threads rerun in a separate TSan tree — TSan cannot share a build with
+# ASan, hence the third directory.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DTCDB_TSAN=ON
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
     --target reach_server_test snapshot_swap_test incremental_swap_test \
-    persist_serving_test replica_test scale_backend_test tcdb_cli
+    persist_serving_test replica_test scale_backend_test \
+    oreach_server_test tcdb_cli
 ctest --test-dir "$TSAN_DIR" --output-on-failure -L concurrency

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -53,6 +54,10 @@ void Usage() {
        tcdb_cli reach <graph> <src> <dst> [--explain]
        tcdb_cli serve-bench <graph> [--shards N] [--clients N]
                 [--queries N] [--batch N] [--queue N] [--seed S]
+                [--workload W] [--battery] [--trace FILE]
+       tcdb_cli workload-bench <graph> [--workload W] [--queries N]
+                [--seed S] [--no-battery] [--check K]
+                [--dump-trace FILE] [--replay FILE]
        tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
        tcdb_cli mutate-bench <graph> [--ops N] [--update-ratio R]
                 [--delete-share D] [--rebuild-every K] [--budget B]
@@ -113,8 +118,36 @@ serve-bench subcommand (multi-threaded sharded serving throughput):
     --batch N              queries per QueryBatch call (default 256)
     --queue N              per-shard queue capacity (default 64)
     --seed S               workload seed (default 42)
-    prints queries/second, the merged per-stage decision table, the
-    serving-latency histogram, and the per-shard query split
+    --workload W           draw the mix from the traffic model instead of
+                           the legacy fixed mix: uniform|zipf|hot-pair|
+                           adversarial|mixed (adversarial mines pairs the
+                           base O(1) rules cannot decide)
+    --battery              enable the O'Reach observation battery, trained
+                           on a disjoint same-shape traffic sample
+    --trace FILE           replay the query mix from a trace file
+                           (see workload-bench --dump-trace)
+    prints queries/second, the cache hit rate, the merged per-stage and
+    per-rule decision tables, the serving-latency histogram, and the
+    per-shard query split
+
+workload-bench subcommand (traffic-model mixes, battery off vs on):
+  tcdb_cli workload-bench <graph> [flags]
+    <graph>                arc-list file, or gen:N,F,L,SEED
+    --workload W           uniform|zipf|hot-pair|adversarial|mixed
+                           (default adversarial)
+    --queries N            workload size (default 20000)
+    --seed S               traffic seed (default 42)
+    --no-battery           skip the battery run (baseline only)
+    --check K              differential smoke: serve K sampled pairs on
+                           both cores, compare battery-on vs battery-off
+                           answers bit-for-bit and both against a BFS
+                           reference; exits 1 on any mismatch. This is
+                           the sweep check.sh runs under the sanitizers.
+    --dump-trace FILE      write the generated mix as a replayable trace
+    --replay FILE          serve a previously dumped trace instead of
+                           generating (ignores --workload/--seed)
+    prints one JSON line per core (decided rate, O(1)-label rate, cache
+    hit rate, per-rule fractions) plus the miner's undecided ratio
 
 stress subcommand (randomized differential storage stress):
   tcdb_cli stress [--seeds N] [--base-seed S] [--verbose]
@@ -332,9 +365,26 @@ int RunReach(int argc, char** argv) {
   return 0;
 }
 
+// Builds a battery-enabled core over `arcs`, training the pivots on a
+// traffic sample of the given shape mined against `baseline`'s ladder.
+Result<std::shared_ptr<const ReachCore>> BuildBatteryCore(
+    const ArcList& arcs, NodeId num_nodes, const Digraph& graph,
+    std::shared_ptr<const ReachCore> baseline, WorkloadKind kind,
+    uint64_t seed) {
+  ReachIndexOptions index_options;
+  index_options.oreach = true;
+  TrafficModelOptions train;
+  train.kind = kind;
+  train.seed = seed + 7777;  // disjoint from the served stream
+  index_options.oreach_traffic = MakeModelWorkload(
+      graph, train, 4096, MakeLadderProbe(std::move(baseline)));
+  return ReachCore::Build(arcs, num_nodes, index_options);
+}
+
 // `tcdb_cli serve-bench <graph> [flags]`: stands up a sharded ReachServer
-// over the input, fires a reproducible mixed workload at it from client
-// threads, and prints throughput plus the merged serving statistics.
+// over the input, fires a reproducible workload at it from client threads
+// (the legacy fixed mix, a traffic-model mix, or a replayed trace), and
+// prints throughput plus the merged serving statistics.
 int RunServeBench(int argc, char** argv) {
   if (argc < 2) {
     Usage();
@@ -347,6 +397,9 @@ int RunServeBench(int argc, char** argv) {
   int64_t num_queries = 100000;
   size_t batch_size = 256;
   uint64_t seed = 42;
+  std::string workload_name;
+  std::string trace_file;
+  bool battery = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -368,6 +421,12 @@ int RunServeBench(int argc, char** argv) {
       options.queue_capacity = static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--workload") {
+      workload_name = next();
+    } else if (flag == "--trace") {
+      trace_file = next();
+    } else if (flag == "--battery") {
+      battery = true;
     } else {
       std::fprintf(stderr, "unknown serve-bench flag '%s'\n", flag.c_str());
       return 2;
@@ -375,13 +434,67 @@ int RunServeBench(int argc, char** argv) {
   }
   if (clients < 0) clients = options.num_shards;
 
+  WorkloadKind kind = WorkloadKind::kMixed;
+  if (!workload_name.empty() && !ParseWorkloadKind(workload_name, &kind)) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return 2;
+  }
+
   ArcList arcs;
   NodeId num_nodes = 0;
   if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes)) {
     return code;
   }
+  const Digraph graph(num_nodes, arcs);
 
-  auto server = ReachServer::Start(arcs, num_nodes, options);
+  auto baseline = ReachCore::Build(arcs, num_nodes);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> workload;
+  if (!trace_file.empty()) {
+    std::ifstream in(trace_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace '%s'\n", trace_file.c_str());
+      return 1;
+    }
+    auto trace = ReadTrace(in);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("replaying %zu-query %s trace (seed %llu)\n",
+                trace.value().pairs.size(),
+                WorkloadKindName(trace.value().kind),
+                static_cast<unsigned long long>(trace.value().seed));
+    workload = std::move(trace.value().pairs);
+  } else if (!workload_name.empty()) {
+    TrafficModelOptions traffic;
+    traffic.kind = kind;
+    traffic.seed = seed;
+    workload = MakeModelWorkload(graph, traffic, num_queries,
+                                 MakeLadderProbe(baseline.value()));
+  } else {
+    workload = MakeServingWorkload(graph, num_queries, seed);
+  }
+
+  std::shared_ptr<const ReachCore> core = baseline.value();
+  if (battery) {
+    auto built = BuildBatteryCore(arcs, num_nodes, graph, baseline.value(),
+                                  kind, seed);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    core = built.value();
+    std::printf("observation battery: %d orders, %d cuts/dir, %d pivots\n",
+                core->battery.num_orders(), core->battery.num_cuts(),
+                core->battery.num_pivots());
+  }
+
+  auto server = ReachServer::Start(core, options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
     return 1;
@@ -389,8 +502,6 @@ int RunServeBench(int argc, char** argv) {
   if (server.value()->condensed()) {
     std::printf("input is cyclic: serving on its condensation\n");
   }
-  const std::vector<std::pair<NodeId, NodeId>> workload =
-      MakeServingWorkload(Digraph(num_nodes, arcs), num_queries, seed);
   auto report = RunServingLoad(server.value().get(), workload, clients,
                                batch_size);
   if (!report.ok()) {
@@ -407,6 +518,8 @@ int RunServeBench(int argc, char** argv) {
       report.value().seconds, clients, options.num_shards,
       report.value().QueriesPerSecond());
   std::printf("latency %s\n", stats.latency.Summary().c_str());
+  std::printf("cache hit rate %.2f%%\n",
+              100.0 * stats.merged.CacheHitRate());
   std::printf("queue high-water mark %lld (capacity %lld)\n",
               static_cast<long long>(stats.max_queue_depth),
               static_cast<long long>(options.queue_capacity));
@@ -416,6 +529,239 @@ int RunServeBench(int argc, char** argv) {
                 stats.per_shard_latency[s].Summary().c_str());
   }
   std::cout << stats.merged.ToString();
+  return 0;
+}
+
+// `tcdb_cli workload-bench <graph> [flags]`: runs one traffic-model mix
+// through a single-threaded ReachService twice — baseline core, then the
+// same core with the observation battery — printing one JSON line per
+// run. --check serves K sampled pairs on both cores and verifies the
+// answers agree bit-for-bit with each other and with a BFS reference
+// (the sanitizer smoke in tools/check.sh); --dump-trace/--replay round
+// the mix through the replayable trace format.
+int RunWorkloadBench(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string graph_spec = argv[1];
+  std::string workload_name = "adversarial";
+  int64_t num_queries = 20000;
+  uint64_t seed = 42;
+  bool use_battery = true;
+  int64_t check_pairs = 0;
+  std::string dump_file;
+  std::string replay_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--workload") {
+      workload_name = next();
+    } else if (flag == "--queries") {
+      num_queries = std::atoll(next());
+    } else if (flag == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--no-battery") {
+      use_battery = false;
+    } else if (flag == "--check") {
+      check_pairs = std::atoll(next());
+    } else if (flag == "--dump-trace") {
+      dump_file = next();
+    } else if (flag == "--replay") {
+      replay_file = next();
+    } else {
+      std::fprintf(stderr, "unknown workload-bench flag '%s'\n",
+                   flag.c_str());
+      return 2;
+    }
+  }
+  WorkloadKind kind = WorkloadKind::kAdversarial;
+  if (!ParseWorkloadKind(workload_name, &kind)) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return 2;
+  }
+
+  ArcList arcs;
+  NodeId num_nodes = 0;
+  if (const int code = LoadGraphSpec(graph_spec, &arcs, &num_nodes)) {
+    return code;
+  }
+  const Digraph graph(num_nodes, arcs);
+
+  auto baseline = ReachCore::Build(arcs, num_nodes);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  // The mix: generated by the model (mining against the baseline ladder)
+  // or replayed from a trace dumped earlier.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace '%s'\n", replay_file.c_str());
+      return 1;
+    }
+    auto trace = ReadTrace(in);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    kind = trace.value().kind;
+    seed = trace.value().seed;
+    pairs = std::move(trace.value().pairs);
+  } else {
+    TrafficModelOptions traffic;
+    traffic.kind = kind;
+    traffic.seed = seed;
+    TrafficModel model(graph, traffic, MakeLadderProbe(baseline.value()));
+    pairs = model.Take(num_queries);
+    if (model.mined_total() > 0) {
+      std::printf("miner: %lld/%lld probes left undecided (%.1f%%)\n",
+                  static_cast<long long>(model.mined_undecided()),
+                  static_cast<long long>(model.mined_total()),
+                  100.0 * static_cast<double>(model.mined_undecided()) /
+                      static_cast<double>(model.mined_total()));
+    }
+  }
+  if (!dump_file.empty()) {
+    std::ofstream out(dump_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", dump_file.c_str());
+      return 1;
+    }
+    WorkloadTrace trace;
+    trace.kind = kind;
+    trace.seed = seed;
+    trace.pairs = pairs;
+    WriteTrace(out, trace);
+    std::printf("trace: %zu queries -> %s\n", pairs.size(),
+                dump_file.c_str());
+  }
+
+  std::shared_ptr<const ReachCore> battery_core;
+  if (use_battery) {
+    auto built = BuildBatteryCore(arcs, num_nodes, graph, baseline.value(),
+                                  kind, seed);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    battery_core = built.value();
+  }
+
+  // Serve the full mix on each core through a private single-threaded
+  // service; emit one JSON line per core.
+  auto serve = [&](const std::shared_ptr<const ReachCore>& core,
+                   const char* label) -> int {
+    std::unique_ptr<ReachService> service = ReachService::Create(core);
+    auto answers = service->QueryBatch(pairs);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "%s: %s\n", label,
+                   answers.status().ToString().c_str());
+      return 1;
+    }
+    const ReachStats& s = service->stats();
+    const double total =
+        static_cast<double>(std::max<int64_t>(s.queries, 1));
+    std::printf(
+        "{\"bench\": \"workload\", \"workload\": \"%s\", "
+        "\"battery\": %s, \"queries\": %lld, \"decided_rate\": %.4f, "
+        "\"label_rate\": %.4f, \"cache_hit_rate\": %.4f, \"rules\": {",
+        WorkloadKindName(kind), label,
+        static_cast<long long>(s.queries),
+        static_cast<double>(s.DecidedWithoutFallback()) / total,
+        static_cast<double>(s.DecidedWithoutFallback() -
+                            s.Decided(ReachStage::kCache)) /
+            total,
+        s.CacheHitRate());
+    bool first = true;
+    for (int r = 0; r < kNumReachRules; ++r) {
+      if (s.rule_decided[r] == 0) continue;
+      std::printf("%s\"%s\": %.4f", first ? "" : ", ",
+                  ReachRuleName(static_cast<ReachRule>(r)),
+                  static_cast<double>(s.rule_decided[r]) / total);
+      first = false;
+    }
+    std::printf("}}\n");
+    return 0;
+  };
+  if (const int code = serve(baseline.value(), "false")) return code;
+  if (battery_core) {
+    if (const int code = serve(battery_core, "true")) return code;
+  }
+
+  // Differential smoke: both ladders and a BFS reference must agree on a
+  // sampled subset, battery answers bit-for-bit equal to baseline.
+  if (check_pairs > 0 && !pairs.empty()) {
+    std::unique_ptr<ReachService> base_service =
+        ReachService::Create(baseline.value());
+    std::unique_ptr<ReachService> battery_service;
+    if (battery_core) battery_service = ReachService::Create(battery_core);
+    Rng rng(seed ^ 0x5bf03635u);
+    std::vector<bool> cone(static_cast<size_t>(num_nodes));
+    std::vector<NodeId> stack;
+    int64_t checked = 0;
+    for (int64_t i = 0; i < check_pairs; ++i) {
+      const auto [src, dst] =
+          pairs[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int64_t>(pairs.size()) - 1))];
+      // Reference: DFS cone of src on the input graph (reflexive).
+      std::fill(cone.begin(), cone.end(), false);
+      cone[static_cast<size_t>(src)] = true;
+      stack.assign(1, src);
+      while (!stack.empty()) {
+        const NodeId at = stack.back();
+        stack.pop_back();
+        for (const NodeId succ : graph.Successors(at)) {
+          if (!cone[static_cast<size_t>(succ)]) {
+            cone[static_cast<size_t>(succ)] = true;
+            stack.push_back(succ);
+          }
+        }
+      }
+      const bool expect = cone[static_cast<size_t>(dst)];
+      auto base_answer = base_service->Query(src, dst);
+      if (!base_answer.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     base_answer.status().ToString().c_str());
+        return 1;
+      }
+      if (base_answer.value().reachable != expect) {
+        std::fprintf(stderr,
+                     "CHECK FAIL baseline %d->%d: got %d want %d\n", src,
+                     dst, base_answer.value().reachable ? 1 : 0,
+                     expect ? 1 : 0);
+        return 1;
+      }
+      if (battery_service) {
+        auto battery_answer = battery_service->Query(src, dst);
+        if (!battery_answer.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       battery_answer.status().ToString().c_str());
+          return 1;
+        }
+        if (battery_answer.value().reachable != expect) {
+          std::fprintf(stderr,
+                       "CHECK FAIL battery %d->%d: got %d want %d\n", src,
+                       dst, battery_answer.value().reachable ? 1 : 0,
+                       expect ? 1 : 0);
+          return 1;
+        }
+      }
+      ++checked;
+    }
+    std::printf("check: %lld sampled pairs agree with the reference%s\n",
+                static_cast<long long>(checked),
+                battery_service ? " on both cores" : "");
+  }
   return 0;
 }
 
@@ -1222,6 +1568,9 @@ int Run(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "serve-bench") == 0) {
     return RunServeBench(argc - 1, argv + 1);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "workload-bench") == 0) {
+    return RunWorkloadBench(argc - 1, argv + 1);
   }
   if (argc >= 2 && std::strcmp(argv[1], "stress") == 0) {
     return RunStress(argc - 1, argv + 1);
